@@ -1,0 +1,73 @@
+//! Shared report types for the baseline schemes.
+
+use distconv_cost::Conv2dProblem;
+use distconv_simnet::StatsSnapshot;
+
+/// Which baseline scheme produced a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// Batch split (`b`), kernel replicated.
+    DataParallel,
+    /// Width split (`w`), halo exchange, kernel replicated.
+    SpatialParallel,
+    /// Output-feature split (`k`), input replicated.
+    FilterParallel,
+}
+
+impl BaselineKind {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BaselineKind::DataParallel => "data-parallel",
+            BaselineKind::SpatialParallel => "spatial-parallel",
+            BaselineKind::FilterParallel => "filter-parallel",
+        }
+    }
+}
+
+/// Result of running a baseline scheme.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// The scheme.
+    pub kind: BaselineKind,
+    /// The layer.
+    pub problem: Conv2dProblem,
+    /// Ranks used.
+    pub procs: usize,
+    /// Measured counters for the whole run.
+    pub stats: StatsSnapshot,
+    /// Exact analytic one-time placement volume (weight/input
+    /// replication broadcasts).
+    pub analytic_placement: u128,
+    /// Exact analytic recurring per-step volume (halo exchanges,
+    /// gradient all-reduce).
+    pub analytic_recurring: u128,
+    /// Whether the forward result (and gradient, if trained) matched
+    /// the sequential reference.
+    pub verified: bool,
+    /// Largest per-rank peak memory (elements).
+    pub max_peak_mem: u64,
+    /// Simulated α–β time (volume-based estimate).
+    pub sim_time: f64,
+    /// Lamport communication makespan (dependency-aware).
+    pub makespan: f64,
+}
+
+impl BaselineReport {
+    /// Total analytic volume (placement + recurring).
+    pub fn analytic_total(&self) -> u128 {
+        self.analytic_placement + self.analytic_recurring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(BaselineKind::DataParallel.name(), "data-parallel");
+        assert_eq!(BaselineKind::SpatialParallel.name(), "spatial-parallel");
+        assert_eq!(BaselineKind::FilterParallel.name(), "filter-parallel");
+    }
+}

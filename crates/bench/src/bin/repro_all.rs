@@ -1,0 +1,17 @@
+//! Run every experiment (E1–E10) in order — the full reproduction.
+//! Output is the material recorded in EXPERIMENTS.md.
+fn main() {
+    println!("{}", distconv_bench::e1_table1());
+    println!("{}", distconv_bench::e2_table2());
+    println!("{}", distconv_bench::e3_gvm_exactness());
+    println!("{}", distconv_bench::e4_property5());
+    println!("{}", distconv_bench::e5_ml_deflation());
+    println!("{}", distconv_bench::e6_distributed());
+    println!("{}", distconv_bench::e7_matmul_analogy());
+    println!("{}", distconv_bench::e8_regime_sweep());
+    println!("{}", distconv_bench::e9_baselines());
+    println!("{}", distconv_bench::e9_baselines_analytic(32));
+    println!("{}", distconv_bench::e10_scaling());
+    println!("{}", distconv_bench::e11_alpha_beta());
+    println!("{}", distconv_bench::e12_network());
+}

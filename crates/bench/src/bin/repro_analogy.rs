@@ -1,0 +1,4 @@
+//! 1×1-conv ≡ matmul analogy: distconv vs SUMMA/2.5D/3D (E7).
+fn main() {
+    println!("{}", distconv_bench::e7_matmul_analogy());
+}

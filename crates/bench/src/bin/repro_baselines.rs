@@ -1,0 +1,6 @@
+//! distconv vs data/spatial/filter parallelism, measured and
+//! full-scale analytic (E9).
+fn main() {
+    println!("{}", distconv_bench::e9_baselines());
+    println!("{}", distconv_bench::e9_baselines_analytic(32));
+}

@@ -1,0 +1,5 @@
+//! The distributed algorithm: measured vs Eq. 10/11 and the
+//! constant-gap theorem (E6).
+fn main() {
+    println!("{}", distconv_bench::e6_distributed());
+}

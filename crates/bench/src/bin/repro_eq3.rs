@@ -1,0 +1,4 @@
+//! Eq. 1/3 exactness of the GVM executor (E3).
+fn main() {
+    println!("{}", distconv_bench::e3_gvm_exactness());
+}

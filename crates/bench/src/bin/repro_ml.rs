@@ -1,0 +1,4 @@
+//! M_L deflation validity and lower bound (E5).
+fn main() {
+    println!("{}", distconv_bench::e5_ml_deflation());
+}

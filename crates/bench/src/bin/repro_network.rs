@@ -1,0 +1,4 @@
+//! Multi-layer network with inter-layer redistribution (E12).
+fn main() {
+    println!("{}", distconv_bench::e12_network());
+}

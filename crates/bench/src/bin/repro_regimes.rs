@@ -1,0 +1,4 @@
+//! Memory sweep: 2D → 2.5D → 3D regime transitions (E8).
+fn main() {
+    println!("{}", distconv_bench::e8_regime_sweep());
+}

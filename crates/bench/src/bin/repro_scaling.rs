@@ -1,0 +1,4 @@
+//! Strong and weak scaling of the distributed algorithm (E10).
+fn main() {
+    println!("{}", distconv_bench::e10_scaling());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table 1 (experiment E1): closed-form vs brute force.
+fn main() {
+    println!("{}", distconv_bench::e1_table1());
+}

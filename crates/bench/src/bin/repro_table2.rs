@@ -1,0 +1,5 @@
+//! Regenerate Table 2 (E2) and Property (5) checks (E4).
+fn main() {
+    println!("{}", distconv_bench::e2_table2());
+    println!("{}", distconv_bench::e4_property5());
+}

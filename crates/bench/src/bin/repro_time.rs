@@ -1,0 +1,4 @@
+//! α–β time-model comparison across network profiles (E11).
+fn main() {
+    println!("{}", distconv_bench::e11_alpha_beta());
+}

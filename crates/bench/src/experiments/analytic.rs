@@ -1,0 +1,307 @@
+//! Analytic experiments: the paper's two tables, the structural
+//! property, the `M_L` deflation, and the regime sweep (E1, E2, E4,
+//! E5, E8).
+
+use crate::table::{fnum, inum, Table};
+use distconv_cost::brute::{brute_eq4, brute_eq4_conforming, property5_holds};
+use distconv_cost::closed_form::{ml_deflate, solve_table1, solve_table2, solve_table2_factored, thresh3d};
+use distconv_cost::exact::eq3_footprint_g;
+use distconv_cost::simplified::{resident_slice, InnerLoop};
+use distconv_cost::tiling::{largest_divisor_at_most, Tiling};
+use distconv_cost::{Conv2dProblem, MachineSpec, Planner};
+
+/// The layer grid the analytic experiments sweep: friendly
+/// power-of-two layers spanning the three regimes.
+pub fn analytic_layers() -> Vec<(&'static str, Conv2dProblem)> {
+    vec![
+        ("early(wide-image)", Conv2dProblem::square(4, 16, 16, 16, 3)),
+        ("mid(balanced)", Conv2dProblem::square(4, 32, 32, 8, 3)),
+        ("late(deep)", Conv2dProblem::square(4, 64, 64, 4, 3)),
+        ("strided", Conv2dProblem::new(4, 16, 16, 8, 8, 3, 3, 2, 2)),
+    ]
+}
+
+/// **E1 / Table 1**: closed-form optimal cost vs the brute-force
+/// integer optimum of Eq. 4 (c-innermost family), across layers,
+/// processor counts and memory levels. The closed form must
+/// lower-bound the integer optimum and stay close to it; the regime
+/// column reproduces Table 1's three conditions.
+pub fn e1_table1() -> Table {
+    let mut t = Table::new(
+        "E1 — Table 1: closed-form vs brute-force integer optimum (Eq. 4, c innermost)",
+        &["layer", "P", "M_L", "regime", "closed", "brute", "brute/closed"],
+    );
+    let mut worst_ratio = 1.0f64;
+    for (name, p) in analytic_layers() {
+        for procs in [4usize, 16, 64] {
+            let r = resident_slice(&p, procs, InnerLoop::C);
+            let t3 = thresh3d(&p, procs);
+            for m_l in [r * 0.25, r * 0.9, (r + t3) / 2.0, t3 * 2.0] {
+                let m_l = m_l.max(4.0);
+                let cf = solve_table1(&p, procs, m_l);
+                let Some(b) = brute_eq4(&p, procs, m_l, InnerLoop::C) else {
+                    continue;
+                };
+                let ratio = b.cost / cf.cost;
+                worst_ratio = worst_ratio.max(ratio);
+                assert!(
+                    cf.cost <= b.cost * (1.0 + 1e-9),
+                    "closed form must lower-bound the integer optimum"
+                );
+                t.row(vec![
+                    name.to_string(),
+                    procs.to_string(),
+                    fnum(m_l),
+                    cf.regime.name().to_string(),
+                    fnum(cf.cost),
+                    fnum(b.cost),
+                    format!("{ratio:.3}"),
+                ]);
+            }
+        }
+    }
+    t.note(format!(
+        "closed form lower-bounds the integer optimum everywhere; worst integer/relaxed ratio {worst_ratio:.3}"
+    ));
+    t.note("regimes: 2D = Case 1a (Eq.6), 2.5D = Case 2b (Eq.9), 3D = Case 2a (Eq.8)");
+    t
+}
+
+/// **E2 / Table 2**: all-permutation closed form (as printed, and with
+/// the factored Row-1 min) vs the brute-force optimum over all three
+/// innermost-loop families.
+pub fn e2_table2() -> Table {
+    let mut t = Table::new(
+        "E2 — Table 2: all-permutation solutions vs brute force over the three families",
+        &[
+            "layer", "P", "M_L", "printed", "factored", "brute(best)", "family", "printed≤t1",
+        ],
+    );
+    for (name, p) in analytic_layers() {
+        for procs in [4usize, 16, 64] {
+            let r = resident_slice(&p, procs, InnerLoop::C);
+            for m_l in [r * 0.25, r * 4.0] {
+                let m_l = m_l.max(4.0);
+                let printed = solve_table2(&p, procs, m_l);
+                let factored = solve_table2_factored(&p, procs, m_l);
+                let t1 = solve_table1(&p, procs, m_l);
+                // Brute force across the three generalized objectives.
+                let best = InnerLoop::ALL
+                    .iter()
+                    .filter_map(|&f| brute_eq4(&p, procs, m_l, f).map(|b| (f, b)))
+                    .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).unwrap());
+                let Some((fam, b)) = best else { continue };
+                assert!(
+                    printed.cost <= t1.cost + 1e-6,
+                    "Table 2 must be at most Table 1"
+                );
+                t.row(vec![
+                    name.to_string(),
+                    procs.to_string(),
+                    fnum(m_l),
+                    fnum(printed.cost),
+                    fnum(factored.cost),
+                    fnum(b.cost),
+                    format!("{fam:?}"),
+                    "yes".into(),
+                ]);
+            }
+        }
+    }
+    t.note("printed = Table 2 verbatim (Row-1 min over unweighted products);");
+    t.note("factored = Row-1 min over σσ/NrNs-weighted resident slices (consistent with the row's own conditions);");
+    t.note("the factored variant tracks the brute-force family optimum; the printed one can undershoot it (apparent typo in the paper's Row 1).");
+    t
+}
+
+/// **E4 / Property (5)**: on every brute-force optimum, check
+/// `(W_k = T_k ∧ W_bhw = T_bhw) ∨ W_c = N_c`.
+pub fn e4_property5() -> Table {
+    let mut t = Table::new(
+        "E4 — structural Property (5) on brute-force optima",
+        &["layer", "P", "M_L", "Wc=Nc", "Wk=Tk&Wbhw=Tbhw", "holds"],
+    );
+    let mut checked = 0;
+    for (name, p) in analytic_layers() {
+        for procs in [2usize, 8, 32] {
+            for m_l in [32.0, 512.0, 8192.0, 131072.0] {
+                let Some(b) = brute_eq4(&p, procs, m_l, InnerLoop::C) else {
+                    continue;
+                };
+                let wc_full = (b.vars.w_c - p.nc as f64).abs() < 1e-9;
+                let tw_eq = (b.vars.w_k - b.vars.t_k).abs() < 1e-9
+                    && (b.vars.w_bhw - b.vars.t_bhw).abs() < 1e-9;
+                let holds = property5_holds(&p, &b.vars);
+                assert!(holds, "Property 5 violated at {name} P={procs} M_L={m_l}");
+                checked += 1;
+                t.row(vec![
+                    name.to_string(),
+                    procs.to_string(),
+                    fnum(m_l),
+                    if wc_full { "yes" } else { "no" }.into(),
+                    if tw_eq { "yes" } else { "no" }.into(),
+                    if holds { "yes" } else { "NO" }.into(),
+                ]);
+            }
+        }
+    }
+    t.note(format!(
+        "{checked} optima on divisor-rich layers checked, all satisfy Property (5)"
+    ));
+
+    // Non-dyadic extents: integer violations can occur; certify each as
+    // an integrality artifact (no conforming point matches the optimum).
+    let awkward = [
+        ("awkward(30,6,6)", Conv2dProblem::new(2, 6, 6, 3, 5, 1, 1, 1, 1)),
+        ("awkward(21,10,14)", Conv2dProblem::new(3, 10, 14, 7, 1, 3, 3, 1, 1)),
+    ];
+    let mut violations = 0;
+    let mut certified = 0;
+    for (name, p) in awkward {
+        for procs in [2usize, 4, 8] {
+            for m_l in [32.0, 256.0, 4096.0] {
+                let Some(b) = brute_eq4(&p, procs, m_l, InnerLoop::C) else {
+                    continue;
+                };
+                if !property5_holds(&p, &b.vars) {
+                    violations += 1;
+                    let cert = match brute_eq4_conforming(&p, procs, m_l, InnerLoop::C) {
+                        None => true,
+                        Some(c) => c.cost > b.cost * (1.0 + 1e-12),
+                    };
+                    assert!(cert, "{name}: real Property-5 violation at P={procs} M_L={m_l}");
+                    certified += 1;
+                }
+            }
+        }
+    }
+    t.note(format!(
+        "non-dyadic layers: {violations} integer violations found, {certified}/{violations} \
+         certified as integrality artifacts (no conforming integer point attains the optimum; \
+         the paper's claim concerns the continuous relaxation, where it always holds)"
+    ));
+    t
+}
+
+/// **E5 / M_L deflation**: tiles sized by the deflated capacity always
+/// satisfy the exact footprint `g ≤ M`; `Table1(M_L=M)` lower-bounds
+/// `Table1(deflate(M))`.
+pub fn e5_ml_deflation() -> Table {
+    let mut t = Table::new(
+        "E5 — M_L deflation: validity of the K-formula (Sec. 2.1)",
+        &["layer", "M", "M_L", "tile(Tk×Tbhw)", "exact g", "g≤M", "LB", "achieved"],
+    );
+    for (name, p) in analytic_layers() {
+        for m in [1usize << 10, 1 << 13, 1 << 16, 1 << 20] {
+            let m_l = ml_deflate(m as f64, &p);
+            let sol = solve_table1(&p, 16, m_l);
+            // Round the real tile sizes DOWN to feasible integers the way
+            // the planner does, split bhw as (1, th, tw) balanced.
+            let tk = largest_divisor_at_most(p.nk, sol.vars.t_k.floor().max(1.0) as usize);
+            let side = (sol.vars.t_bhw.max(1.0)).sqrt().floor().max(1.0) as usize;
+            let tw = largest_divisor_at_most(p.nw, side.min(p.nw));
+            let th = largest_divisor_at_most(
+                p.nh,
+                ((sol.vars.t_bhw / tw as f64).floor().max(1.0) as usize).min(p.nh),
+            );
+            let tiling = Tiling::new(1, tk.max(1), 1, th.max(1), tw.max(1));
+            let g = eq3_footprint_g(&p, &tiling);
+            assert!(
+                g <= m as u128,
+                "{name} M={m}: deflated tiles violate g ≤ M (g={g})"
+            );
+            let lb = solve_table1(&p, 16, m as f64).cost;
+            let ach = sol.cost;
+            assert!(lb <= ach + 1e-9);
+            t.row(vec![
+                name.to_string(),
+                m.to_string(),
+                fnum(m_l),
+                format!("{}x{}", tk, th * tw),
+                inum(g),
+                "yes".into(),
+                fnum(lb),
+                fnum(ach),
+            ]);
+        }
+    }
+    t.note("LB = Table1 cost at M_L = M (paper's lower bound); achieved = cost at deflated M_L.");
+    t
+}
+
+/// **E8 / regime sweep**: fixed layer and `P`, sweep the per-processor
+/// memory `M_D`; the planner's chosen grid walks 2D → 2.5D → 3D and
+/// the predicted `cost_D` falls monotonically — the paper's central
+/// memory/communication trade-off.
+pub fn e8_regime_sweep() -> Table {
+    let mut t = Table::new(
+        "E8 — memory sweep: regime transitions of the planned grid (P = 64)",
+        &["layer", "M_D", "grid(b,k,c,h,w)", "Pc", "regime", "cost_D", "gd"],
+    );
+    let p = Conv2dProblem::square(8, 64, 64, 8, 3);
+    let mut prev = f64::INFINITY;
+    for shift in [10usize, 11, 12, 13, 14, 16, 18, 20] {
+        let mem = 1usize << shift;
+        match Planner::new(p, MachineSpec::new(64, mem)).plan() {
+            Ok(plan) => {
+                assert!(
+                    plan.predicted.cost_d <= prev * (1.0 + 1e-9),
+                    "cost must not increase with memory"
+                );
+                prev = plan.predicted.cost_d;
+                let g = plan.grid;
+                t.row(vec![
+                    "mid(8×64×64×8²)".into(),
+                    format!("2^{shift}"),
+                    format!("{}x{}x{}x{}x{}", g.pb, g.pk, g.pc, g.ph, g.pw),
+                    g.pc.to_string(),
+                    plan.regime.name().to_string(),
+                    fnum(plan.predicted.cost_d),
+                    fnum(plan.predicted.footprint_gd),
+                ]);
+            }
+            Err(e) => {
+                t.row(vec![
+                    "mid(8×64×64×8²)".into(),
+                    format!("2^{shift}"),
+                    "-".into(),
+                    "-".into(),
+                    format!("infeasible"),
+                    "-".into(),
+                    format!("{e}"),
+                ]);
+            }
+        }
+    }
+    t.note("growing memory lets the planner replicate Out along c (Pc > 1), mirroring 2D→2.5D→3D matmul.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_runs_and_validates() {
+        let t = e1_table1();
+        assert!(t.rows.len() >= 30, "expected a dense sweep, got {}", t.rows.len());
+    }
+
+    #[test]
+    fn e4_runs() {
+        let t = e4_property5();
+        assert!(t.rows.iter().all(|r| r[5] == "yes"));
+    }
+
+    #[test]
+    fn e5_runs() {
+        let t = e5_ml_deflation();
+        assert!(t.rows.iter().all(|r| r[5] == "yes"));
+    }
+
+    #[test]
+    fn e8_runs() {
+        let t = e8_regime_sweep();
+        assert!(!t.rows.is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! # distconv-bench
+//!
+//! Experiment drivers for every table/figure in the reproduction (see
+//! DESIGN.md §4 for the experiment index, EXPERIMENTS.md for recorded
+//! results). Each `eN_*` function runs one experiment and returns a
+//! printable [`table::Table`]; the `repro_*` binaries in `src/bin/`
+//! are thin wrappers, and the criterion benches in `benches/` time the
+//! hot paths.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

@@ -1,0 +1,362 @@
+//! Convolution compute kernels: references, the rayon-parallel local
+//! kernel, and the shared tile micro-kernel.
+
+use distconv_cost::Conv2dProblem;
+use distconv_tensor::{Scalar, Shape4, Tensor4};
+use rayon::prelude::*;
+
+/// Shape of the `In` tensor for `p` (exact halo form).
+pub fn in_shape(p: &Conv2dProblem) -> Shape4 {
+    Shape4::new(p.nb, p.nc, p.in_w(), p.in_h())
+}
+
+/// Shape of the `Ker` tensor for `p`.
+pub fn ker_shape(p: &Conv2dProblem) -> Shape4 {
+    Shape4::new(p.nk, p.nc, p.nr, p.ns)
+}
+
+/// Shape of the `Out` tensor for `p`.
+pub fn out_shape(p: &Conv2dProblem) -> Shape4 {
+    Shape4::new(p.nb, p.nk, p.nw, p.nh)
+}
+
+/// Deterministic workload: `(In, Ker)` tensors whose elements are pure
+/// functions of `(seed, coordinates)` — reproducible across crates and
+/// shardable via [`Tensor4::random_window`].
+pub fn workload<T: Scalar>(p: &Conv2dProblem, seed: u64) -> (Tensor4<T>, Tensor4<T>) {
+    (
+        Tensor4::random(in_shape(p), seed),
+        Tensor4::random(ker_shape(p), seed ^ 0xABCD_EF01_2345_6789),
+    )
+}
+
+/// The paper's Listing 1, verbatim seven-loop reference. `O(N⁷)`,
+/// single-threaded — the ground truth everything else is validated
+/// against.
+pub fn conv2d_direct<T: Scalar>(
+    p: &Conv2dProblem,
+    input: &Tensor4<T>,
+    ker: &Tensor4<T>,
+) -> Tensor4<T> {
+    assert_eq!(input.shape(), in_shape(p), "In shape mismatch");
+    assert_eq!(ker.shape(), ker_shape(p), "Ker shape mismatch");
+    let mut out = Tensor4::zeros(out_shape(p));
+    for b in 0..p.nb {
+        for k in 0..p.nk {
+            for w in 0..p.nw {
+                for h in 0..p.nh {
+                    let mut acc = T::zero();
+                    for c in 0..p.nc {
+                        for r in 0..p.nr {
+                            for s in 0..p.ns {
+                                acc += input[[b, c, p.sw * w + r, p.sh * h + s]]
+                                    * ker[[k, c, r, s]];
+                            }
+                        }
+                    }
+                    out[[b, k, w, h]] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rayon-parallel direct convolution (parallel over `(b, k)` pairs —
+/// independent output planes, so the parallelization is race-free by
+/// construction). Produces bitwise-identical results to
+/// [`conv2d_direct`]: each output element is an independent sum in the
+/// same order.
+pub fn conv2d_direct_par<T: Scalar>(
+    p: &Conv2dProblem,
+    input: &Tensor4<T>,
+    ker: &Tensor4<T>,
+) -> Tensor4<T> {
+    assert_eq!(input.shape(), in_shape(p), "In shape mismatch");
+    assert_eq!(ker.shape(), ker_shape(p), "Ker shape mismatch");
+    let mut out = Tensor4::zeros(out_shape(p));
+    let plane = p.nw * p.nh;
+    out.as_mut_slice()
+        .par_chunks_mut(plane)
+        .enumerate()
+        .for_each(|(bk, chunk)| {
+            let b = bk / p.nk;
+            let k = bk % p.nk;
+            for w in 0..p.nw {
+                for h in 0..p.nh {
+                    let mut acc = T::zero();
+                    for c in 0..p.nc {
+                        for r in 0..p.nr {
+                            for s in 0..p.ns {
+                                acc += input[[b, c, p.sw * w + r, p.sh * h + s]]
+                                    * ker[[k, c, r, s]];
+                            }
+                        }
+                    }
+                    chunk[w * p.nh + h] = acc;
+                }
+            }
+        });
+    out
+}
+
+/// im2col + matmul reference: lower the convolution to
+/// `Out[bwh, k] = Col[bwh, crs] · Ker[k, crs]ᵀ` — the classical
+/// reduction that also underlies the paper's "CNN generalizes matmul"
+/// framing. Used as an independent second reference in property tests.
+pub fn conv2d_im2col<T: Scalar>(
+    p: &Conv2dProblem,
+    input: &Tensor4<T>,
+    ker: &Tensor4<T>,
+) -> Tensor4<T> {
+    assert_eq!(input.shape(), in_shape(p), "In shape mismatch");
+    let crs = p.nc * p.nr * p.ns;
+    let bwh = p.nb * p.nw * p.nh;
+    // Column matrix: row per output point, column per (c, r, s).
+    let mut col = vec![T::zero(); bwh * crs];
+    for b in 0..p.nb {
+        for w in 0..p.nw {
+            for h in 0..p.nh {
+                let row = (b * p.nw + w) * p.nh + h;
+                let base = row * crs;
+                let mut j = 0;
+                for c in 0..p.nc {
+                    for r in 0..p.nr {
+                        for s in 0..p.ns {
+                            col[base + j] = input[[b, c, p.sw * w + r, p.sh * h + s]];
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Tensor4::zeros(out_shape(p));
+    for b in 0..p.nb {
+        for w in 0..p.nw {
+            for h in 0..p.nh {
+                let row = (b * p.nw + w) * p.nh + h;
+                for k in 0..p.nk {
+                    let mut acc = T::zero();
+                    let kbase = k * crs;
+                    for j in 0..crs {
+                        acc += col[row * crs + j] * ker.as_slice()[kbase + j];
+                    }
+                    out[[b, k, w, h]] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The tile micro-kernel shared by the GVM executor and the distributed
+/// algorithm: accumulate one tile's contribution on **local, rebased**
+/// buffers.
+///
+/// * `out_tile`: `[T_b, T_k, T_w, T_h]`, accumulated in place.
+/// * `in_tile`:  `[T_b, T_c, X_t, Y_t]` where
+///   `X_t ≥ σw·(T_w−1)+N_r`, `Y_t ≥ σh·(T_h−1)+N_s` — the halo window
+///   for this tile, with local origin at the tile's first input pixel.
+/// * `ker_tile`: `[T_k, T_c, N_r, N_s]`.
+pub fn conv_tile<T: Scalar>(
+    p: &Conv2dProblem,
+    out_tile: &mut Tensor4<T>,
+    in_tile: &Tensor4<T>,
+    ker_tile: &Tensor4<T>,
+) {
+    let [tb, tk, tw, th] = out_tile.shape().0;
+    let [tb2, tc, xt, yt] = in_tile.shape().0;
+    let [tk2, tc2, nr, ns] = ker_tile.shape().0;
+    assert_eq!(tb, tb2, "batch tile mismatch");
+    assert_eq!(tk, tk2, "k tile mismatch");
+    assert_eq!(tc, tc2, "c tile mismatch");
+    assert_eq!((nr, ns), (p.nr, p.ns), "kernel extent mismatch");
+    assert!(
+        xt >= p.sw * (tw - 1) + p.nr && yt >= p.sh * (th - 1) + p.ns,
+        "input tile window too small: {xt}x{yt} for out {tw}x{th}"
+    );
+    for b in 0..tb {
+        for k in 0..tk {
+            for w in 0..tw {
+                for h in 0..th {
+                    let mut acc = out_tile[[b, k, w, h]];
+                    for c in 0..tc {
+                        for r in 0..nr {
+                            for s in 0..ns {
+                                acc += in_tile[[b, c, p.sw * w + r, p.sh * h + s]]
+                                    * ker_tile[[k, c, r, s]];
+                            }
+                        }
+                    }
+                    out_tile[[b, k, w, h]] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Weight gradient for the training-step example:
+/// `dKer[k,c,r,s] = Σ_{b,w,h} dOut[b,k,w,h] · In[b,c,σw·w+r,σh·h+s]`.
+pub fn grad_ker<T: Scalar>(
+    p: &Conv2dProblem,
+    input: &Tensor4<T>,
+    d_out: &Tensor4<T>,
+) -> Tensor4<T> {
+    assert_eq!(input.shape(), in_shape(p), "In shape mismatch");
+    assert_eq!(d_out.shape(), out_shape(p), "dOut shape mismatch");
+    let mut d_ker = Tensor4::zeros(ker_shape(p));
+    for k in 0..p.nk {
+        for c in 0..p.nc {
+            for r in 0..p.nr {
+                for s in 0..p.ns {
+                    let mut acc = T::zero();
+                    for b in 0..p.nb {
+                        for w in 0..p.nw {
+                            for h in 0..p.nh {
+                                acc += d_out[[b, k, w, h]]
+                                    * input[[b, c, p.sw * w + r, p.sh * h + s]];
+                            }
+                        }
+                    }
+                    d_ker[[k, c, r, s]] = acc;
+                }
+            }
+        }
+    }
+    d_ker
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distconv_tensor::assert_close;
+
+    fn toy() -> Conv2dProblem {
+        Conv2dProblem::square(2, 3, 4, 5, 3)
+    }
+
+    #[test]
+    fn direct_known_value() {
+        // 1x1x1 problem with 1x1 kernel: Out = In·Ker.
+        let p = Conv2dProblem::new(1, 1, 1, 1, 1, 1, 1, 1, 1);
+        let mut input = Tensor4::<f64>::zeros(in_shape(&p));
+        let mut ker = Tensor4::<f64>::zeros(ker_shape(&p));
+        input[[0, 0, 0, 0]] = 3.0;
+        ker[[0, 0, 0, 0]] = 4.0;
+        let out = conv2d_direct(&p, &input, &ker);
+        assert_eq!(out[[0, 0, 0, 0]], 12.0);
+    }
+
+    #[test]
+    fn direct_sum_kernel_is_box_filter() {
+        // All-ones kernel and input: every output = Nc·Nr·Ns.
+        let p = toy();
+        let input = Tensor4::from_vec(in_shape(&p), vec![1.0f64; in_shape(&p).len()]);
+        let ker = Tensor4::from_vec(ker_shape(&p), vec![1.0f64; ker_shape(&p).len()]);
+        let out = conv2d_direct(&p, &input, &ker);
+        for &v in out.as_slice() {
+            assert_eq!(v, (p.nc * p.nr * p.ns) as f64);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let p = toy();
+        let (input, ker) = workload::<f64>(&p, 42);
+        let a = conv2d_direct(&p, &input, &ker);
+        let b = conv2d_direct_par(&p, &input, &ker);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn im2col_matches_direct() {
+        let p = toy();
+        let (input, ker) = workload::<f64>(&p, 7);
+        let a = conv2d_direct(&p, &input, &ker);
+        let b = conv2d_im2col(&p, &input, &ker);
+        assert_close(a.as_slice(), b.as_slice(), 1e-12, "im2col");
+    }
+
+    #[test]
+    fn strided_conv_correct() {
+        let p = Conv2dProblem::new(1, 2, 2, 3, 3, 3, 3, 2, 2);
+        let (input, ker) = workload::<f64>(&p, 9);
+        let a = conv2d_direct(&p, &input, &ker);
+        let b = conv2d_im2col(&p, &input, &ker);
+        assert_close(a.as_slice(), b.as_slice(), 1e-12, "strided");
+        assert_eq!(a.shape(), Shape4::new(1, 2, 3, 3));
+    }
+
+    #[test]
+    fn tile_kernel_whole_problem_matches_direct() {
+        // One tile covering everything must equal the reference.
+        let p = toy();
+        let (input, ker) = workload::<f64>(&p, 11);
+        let mut out = Tensor4::zeros(out_shape(&p));
+        // in_tile needs rebased layout [b, c, x, y] == whole input here.
+        conv_tile(&p, &mut out, &input, &ker);
+        let reference = conv2d_direct(&p, &input, &ker);
+        assert_eq!(out.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn tile_kernel_accumulates_channel_splits() {
+        // Splitting c into two tiles and accumulating must reproduce the
+        // whole result — the invariant the c-innermost schedule relies on.
+        let p = toy();
+        let (input, ker) = workload::<f64>(&p, 13);
+        let reference = conv2d_direct(&p, &input, &ker);
+        let mut out = Tensor4::zeros(out_shape(&p));
+        for c0 in [0usize, 2] {
+            let in_slice = input.slice(distconv_tensor::Range4::new(
+                [0, c0, 0, 0],
+                [p.nb, c0 + 2, p.in_w(), p.in_h()],
+            ));
+            let ker_slice = ker.slice(distconv_tensor::Range4::new(
+                [0, c0, 0, 0],
+                [p.nk, c0 + 2, p.nr, p.ns],
+            ));
+            conv_tile(&p, &mut out, &in_slice, &ker_slice);
+        }
+        assert_close(out.as_slice(), reference.as_slice(), 1e-12, "c-split");
+    }
+
+    #[test]
+    fn grad_ker_matches_finite_difference() {
+        // d/dKer[k0,c0,r0,s0] of Σ Out·dOut — check one coordinate by
+        // linearity: perturbing Ker by ε at one coordinate changes
+        // Σ (Out·dOut) by ε·dKer[coordinate].
+        let p = Conv2dProblem::square(1, 2, 2, 3, 2);
+        let (input, ker) = workload::<f64>(&p, 21);
+        let d_out = Tensor4::random(out_shape(&p), 77);
+        let g = grad_ker(&p, &input, &d_out);
+        let eps = 1e-6;
+        let coord = [1usize, 1, 1, 0];
+        let mut ker2 = ker.clone();
+        ker2[coord] += eps;
+        let f = |kk: &Tensor4<f64>| -> f64 {
+            let out = conv2d_direct(&p, &input, kk);
+            out.as_slice()
+                .iter()
+                .zip(d_out.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let fd = (f(&ker2) - f(&ker)) / eps;
+        assert!(
+            (fd - g[coord]).abs() < 1e-5,
+            "finite difference {fd} vs analytic {}",
+            g[coord]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "In shape mismatch")]
+    fn shape_mismatch_panics() {
+        let p = toy();
+        let bad = Tensor4::<f64>::zeros(Shape4::new(1, 1, 1, 1));
+        let ker = Tensor4::zeros(ker_shape(&p));
+        let _ = conv2d_direct(&p, &bad, &ker);
+    }
+}

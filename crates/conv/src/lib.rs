@@ -1,0 +1,32 @@
+//! # distconv-conv
+//!
+//! Convolution kernels and the **global-virtual-memory tiled executor**
+//! of the paper's Sec. 2.1.
+//!
+//! Layout conventions (everywhere in the workspace, following the
+//! paper's indexing `Out[b,k,w,h] += In[b,c,σw·w+r,σh·h+s]·Ker[k,c,r,s]`):
+//!
+//! * `In`  : `[N_b, N_c, X, Y]` with `X = σw·(N_w−1)+N_r`,
+//!   `Y = σh·(N_h−1)+N_s` (the `r` stencil offsets the `w`-paired axis).
+//! * `Ker` : `[N_k, N_c, N_r, N_s]`.
+//! * `Out` : `[N_b, N_k, N_w, N_h]`.
+//!
+//! Contents:
+//!
+//! * [`kernels`] — `conv2d_direct` (Listing 1 reference),
+//!   `conv2d_direct_par` (rayon), `conv2d_im2col` (matmul-reduction
+//!   reference), the shared tile micro-kernel [`kernels::conv_tile`],
+//!   and the weight-gradient kernel used by the training-step example.
+//! * [`gvm`] — executes Listing 3 (and its `k`/`bhw`-innermost
+//!   variants) against an explicit virtual global memory with an
+//!   `M`-capacity local buffer set, counting every element copied
+//!   between the two. For the `c`-innermost schedule at stride 1 the
+//!   measured traffic **equals Eq. 3 exactly** (experiment E3).
+
+#![warn(missing_docs)]
+
+pub mod gvm;
+pub mod kernels;
+
+pub use gvm::{GvmExecutor, GvmMeasurement};
+pub use kernels::{conv2d_direct, conv2d_direct_par, conv2d_im2col, conv_tile, grad_ker};

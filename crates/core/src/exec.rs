@@ -1,0 +1,411 @@
+//! Distributed execution: the tiled loop with the paper's
+//! rotating-broadcast communication schedule, and the high-level
+//! [`DistConv`] driver.
+
+use crate::distribution::{self, distribute, plan_grid, RankData};
+use crate::model::{expected_volumes, ExpectedVolumes};
+use distconv_conv::kernels::{conv2d_direct_par, workload};
+use distconv_cost::DistPlan;
+use distconv_simnet::{Machine, MachineConfig, Rank, StatsSnapshot};
+use distconv_tensor::{Scalar, Shape4, Tensor4};
+
+/// Errors from the distributed driver.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// The plan's grid does not multiply out to the machine size.
+    GridMismatch {
+        /// Ranks the grid implies.
+        grid: usize,
+        /// Ranks the machine was given.
+        machine: usize,
+    },
+    /// The distributed result disagreed with the sequential reference.
+    VerificationFailed {
+        /// Worst relative error observed.
+        max_rel_err: f64,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::GridMismatch { grid, machine } => {
+                write!(f, "plan grid has {grid} ranks but machine has {machine}")
+            }
+            CoreError::VerificationFailed { max_rel_err } => {
+                write!(f, "distributed result mismatch: max rel err {max_rel_err:.3e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Everything a distributed run reports.
+#[derive(Clone, Debug)]
+pub struct DistConvReport {
+    /// The executed plan.
+    pub plan: DistPlan,
+    /// Measured communication counters.
+    pub stats: StatsSnapshot,
+    /// Exact model of the schedule's expected traffic.
+    pub expected: ExpectedVolumes,
+    /// Per-rank peak memory (elements).
+    pub peak_mem: Vec<u64>,
+    /// Whether verification against the sequential reference passed
+    /// (always `true` from [`DistConv::run_verified`]; `false` only from
+    /// unverified runs).
+    pub verified: bool,
+    /// Worst relative error vs the reference (0 when unverified).
+    pub max_rel_err: f64,
+    /// Simulated α–β communication time (volume-based estimate).
+    pub sim_time: f64,
+    /// Lamport communication makespan (dependency-aware).
+    pub makespan: f64,
+}
+
+impl DistConvReport {
+    /// Measured inter-rank volume (elements).
+    pub fn measured_volume(&self) -> u64 {
+        self.stats.total_elems()
+    }
+
+    /// Largest per-rank peak memory.
+    pub fn max_peak_mem(&self) -> u64 {
+        self.peak_mem.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// High-level driver: run a [`DistPlan`] on the simulated machine.
+pub struct DistConv<T> {
+    plan: DistPlan,
+    cfg: MachineConfig,
+    enforce_memory: bool,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Scalar> DistConv<T> {
+    /// Driver for `plan` with default machine configuration.
+    pub fn new(plan: DistPlan) -> Self {
+        DistConv {
+            plan,
+            cfg: MachineConfig::default(),
+            enforce_memory: false,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Override the machine configuration.
+    pub fn with_config(mut self, cfg: MachineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Enforce the plan's per-rank memory capacity `M_D` in the
+    /// simulator (a lease beyond it panics the offending rank).
+    ///
+    /// Note: Eq. 11's `In` term charges `|In|/P` without the spatial
+    /// halo *overlap* that grids with `P_h·P_w > 1` replicate, so a
+    /// plan at the edge of memory can exceed `M_D` by the overlap; the
+    /// planner's selection is validated separately by the recorded
+    /// peak. Enforcement is therefore opt-in.
+    pub fn enforce_memory(mut self, on: bool) -> Self {
+        self.enforce_memory = on;
+        self
+    }
+
+    /// Execute the plan with workload `seed`; no verification.
+    pub fn run(&self, seed: u64) -> DistConvReport {
+        self.run_inner(seed, false).expect("unverified run cannot fail")
+    }
+
+    /// Execute and verify every output element against the sequential
+    /// reference ([`conv2d_direct_par`]).
+    pub fn run_verified(&self, seed: u64) -> Result<DistConvReport, CoreError> {
+        self.run_inner(seed, true)
+    }
+
+    fn run_inner(&self, seed: u64, verify: bool) -> Result<DistConvReport, CoreError> {
+        let plan = self.plan;
+        let procs = plan.grid.total();
+        let mut cfg = self.cfg;
+        if self.enforce_memory {
+            cfg.mem_capacity = Some(plan.machine.mem as u64);
+        }
+        let report = Machine::run::<T, _, _>(procs, cfg, |rank| {
+            rank_body::<T>(rank, &plan, seed)
+        });
+
+        let (verified, max_rel_err) = if verify {
+            let worst = verify_results::<T>(&plan, seed, &report.results);
+            let tol = verification_tolerance::<T>(&plan);
+            if worst > tol {
+                return Err(CoreError::VerificationFailed { max_rel_err: worst });
+            }
+            (true, worst)
+        } else {
+            (false, 0.0)
+        };
+
+        Ok(DistConvReport {
+            plan,
+            expected: expected_volumes(&plan),
+            peak_mem: report.peak_mem,
+            verified,
+            max_rel_err,
+            sim_time: report.sim_time,
+            makespan: report.makespan,
+            stats: report.stats,
+        })
+    }
+}
+
+/// Tolerance scaled to the reduction length and element type: partial
+/// sums accumulated in different orders diverge by `O(ε·Σ|terms|)`.
+fn verification_tolerance<T: Scalar>(plan: &DistPlan) -> f64 {
+    let p = &plan.problem;
+    let terms = (p.nc * p.nr * p.ns) as f64;
+    let eps = if std::mem::size_of::<T>() == 4 { 1e-6 } else { 1e-14 };
+    eps * terms.max(1.0) * 8.0
+}
+
+/// One rank's execution of the distributed CNN algorithm.
+fn rank_body<T: Scalar>(rank: &Rank<T>, plan: &DistPlan, seed: u64) -> (RankOut<T>, ()) {
+    let w = plan.w;
+    let grid = plan_grid(plan);
+    let world: Vec<usize> = (0..rank.size()).collect();
+    let RankData {
+        coords,
+        bhw_pos,
+        mut out_slice,
+        out_origin,
+        in_shard,
+        in_origin,
+        in_c_range: _,
+        ker_shard,
+        ker_origin,
+        ker_c_range: _,
+    } = distribute::<T>(plan, rank.id(), seed);
+    let [_ib, ik, ic, _ih, _iw] = coords;
+    let _shard_lease = rank.mem().lease_or_panic(
+        (out_slice.len() + in_shard.len() + ker_shard.len()) as u64,
+    );
+
+    // Fiber communicators: dims are [b, k, c, h, w].
+    let k_comm = grid.sub_comm(rank, rank.id(), &world, &[1]);
+    let bhw_comm = grid.sub_comm(rank, rank.id(), &world, &[0, 3, 4]);
+    let c_comm = grid.sub_comm(rank, rank.id(), &world, &[2]);
+    debug_assert_eq!(k_comm.me(), ik);
+    debug_assert_eq!(bhw_comm.me(), bhw_pos);
+    debug_assert_eq!(c_comm.me(), ic);
+
+    let ctx = crate::fwd::ForwardCtx {
+        plan,
+        rank,
+        k_comm: &k_comm,
+        bhw_comm: &bhw_comm,
+        ik,
+        ic,
+        bhw_pos,
+        in_shard: &in_shard,
+        in_origin,
+        ker_shard: &ker_shard,
+        ker_origin,
+        out_origin,
+    };
+    crate::fwd::forward_tiles(&ctx, &mut out_slice);
+
+    // --- Final reduction of Out partials along the c fiber. ---
+    if plan.grid.pc > 1 {
+        let mut buf = std::mem::replace(&mut out_slice, Tensor4::zeros(Shape4::new(1, 1, 1, 1)))
+            .into_vec();
+        c_comm.reduce(0, &mut buf);
+        out_slice = Tensor4::from_vec(Shape4::new(w.wb, w.wk, w.ww, w.wh), buf);
+    }
+
+    (
+        RankOut {
+            coords,
+            out_origin,
+            slice: if ic == 0 { Some(out_slice) } else { None },
+        },
+        (),
+    )
+}
+
+/// Per-rank result: the final `Out` slice (only on `i_c = 0` ranks).
+pub struct RankOut<T> {
+    /// Grid coordinates.
+    pub coords: [usize; 5],
+    /// Global origin of the slice.
+    pub out_origin: [usize; 4],
+    /// The reduced output slice (`None` off the `i_c = 0` plane).
+    pub slice: Option<Tensor4<T>>,
+}
+
+/// Compare every `i_c = 0` rank's slice against the sequential
+/// reference; returns the worst relative error.
+fn verify_results<T: Scalar>(
+    plan: &DistPlan,
+    seed: u64,
+    results: &[(RankOut<T>, ())],
+) -> f64 {
+    let p = plan.problem;
+    let (input, ker) = workload::<T>(&p, seed);
+    let reference = conv2d_direct_par(&p, &input, &ker);
+    let mut worst = 0.0f64;
+    for (out, ()) in results {
+        let Some(slice) = &out.slice else { continue };
+        let r = distribution::out_range(plan, out.coords);
+        let ref_buf = reference.pack_range(r);
+        for (a, b) in slice.as_slice().iter().zip(ref_buf.iter()) {
+            let (x, y) = (a.to_f64(), b.to_f64());
+            let denom = x.abs().max(y.abs()).max(1.0);
+            worst = worst.max((x - y).abs() / denom);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distconv_cost::{Conv2dProblem, MachineSpec, Planner};
+
+    fn run_plan(p: Conv2dProblem, procs: usize, mem: usize) -> DistConvReport {
+        let plan = Planner::new(p, MachineSpec::new(procs, mem)).plan().unwrap();
+        DistConv::<f64>::new(plan).run_verified(5).unwrap()
+    }
+
+    #[test]
+    fn single_rank_correct_and_silent() {
+        let r = run_plan(Conv2dProblem::square(2, 4, 4, 4, 3), 1, 1 << 16);
+        assert!(r.verified);
+        assert_eq!(r.measured_volume(), 0);
+        assert_eq!(r.expected.total(), 0);
+    }
+
+    #[test]
+    fn multi_rank_correct_and_volume_exact() {
+        for procs in [2usize, 4, 8, 16] {
+            let r = run_plan(Conv2dProblem::square(4, 8, 8, 8, 3), procs, 1 << 18);
+            assert!(r.verified, "P={procs}");
+            assert_eq!(
+                r.measured_volume() as u128,
+                r.expected.total(),
+                "P={procs}: measured vs expected (grid {:?})",
+                r.plan.grid
+            );
+        }
+    }
+
+    #[test]
+    fn strided_layer_correct() {
+        let r = run_plan(Conv2dProblem::new(2, 8, 8, 4, 4, 3, 3, 2, 2), 4, 1 << 18);
+        assert!(r.verified);
+        assert_eq!(r.measured_volume() as u128, r.expected.total());
+    }
+
+    #[test]
+    fn asymmetric_kernel_and_strides() {
+        let r = run_plan(Conv2dProblem::new(2, 4, 4, 6, 4, 3, 5, 2, 1), 4, 1 << 18);
+        assert!(r.verified);
+        assert_eq!(r.measured_volume() as u128, r.expected.total());
+    }
+
+    #[test]
+    fn f32_runs_verified() {
+        let plan = Planner::new(
+            Conv2dProblem::square(2, 8, 8, 4, 3),
+            MachineSpec::new(4, 1 << 18),
+        )
+        .plan()
+        .unwrap();
+        let r = DistConv::<f32>::new(plan).run_verified(11).unwrap();
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn pc_replicated_grid_reduces_out() {
+        // Force a grid with Pc > 1 and confirm the reduction path works
+        // and is accounted.
+        let p = Conv2dProblem::square(2, 4, 16, 4, 3);
+        let plan = Planner::new(p, MachineSpec::new(8, 1 << 20))
+            .with_forced_pc(2)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.grid.pc, 2);
+        let r = DistConv::<f64>::new(plan).run_verified(3).unwrap();
+        assert!(r.verified);
+        assert!(r.expected.out_reduce > 0);
+        assert_eq!(r.measured_volume() as u128, r.expected.total());
+    }
+
+    #[test]
+    fn peak_memory_within_eq11_when_no_spatial_split() {
+        let p = Conv2dProblem::square(2, 8, 8, 4, 3);
+        let plan = Planner::new(p, MachineSpec::new(4, 1 << 20)).plan().unwrap();
+        let r = DistConv::<f64>::new(plan).run_verified(7).unwrap();
+        if plan_is_spatial_free(&r.plan) {
+            assert!(
+                r.max_peak_mem() as f64 <= r.plan.predicted.footprint_gd + 1.0,
+                "peak {} vs Eq.11 {}",
+                r.max_peak_mem(),
+                r.plan.predicted.footprint_gd
+            );
+        }
+    }
+
+    fn plan_is_spatial_free(plan: &DistPlan) -> bool {
+        plan.grid.ph == 1 && plan.grid.pw == 1
+    }
+
+    #[test]
+    fn peak_memory_matches_exact_model_on_every_grid() {
+        // The halo-aware model must equal the measured peak per rank,
+        // including spatially-split and replicated grids.
+        for (p, procs, forced_pc) in [
+            (Conv2dProblem::square(4, 8, 8, 8, 3), 8usize, None),
+            (Conv2dProblem::square(2, 4, 16, 4, 3), 8, Some(2)),
+            (Conv2dProblem::new(4, 8, 8, 8, 8, 3, 3, 2, 2), 16, None),
+        ] {
+            let mut planner = Planner::new(p, MachineSpec::new(procs, 1 << 20));
+            if let Some(pc) = forced_pc {
+                planner = planner.with_forced_pc(pc);
+            }
+            let plan = planner.plan().unwrap();
+            let r = DistConv::<f64>::new(plan).run(5);
+            for rank in 0..procs {
+                assert_eq!(
+                    r.peak_mem[rank],
+                    crate::model::expected_peak_mem(&plan, rank),
+                    "rank {rank} grid {:?}",
+                    plan.grid
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_enforcement_catches_tiny_capacity() {
+        // Build a valid plan, then lie about the machine memory and
+        // enforce: the run must panic inside a rank (propagated).
+        let p = Conv2dProblem::square(2, 8, 8, 4, 3);
+        let mut plan = Planner::new(p, MachineSpec::new(4, 1 << 20)).plan().unwrap();
+        plan.machine.mem = 8; // absurdly small
+        let result = std::panic::catch_unwind(|| {
+            DistConv::<f64>::new(plan).enforce_memory(true).run(1)
+        });
+        assert!(result.is_err(), "memory enforcement should have fired");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = Conv2dProblem::square(2, 8, 8, 4, 3);
+        let plan = Planner::new(p, MachineSpec::new(4, 1 << 18)).plan().unwrap();
+        let a = DistConv::<f64>::new(plan).run(9);
+        let b = DistConv::<f64>::new(plan).run(9);
+        assert_eq!(a.measured_volume(), b.measured_volume());
+        assert_eq!(a.stats.per_rank_elems, b.stats.per_rank_elems);
+    }
+}

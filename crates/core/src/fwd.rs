@@ -1,0 +1,144 @@
+//! The shared forward tile loop: Listing 3 with the paper's
+//! rotating-broadcast schedule, parameterized over where the shards
+//! came from (seed-materialized, or redistributed from a previous
+//! layer). Used by [`crate::exec`], [`crate::train`] and
+//! [`crate::network`].
+
+use crate::distribution::{in_c_dist, ker_c_dist};
+use distconv_cost::DistPlan;
+use distconv_simnet::{Communicator, Rank};
+use distconv_tensor::{conv_input_region, Range4, Scalar, Tensor4};
+
+/// Everything one rank needs to execute the forward tile loop.
+pub(crate) struct ForwardCtx<'a, 'r, T: Scalar> {
+    pub plan: &'a DistPlan,
+    pub rank: &'a Rank<T>,
+    pub k_comm: &'a Communicator<'r, T>,
+    pub bhw_comm: &'a Communicator<'r, T>,
+    /// This rank's `i_k` grid coordinate.
+    pub ik: usize,
+    /// This rank's `i_c` grid coordinate.
+    pub ic: usize,
+    /// This rank's position along the `bhw` fiber.
+    pub bhw_pos: usize,
+    pub in_shard: &'a Tensor4<T>,
+    pub in_origin: [usize; 4],
+    pub ker_shard: &'a Tensor4<T>,
+    pub ker_origin: [usize; 4],
+    pub out_origin: [usize; 4],
+}
+
+/// Run the full forward tile loop, accumulating into `out_slice`
+/// (shape `[W_b, W_k, W_w, W_h]`, local coordinates). The caller is
+/// responsible for the final `c`-reduction.
+pub(crate) fn forward_tiles<T: Scalar>(ctx: &ForwardCtx<'_, '_, T>, out_slice: &mut Tensor4<T>) {
+    let plan = ctx.plan;
+    let p = plan.problem;
+    let (w, t) = (plan.w, plan.t);
+    assert_eq!(t.tc, 1, "the distributed schedule requires T_c = 1");
+    let in_dist = in_c_dist(plan);
+    let ker_dist = ker_c_dist(plan);
+    let (sb, sk, sh, sw) = (w.wb / t.tb, w.wk / t.tk, w.wh / t.th, w.ww / t.tw);
+
+    for jk in 0..sk {
+        for jb in 0..sb {
+            for jw in 0..sw {
+                for jh in 0..sh {
+                    for ct in 0..w.wc {
+                        let out_rng = tile_range(plan, ctx.out_origin, [jb, jk, jh, jw]);
+                        let gc = ctx.ic * w.wc + ct;
+
+                        // In tile broadcast along the k fiber.
+                        let in_owner = in_dist.owner(ct);
+                        let in_rng =
+                            conv_input_region(out_rng, gc, gc + 1, p.sw, p.sh, p.nr, p.ns);
+                        let mut in_buf = if ctx.ik == in_owner {
+                            ctx.in_shard.pack_range(in_rng.relative_to(ctx.in_origin))
+                        } else {
+                            vec![T::zero(); in_rng.len()]
+                        };
+                        let _l_in = ctx.rank.mem().lease_or_panic(in_buf.len() as u64);
+                        ctx.k_comm.bcast(in_owner, &mut in_buf);
+                        let in_tile = Tensor4::from_vec(in_rng.shape(), in_buf);
+
+                        // Ker tile broadcast along the bhw fiber.
+                        let ker_owner = ker_dist.owner(ct);
+                        let ker_rng = Range4::new(
+                            [out_rng.lo[1], gc, 0, 0],
+                            [out_rng.hi[1], gc + 1, p.nr, p.ns],
+                        );
+                        let mut ker_buf = if ctx.bhw_pos == ker_owner {
+                            ctx.ker_shard.pack_range(ker_rng.relative_to(ctx.ker_origin))
+                        } else {
+                            vec![T::zero(); ker_rng.len()]
+                        };
+                        let _l_ker = ctx.rank.mem().lease_or_panic(ker_buf.len() as u64);
+                        ctx.bhw_comm.bcast(ker_owner, &mut ker_buf);
+                        let ker_tile = Tensor4::from_vec(ker_rng.shape(), ker_buf);
+
+                        conv_tile_into_slice(
+                            &p,
+                            out_slice,
+                            out_rng.relative_to(ctx.out_origin),
+                            &in_tile,
+                            &ker_tile,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Global `Out` range of tile step `[jb, jk, jh, jw]`.
+pub(crate) fn tile_range(plan: &DistPlan, origin: [usize; 4], j: [usize; 4]) -> Range4 {
+    let t = plan.t;
+    let lo = [
+        origin[0] + j[0] * t.tb,
+        origin[1] + j[1] * t.tk,
+        origin[2] + j[3] * t.tw,
+        origin[3] + j[2] * t.th,
+    ];
+    Range4::new(
+        lo,
+        [lo[0] + t.tb, lo[1] + t.tk, lo[2] + t.tw, lo[3] + t.th],
+    )
+}
+
+/// Accumulate one tile directly into the resident `Out` slice
+/// (no separate `Out`-tile buffer — the paper's memory claim).
+pub(crate) fn conv_tile_into_slice<T: Scalar>(
+    p: &distconv_cost::Conv2dProblem,
+    out_slice: &mut Tensor4<T>,
+    out_local: Range4,
+    in_tile: &Tensor4<T>,
+    ker_tile: &Tensor4<T>,
+) {
+    let [tb, tk, tw, th] = out_local.extents();
+    let tc = in_tile.shape().0[1];
+    debug_assert_eq!(tc, ker_tile.shape().0[1]);
+    for b in 0..tb {
+        for k in 0..tk {
+            for w in 0..tw {
+                for h in 0..th {
+                    let idx = [
+                        out_local.lo[0] + b,
+                        out_local.lo[1] + k,
+                        out_local.lo[2] + w,
+                        out_local.lo[3] + h,
+                    ];
+                    let mut acc = out_slice[idx];
+                    for c in 0..tc {
+                        for r in 0..p.nr {
+                            for s in 0..p.ns {
+                                acc += in_tile[[b, c, p.sw * w + r, p.sh * h + s]]
+                                    * ker_tile[[k, c, r, s]];
+                            }
+                        }
+                    }
+                    out_slice[idx] = acc;
+                }
+            }
+        }
+    }
+}

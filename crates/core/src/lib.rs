@@ -1,0 +1,47 @@
+//! # distconv-core
+//!
+//! **The paper's contribution**: communication-efficient distributed-
+//! memory CNN algorithms (SPAA '21, Sec. 2.2), realized on the
+//! `distconv-simnet` substrate.
+//!
+//! The pipeline is plan → distribute → execute → reduce:
+//!
+//! 1. **Plan** — `distconv-cost::Planner` solves the two-level tile-size
+//!    optimization (Sec. 2.1, Tables 1–2) and produces a
+//!    [`DistPlan`](distconv_cost::DistPlan): a logical
+//!    `P_b × P_k × P_c × P_h × P_w` processor grid, work-partition sizes
+//!    `W_i = N_i/P_i`, tile sizes `T_i`, and predicted costs (Eq. 10/11).
+//! 2. **Distribute** ([`distribution`]) — the initial data placement of
+//!    Sec. 2.2: each rank's `Out` slice allocated in full (replicated
+//!    along the `c` grid dimension when `P_c > 1`); its `Ker` slice
+//!    sub-sliced along `c` over the `P_b·P_h·P_w` ranks that share it;
+//!    its `In` slice sub-sliced along `c` over the `P_k` ranks that
+//!    share it.
+//! 3. **Execute** ([`exec`]) — the tiled loop of Listing 3 with loads
+//!    replaced by the paper's rotating-broadcast schedule: for each
+//!    channel step, the owner in the `In` distribution broadcasts the
+//!    `In` tile along the `k` fiber, and the owner in the `Ker`
+//!    distribution broadcasts the `Ker` tile along the `bhw` fiber
+//!    ("after `W_c/P_k` steps, the next processor along the `k`
+//!    dimension becomes the originator").
+//! 4. **Reduce** — when `P_c > 1`, partial `Out` slices are reduced
+//!    along the `c` fiber ("a reduction step at the very end").
+//!
+//! [`model`] gives the *exact* expected inter-rank volume of this
+//! schedule (binomial-tree broadcasts, exact halos), which the E6
+//! experiment pins against the measured counters, and relates it to the
+//! paper's Eq. 10.
+
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod exec;
+pub(crate) mod fwd;
+pub mod model;
+pub mod network;
+pub mod train;
+
+pub use exec::{CoreError, DistConv, DistConvReport};
+pub use model::{expected_volumes, ExpectedVolumes};
+pub use network::{run_network, NetworkError, NetworkPlan, NetworkReport};
+pub use train::{expected_backward_volumes, run_training_step, BackwardVolumes, TrainReport};

@@ -1,0 +1,263 @@
+//! Exact cost and footprint expressions: Eq. 1, 3, 10 and 11.
+//!
+//! These are the *unsimplified* formulas, evaluated both in `f64` (for
+//! optimization) and in `u128` (for exact comparison against measured
+//! data volumes — the executors in `distconv-conv` and `distconv-core`
+//! must match these integer values element-for-element when the tile
+//! sizes divide the partition sizes).
+//!
+//! Halo convention: the paper writes input-tile extents in the
+//! `σ·T + N − 1` form; all expressions here use that form verbatim so
+//! model and paper stay term-for-term identical. The executors read the
+//! exact `σ·(T−1) + N` extents; for σ = 1 the two coincide, and the
+//! tests pin the σ > 1 gap explicitly.
+
+use crate::problem::Conv2dProblem;
+use crate::tiling::{Partition, Tiling};
+
+/// Per-term breakdown of a data-movement cost, in elements.
+///
+/// `out` is the resident-output term (`W_b W_k W_w W_h`), `ker` the
+/// kernel-reload term, `inp` the input-reload term; `total` is their sum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostBreakdown {
+    /// Output (resident tensor) term.
+    pub out: f64,
+    /// Kernel reload term.
+    pub ker: f64,
+    /// Input reload term.
+    pub inp: f64,
+}
+
+impl CostBreakdown {
+    /// Sum of the three terms.
+    pub fn total(&self) -> f64 {
+        self.out + self.ker + self.inp
+    }
+}
+
+/// Paper-form halo extent of an input tile along `w`: `σw·Tw + Nr − 1`.
+pub fn halo_w(p: &Conv2dProblem, tw: usize) -> usize {
+    p.sw * tw + p.nr - 1
+}
+
+/// Paper-form halo extent of an input tile along `h`: `σh·Th + Ns − 1`.
+pub fn halo_h(p: &Conv2dProblem, th: usize) -> usize {
+    p.sh * th + p.ns - 1
+}
+
+/// Eq. 3 — data volume moved between the virtual global memory and one
+/// processor's local memory when executing work partition `w` as a
+/// sequence of `t`-tiles with `c` as the innermost tile loop:
+///
+/// ```text
+/// cost = Wb·Wk·Ww·Wh                                        (Out, once)
+///      + Wk·Wc·Nr·Ns · Wb·Ww·Wh / (Tb·Tw·Th)                (Ker reloads)
+///      + Wb·Wc·(σw·Tw+Nr−1)(σh·Th+Ns−1) · Ww·Wh·Wk/(Tw·Th·Tk)  (In reloads)
+/// ```
+pub fn eq3_cost(p: &Conv2dProblem, w: &Partition, t: &Tiling) -> CostBreakdown {
+    let out = (w.wb * w.wk * w.ww * w.wh) as f64;
+    let ker = (w.wk * w.wc * p.nr * p.ns) as f64 * (w.wb * w.ww * w.wh) as f64
+        / (t.tb * t.tw * t.th) as f64;
+    let inp = (w.wb * w.wc) as f64 * (halo_w(p, t.tw) * halo_h(p, t.th)) as f64
+        * (w.ww * w.wh * w.wk) as f64
+        / (t.tw * t.th * t.tk) as f64;
+    CostBreakdown { out, ker, inp }
+}
+
+/// Exact integer Eq. 3, valid when every `T_i` divides `W_i` (so the
+/// tile-step counts are integral). Returns `None` otherwise.
+pub fn eq3_cost_int(p: &Conv2dProblem, w: &Partition, t: &Tiling) -> Option<u128> {
+    let div = |wi: usize, ti: usize| -> Option<u128> {
+        wi.is_multiple_of(ti).then_some((wi / ti) as u128)
+    };
+    let steps_bhw = div(w.wb, t.tb)? * div(w.ww, t.tw)? * div(w.wh, t.th)?;
+    let steps_k = div(w.wk, t.tk)?;
+    let steps_c = div(w.wc, t.tc)?;
+    let out = (w.wb * w.wk * w.ww * w.wh) as u128;
+    // Ker tile = Tk·Tc·Nr·Ns loaded on every (bhw, k, c) tile step.
+    let ker =
+        steps_bhw * steps_k * steps_c * (t.tk * t.tc * p.nr * p.ns) as u128;
+    // In tile = Tb·Tc·halo_w·halo_h loaded on every tile step.
+    let inp = steps_bhw
+        * steps_k
+        * steps_c
+        * (t.tb * t.tc) as u128
+        * (halo_w(p, t.tw) * halo_h(p, t.th)) as u128;
+    Some(out + ker + inp)
+}
+
+/// Eq. 3's memory-capacity expression
+/// `g = (σw·Tw+Nr−1)(σh·Th+Ns−1)·Tb·Tc + Tw·Th·Tb·Tk + Nr·Ns·Tk·Tc`
+/// — the local-memory footprint of one tile (In halo + Out tile +
+/// Ker tile), in elements.
+pub fn eq3_footprint_g(p: &Conv2dProblem, t: &Tiling) -> u128 {
+    let in_tile = (halo_w(p, t.tw) * halo_h(p, t.th)) as u128 * (t.tb * t.tc) as u128;
+    let out_tile = (t.tw * t.th * t.tb * t.tk) as u128;
+    let ker_tile = (p.nr * p.ns * t.tk * t.tc) as u128;
+    in_tile + out_tile + ker_tile
+}
+
+/// Eq. 1 — the sequential single-level-memory cost: Eq. 3 with the work
+/// partition equal to the whole problem (`P = 1`, `W = N`).
+pub fn eq1_cost(p: &Conv2dProblem, t: &Tiling) -> CostBreakdown {
+    let w = Partition::new(p.nb, p.nk, p.nc, p.nh, p.nw);
+    eq3_cost(p, &w, &t_clamped(p, t))
+}
+
+fn t_clamped(p: &Conv2dProblem, t: &Tiling) -> Tiling {
+    Tiling::new(
+        t.tb.min(p.nb),
+        t.tk.min(p.nk),
+        t.tc.min(p.nc),
+        t.th.min(p.nh),
+        t.tw.min(p.nw),
+    )
+}
+
+/// Eq. 10 (first line) — per-processor initialization cost of the
+/// distributed algorithm: the footprint of the initial data distribution
+/// (`Out` slice, plus `1/P`-th of `In` and of `Ker` in the paper's halo
+/// form).
+pub fn eq10_cost_i(p: &Conv2dProblem, w: &Partition, procs: usize) -> f64 {
+    let out = (w.wb * w.wk * w.ww * w.wh) as f64;
+    let inp = (p.in_w_paper() * p.in_h_paper() * p.nb * p.nc) as f64 / procs as f64;
+    let ker = (p.nr * p.ns * p.nk * p.nc) as f64 / procs as f64;
+    out + inp + ker
+}
+
+/// Eq. 10 (second line) — per-processor collective-communication volume:
+/// the broadcast traffic for `Ker` and `In` tiles (identical to Eq. 3's
+/// reload terms; the distributed schedule replaces global-memory reloads
+/// with broadcasts of the same tiles).
+pub fn eq10_cost_c(p: &Conv2dProblem, w: &Partition, t: &Tiling) -> f64 {
+    let b = eq3_cost(p, w, t);
+    b.ker + b.inp
+}
+
+/// Total distributed cost `cost_D = cost_I + cost_C` (Eq. 10).
+pub fn eq10_cost_d(p: &Conv2dProblem, w: &Partition, t: &Tiling, procs: usize) -> f64 {
+    eq10_cost_i(p, w, procs) + eq10_cost_c(p, w, t)
+}
+
+/// Eq. 11 — per-processor memory footprint of the distributed algorithm:
+/// tile buffers for `In` and `Ker`, plus the initial-distribution slices
+/// (`Out` in full, `1/P`-th of `In` and `Ker`).
+///
+/// Note (paper convention): unlike Eq. 3's `g`, there is no separate
+/// `Tw·Th·Tb·Tk` output-tile term — the output tile lives inside the
+/// `W_b·W_k·W_w·W_h` slice allocated by the initial distribution.
+pub fn eq11_footprint_gd(p: &Conv2dProblem, w: &Partition, t: &Tiling, procs: usize) -> f64 {
+    let in_tile = (halo_w(p, t.tw) * halo_h(p, t.th)) as f64 * (t.tb * t.tc) as f64;
+    let ker_tile = (p.nr * p.ns * t.tk * t.tc) as f64;
+    let out_slice = (w.wb * w.wk * w.ww * w.wh) as f64;
+    let ker_init = (p.nr * p.ns * p.nk * p.nc) as f64 / procs as f64;
+    let in_init = (p.in_w_paper() * p.in_h_paper() * p.nb * p.nc) as f64 / procs as f64;
+    in_tile + ker_tile + out_slice + ker_init + in_init
+}
+
+/// The paper's constant-gap theorem: `cost_D − cost = (|In| + |Ker|)/P`
+/// (both sides in elements, `In` in the paper's halo form). Returns the
+/// pair `(cost_D − cost, (|In|+|Ker|)/P)`; the two must be equal.
+pub fn constant_gap(p: &Conv2dProblem, w: &Partition, t: &Tiling, procs: usize) -> (f64, f64) {
+    let cost = eq3_cost(p, w, t).total();
+    let cost_d = eq10_cost_d(p, w, t, procs);
+    let gap = (p.size_in_paper() + p.size_ker()) as f64 / procs as f64;
+    (cost_d - cost, gap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Conv2dProblem {
+        // Nb=2 Nk=4 Nc=4 Nh=4 Nw=4, 3x3 kernel, stride 1.
+        Conv2dProblem::square(2, 4, 4, 4, 3)
+    }
+
+    #[test]
+    fn eq3_hand_computed() {
+        let p = toy();
+        let w = Partition::new(2, 4, 4, 4, 4); // whole problem, P=1
+        let t = Tiling::new(1, 2, 1, 2, 2);
+        let b = eq3_cost(&p, &w, &t);
+        // Out: 2·4·4·4 = 128.
+        assert_eq!(b.out, 128.0);
+        // Ker: Wk·Wc·Nr·Ns·(WbWwWh)/(TbTwTh) = 4·4·9·32/4 = 1152.
+        assert_eq!(b.ker, 1152.0);
+        // In: Wb·Wc·(2+2)(2+2)... halo = 1·2+3−1 = 4 → 2·4·16·(4·4·4)/(2·2·2)=1024.
+        assert_eq!(b.inp, 2.0 * 4.0 * 16.0 * 64.0 / 8.0);
+        assert_eq!(b.total(), 128.0 + 1152.0 + 1024.0);
+    }
+
+    #[test]
+    fn eq3_int_matches_f64_when_divisible() {
+        let p = toy();
+        let w = Partition::new(2, 4, 4, 4, 4);
+        let t = Tiling::new(1, 2, 1, 2, 2);
+        let f = eq3_cost(&p, &w, &t).total();
+        let i = eq3_cost_int(&p, &w, &t).unwrap();
+        assert_eq!(i as f64, f);
+    }
+
+    #[test]
+    fn eq3_int_rejects_non_divisible() {
+        let p = toy();
+        let w = Partition::new(2, 4, 4, 4, 4);
+        let t = Tiling::new(1, 3, 1, 2, 2); // 3 does not divide 4
+        assert_eq!(eq3_cost_int(&p, &w, &t), None);
+    }
+
+    #[test]
+    fn footprint_hand_computed() {
+        let p = toy();
+        let t = Tiling::new(1, 2, 1, 2, 2);
+        // In: (2+2)(2+2)·1·1 = 16; Out: 2·2·1·2 = 8; Ker: 9·2·1 = 18.
+        assert_eq!(eq3_footprint_g(&p, &t), 16 + 8 + 18);
+    }
+
+    #[test]
+    fn eq1_is_eq3_with_full_partition() {
+        let p = toy();
+        let t = Tiling::new(2, 2, 2, 2, 2);
+        let w = Partition::new(p.nb, p.nk, p.nc, p.nh, p.nw);
+        assert_eq!(eq1_cost(&p, &t).total(), eq3_cost(&p, &w, &t).total());
+    }
+
+    #[test]
+    fn constant_gap_theorem_holds() {
+        // cost_D − cost must equal (|In|+|Ker|)/P for ANY W, T, P —
+        // the paper's closing theorem, by construction of Eq. 10.
+        let p = toy();
+        for procs in [1usize, 4, 16] {
+            let w = Partition::new(2, 2, 4, 2, 2);
+            let t = Tiling::new(1, 2, 1, 2, 2);
+            let (lhs, rhs) = constant_gap(&p, &w, &t, procs);
+            assert!(
+                (lhs - rhs).abs() < 1e-9,
+                "P={procs}: gap {lhs} != {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn strided_halo_uses_paper_form() {
+        let p = Conv2dProblem::new(1, 2, 2, 4, 4, 3, 3, 2, 2);
+        assert_eq!(halo_w(&p, 2), 2 * 2 + 3 - 1); // 6
+        assert_eq!(halo_h(&p, 4), 2 * 4 + 3 - 1); // 10
+    }
+
+    #[test]
+    fn eq11_excludes_separate_out_tile() {
+        let p = toy();
+        let w = Partition::new(2, 4, 4, 4, 4);
+        let t = Tiling::new(1, 2, 1, 2, 2);
+        let gd = eq11_footprint_gd(&p, &w, &t, 4);
+        let in_tile = 16.0;
+        let ker_tile = 18.0;
+        let out_slice = 128.0;
+        let ker_init = (9 * 4 * 4) as f64 / 4.0;
+        let in_init = (6 * 6 * 2 * 4) as f64 / 4.0;
+        assert_eq!(gd, in_tile + ker_tile + out_slice + ker_init + in_init);
+    }
+}

@@ -1,0 +1,50 @@
+//! # distconv-cost
+//!
+//! The analytical data-movement model and tile-size optimizer from
+//! *Efficient Distributed Algorithms for Convolutional Neural Networks*
+//! (SPAA '21), Sec. 2.1–2.2.
+//!
+//! The paper's method has two stages, both implemented here:
+//!
+//! 1. **Global-virtual-memory optimization** (Sec. 2.1). Given a CNN
+//!    layer ([`Conv2dProblem`]), `P` processors and per-processor local
+//!    memory `M`, choose work-partition sizes `W_i` and tile sizes `T_i`
+//!    minimizing the volume of data moved between local memories and a
+//!    virtual global memory. The exact objective is Eq. 3
+//!    ([`exact::eq3_cost`]); the paper solves the simplified Eq. 4
+//!    ([`simplified`]) in closed form — [`closed_form::solve_table1`]
+//!    reproduces **Table 1** (tile-loop permutations with `c` innermost)
+//!    and [`closed_form::solve_table2`] reproduces **Table 2** (all
+//!    permutations). The memory deflation `M → M_L` that makes the
+//!    simplified solution feasible for the exact constraint is
+//!    [`closed_form::ml_deflate`]. A brute-force integer optimizer
+//!    ([`brute`]) validates every closed form.
+//!
+//! 2. **Distributed-memory construction** (Sec. 2.2). [`planner::Planner`]
+//!    converts the optimization result into a concrete [`planner::DistPlan`]:
+//!    a logical `Pb×Ph×Pw×Pc×Pk` processor grid (`P_i = N_i / W_i`),
+//!    integer tile sizes, and the predicted communication cost
+//!    `cost_D = cost_I + cost_C` (Eq. 10) and memory footprint `g_D`
+//!    (Eq. 11) that `distconv-core` then realizes — and that the
+//!    experiments check against *measured* volumes, element for element.
+//!
+//! All analytic formulas are evaluated in `f64`; concrete integer tilings
+//! are evaluated with `u128` arithmetic so the "measured == modeled"
+//! tests are exact.
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod closed_form;
+pub mod exact;
+pub mod planner;
+pub mod presets;
+pub mod problem;
+pub mod simplified;
+pub mod tiling;
+
+pub use closed_form::{ml_deflate, solve_table1, solve_table2, ClosedForm, Regime};
+pub use exact::{eq10_cost_c, eq10_cost_i, eq11_footprint_gd, eq1_cost, eq3_cost, eq3_footprint_g};
+pub use planner::{DistPlan, PlanError, Planner};
+pub use problem::{Conv2dProblem, MachineSpec};
+pub use tiling::{Partition, Tiling};

@@ -1,0 +1,106 @@
+//! Named layer presets: the CNN layers used by the evaluation sweeps.
+//!
+//! The brief announcement has no empirical evaluation section; the
+//! implied evaluation (experiments E8–E10 in DESIGN.md) uses the
+//! standard layer shapes its references evaluate on — ResNet-50 [He et
+//! al.] and VGG-16 [Simonyan & Zisserman] convolution layers — at a
+//! configurable batch size.
+
+use crate::problem::Conv2dProblem;
+
+/// A named layer for reporting.
+#[derive(Clone, Copy, Debug)]
+pub struct NamedLayer {
+    /// Human-readable layer name (e.g. `"resnet50/conv3_x.1"`).
+    pub name: &'static str,
+    /// The layer parameters.
+    pub problem: Conv2dProblem,
+}
+
+/// Representative ResNet-50 convolution layers (ImageNet, 224×224
+/// input), one per stage plus the stem, at batch size `nb`.
+/// `(nk, nc, h=w, r=s, stride)` per layer.
+pub fn resnet50(nb: usize) -> Vec<NamedLayer> {
+    let mk = |name, nk, nc, hw, rs, s| NamedLayer {
+        name,
+        problem: Conv2dProblem::new(nb, nk, nc, hw, hw, rs, rs, s, s),
+    };
+    vec![
+        // Stem: 7x7/2, 3→64, output 112².
+        mk("resnet50/conv1", 64, 3, 112, 7, 2),
+        // conv2_x 3x3: 64→64 @ 56².
+        mk("resnet50/conv2_3x3", 64, 64, 56, 3, 1),
+        // conv2_x 1x1 expand: 64→256 @ 56².
+        mk("resnet50/conv2_1x1", 256, 64, 56, 1, 1),
+        // conv3_x 3x3: 128→128 @ 28².
+        mk("resnet50/conv3_3x3", 128, 128, 28, 3, 1),
+        // conv4_x 3x3: 256→256 @ 14².
+        mk("resnet50/conv4_3x3", 256, 256, 14, 3, 1),
+        // conv5_x 3x3: 512→512 @ 7².
+        mk("resnet50/conv5_3x3", 512, 512, 7, 3, 1),
+        // conv5_x 1x1 expand: 512→2048 @ 7².
+        mk("resnet50/conv5_1x1", 2048, 512, 7, 1, 1),
+    ]
+}
+
+/// Representative VGG-16 convolution layers at batch size `nb`
+/// (all 3×3, stride 1).
+pub fn vgg16(nb: usize) -> Vec<NamedLayer> {
+    let mk = |name, nk, nc, hw| NamedLayer {
+        name,
+        problem: Conv2dProblem::new(nb, nk, nc, hw, hw, 3, 3, 1, 1),
+    };
+    vec![
+        mk("vgg16/conv1_2", 64, 64, 224),
+        mk("vgg16/conv2_2", 128, 128, 112),
+        mk("vgg16/conv3_3", 256, 256, 56),
+        mk("vgg16/conv4_3", 512, 512, 28),
+        mk("vgg16/conv5_3", 512, 512, 14),
+    ]
+}
+
+/// Small layers sized so the thread-per-rank simulator can execute them
+/// in tests and examples in well under a second (same *shape families*
+/// as the real networks, scaled down).
+pub fn simulator_scale() -> Vec<NamedLayer> {
+    let mk = |name, nb, nk, nc, hw, rs, s| NamedLayer {
+        name,
+        problem: Conv2dProblem::new(nb, nk, nc, hw, hw, rs, rs, s, s),
+    };
+    vec![
+        mk("sim/early_wide", 4, 16, 8, 16, 3, 1),
+        mk("sim/mid_square", 4, 32, 32, 8, 3, 1),
+        mk("sim/late_deep", 4, 64, 64, 4, 3, 1),
+        mk("sim/pointwise", 4, 64, 32, 8, 1, 1),
+        mk("sim/strided", 4, 16, 16, 8, 3, 2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_well_formed() {
+        for l in resnet50(32).iter().chain(vgg16(32).iter()).chain(simulator_scale().iter()) {
+            assert!(l.problem.flops() > 0, "{} has zero work", l.name);
+            assert!(!l.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn resnet_stem_shape() {
+        let l = &resnet50(32)[0];
+        assert_eq!(l.problem.nc, 3);
+        assert_eq!(l.problem.sw, 2);
+        // 7x7/2 on 224 input → 112 output; input extent σ(N−1)+ker = 229.
+        assert_eq!(l.problem.in_w(), 2 * 111 + 7);
+    }
+
+    #[test]
+    fn vgg_layers_all_3x3() {
+        for l in vgg16(1) {
+            assert_eq!((l.problem.nr, l.problem.ns, l.problem.sw), (3, 3, 1));
+        }
+    }
+}

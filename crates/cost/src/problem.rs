@@ -1,0 +1,212 @@
+//! Problem and machine descriptions.
+//!
+//! A [`Conv2dProblem`] carries the seven extents and two strides of the
+//! paper's CNN computation
+//! `Out[b,k,w,h] += In[b,c,σw·w+r,σh·h+s] · Ker[k,c,r,s]`,
+//! and a [`MachineSpec`] carries the machine parameters `(P, M)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A convolution layer: problem-size parameters of the paper's Listing 1.
+///
+/// Extents use the paper's names: batch `N_b`, output features `N_k`,
+/// input features `N_c`, output spatial `N_h × N_w`, kernel `N_r × N_s`,
+/// strides `σ_w, σ_h`. `N_h`/`N_w` are *output* extents; the input
+/// spatial extents are the halo-widened `σ·N + (kernel−1)` values
+/// returned by [`Conv2dProblem::in_h`] / [`Conv2dProblem::in_w`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dProblem {
+    /// Batch extent `N_b`.
+    pub nb: usize,
+    /// Output-feature extent `N_k`.
+    pub nk: usize,
+    /// Input-feature extent `N_c`.
+    pub nc: usize,
+    /// Output vertical extent `N_h`.
+    pub nh: usize,
+    /// Output horizontal extent `N_w`.
+    pub nw: usize,
+    /// Kernel vertical extent `N_r`.
+    pub nr: usize,
+    /// Kernel horizontal extent `N_s`.
+    pub ns: usize,
+    /// Horizontal stride `σ_w`.
+    pub sw: usize,
+    /// Vertical stride `σ_h`.
+    pub sh: usize,
+}
+
+impl Conv2dProblem {
+    /// Construct a layer description; all extents must be positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        nb: usize,
+        nk: usize,
+        nc: usize,
+        nh: usize,
+        nw: usize,
+        nr: usize,
+        ns: usize,
+        sw: usize,
+        sh: usize,
+    ) -> Self {
+        let p = Conv2dProblem {
+            nb,
+            nk,
+            nc,
+            nh,
+            nw,
+            nr,
+            ns,
+            sw,
+            sh,
+        };
+        assert!(
+            [nb, nk, nc, nh, nw, nr, ns, sw, sh].iter().all(|&x| x > 0),
+            "all extents and strides must be positive: {p:?}"
+        );
+        p
+    }
+
+    /// A square, unit-stride layer (the common benchmark shape).
+    pub fn square(nb: usize, nk: usize, nc: usize, hw: usize, rs: usize) -> Self {
+        Self::new(nb, nk, nc, hw, hw, rs, rs, 1, 1)
+    }
+
+    /// The composite `N_bhw = N_b · N_h · N_w` the paper folds the three
+    /// reuse-equivalent indices into.
+    pub fn nbhw(&self) -> usize {
+        self.nb * self.nh * self.nw
+    }
+
+    /// Input horizontal extent: `σw·(Nw−1) + Ns` (exact; the paper's
+    /// expressions use the `σw·Nw + Ns − 1` upper-bound form, see
+    /// `in_w_paper`).
+    ///
+    /// Note the paper indexes `In[b, c, σw·w + r, σh·h + s]`, i.e. `r`
+    /// (extent `N_r`) offsets the *w*-indexed axis; we follow that
+    /// pairing throughout: horizontal halo uses `N_r`, vertical uses
+    /// `N_s`.
+    pub fn in_w(&self) -> usize {
+        self.sw * (self.nw - 1) + self.nr
+    }
+
+    /// Input vertical extent: `σh·(Nh−1) + Ns` (exact).
+    pub fn in_h(&self) -> usize {
+        self.sh * (self.nh - 1) + self.ns
+    }
+
+    /// Paper-form input horizontal extent `σw·Nw + Nr − 1` (Eq. 10/11).
+    pub fn in_w_paper(&self) -> usize {
+        self.sw * self.nw + self.nr - 1
+    }
+
+    /// Paper-form input vertical extent `σh·Nh + Ns − 1` (Eq. 10/11).
+    pub fn in_h_paper(&self) -> usize {
+        self.sh * self.nh + self.ns - 1
+    }
+
+    /// Elements in the full `In` tensor (exact extents).
+    pub fn size_in(&self) -> u128 {
+        (self.nb as u128) * (self.nc as u128) * (self.in_w() as u128) * (self.in_h() as u128)
+    }
+
+    /// Elements in `In` using the paper's halo form — what Eq. 10/11 count.
+    pub fn size_in_paper(&self) -> u128 {
+        (self.nb as u128)
+            * (self.nc as u128)
+            * (self.in_w_paper() as u128)
+            * (self.in_h_paper() as u128)
+    }
+
+    /// Elements in the full `Ker` tensor.
+    pub fn size_ker(&self) -> u128 {
+        (self.nk as u128) * (self.nc as u128) * (self.nr as u128) * (self.ns as u128)
+    }
+
+    /// Elements in the full `Out` tensor.
+    pub fn size_out(&self) -> u128 {
+        (self.nb as u128) * (self.nk as u128) * (self.nw as u128) * (self.nh as u128)
+    }
+
+    /// Multiply–add operations required (`∏ N_i`).
+    pub fn flops(&self) -> u128 {
+        self.size_out() * (self.nc as u128) * (self.nr as u128) * (self.ns as u128)
+    }
+
+    /// Total iteration-space points `N_bhw · N_k · N_c` over the five
+    /// tiled dimensions (excludes the stencil dims, matching Eq. 2).
+    pub fn iter_points(&self) -> u128 {
+        (self.nbhw() as u128) * (self.nk as u128) * (self.nc as u128)
+    }
+
+    /// `K = sqrt(σw σh Nr Ns)` — the constant in the `M_L` deflation.
+    pub fn k_const(&self) -> f64 {
+        ((self.sw * self.sh * self.nr * self.ns) as f64).sqrt()
+    }
+
+    /// The recurring product `N_r N_s σ_w σ_h` from Tables 1–2.
+    pub fn rs_sigma(&self) -> f64 {
+        (self.nr * self.ns * self.sw * self.sh) as f64
+    }
+}
+
+/// Machine parameters: `P` processors, each with `mem` words of local
+/// memory. "Words" are scalar elements — the paper counts data volume in
+/// elements, not bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Number of processors `P`.
+    pub p: usize,
+    /// Per-processor local memory capacity in words (`M` in Sec. 2.1,
+    /// `M_D` in Sec. 2.2).
+    pub mem: usize,
+}
+
+impl MachineSpec {
+    /// Construct a machine spec; both parameters must be positive.
+    pub fn new(p: usize, mem: usize) -> Self {
+        assert!(p > 0 && mem > 0, "P and M must be positive");
+        MachineSpec { p, mem }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_unit_stride() {
+        // 3x3 kernel, stride 1: input extent = out + 2.
+        let p = Conv2dProblem::square(2, 8, 4, 6, 3);
+        assert_eq!(p.in_w(), 8);
+        assert_eq!(p.in_h(), 8);
+        assert_eq!(p.in_w_paper(), 8); // agrees at stride 1
+        assert_eq!(p.size_in(), 2 * 4 * 8 * 8);
+        assert_eq!(p.size_ker(), 8 * 4 * 3 * 3);
+        assert_eq!(p.size_out(), 2 * 8 * 6 * 6);
+        assert_eq!(p.flops(), 2 * 8 * 6 * 6 * 4 * 3 * 3);
+        assert_eq!(p.nbhw(), 2 * 6 * 6);
+    }
+
+    #[test]
+    fn sizes_strided() {
+        let p = Conv2dProblem::new(1, 1, 1, 4, 4, 3, 3, 2, 2);
+        assert_eq!(p.in_w(), 2 * 3 + 3); // σ(N−1)+ker = 9
+        assert_eq!(p.in_w_paper(), 2 * 4 + 2); // paper form = 10
+        assert!(p.in_w_paper() >= p.in_w());
+    }
+
+    #[test]
+    fn k_const() {
+        let p = Conv2dProblem::new(1, 1, 1, 4, 4, 3, 3, 2, 2);
+        assert!((p.k_const() - (2.0f64 * 2.0 * 3.0 * 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(p.rs_sigma(), 36.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_extent_rejected() {
+        let _ = Conv2dProblem::new(0, 1, 1, 1, 1, 1, 1, 1, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! The simplified optimization objective (Eq. 4) and its generalization
+//! to the other innermost-tile-loop families (used to validate Table 2).
+//!
+//! Eq. 4 drops the `N_r − 1` / `N_s − 1` halo additions, folds
+//! `b, h, w` into the composite `bhw`, and fixes `T_c = 1`:
+//!
+//! ```text
+//! cost_L = W_k·W_bhw + (N_k·N_c·N_bhw / P)·(N_r·N_s/T_bhw + σ_w·σ_h/T_k)
+//!   s.t.   g_L = T_bhw·T_k ≤ M_L,   P·W_bhw·W_k·W_c = N_bhw·N_k·N_c
+//! ```
+//!
+//! The first term is the resident tensor (`Out`, touched once); the two
+//! reload terms come from `Ker` and `In`. Which tensor is resident is
+//! determined by the innermost tile loop: the tensor whose indexing does
+//! *not* use that loop stays in local memory across its iterations
+//! (paper Sec. 2.2 "missing index" observation). [`InnerLoop`]
+//! enumerates the three families and [`simplified_cost`] evaluates the
+//! corresponding objective; `InnerLoop::C` is exactly Eq. 4.
+
+use crate::problem::Conv2dProblem;
+use serde::{Deserialize, Serialize};
+
+/// Which tile loop is innermost — equivalently, which tensor is resident.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InnerLoop {
+    /// `c` innermost → `Out[b,k,w,h]` resident (Eq. 4 / Table 1).
+    C,
+    /// `k` innermost → `In[b,c,x,y]` resident.
+    K,
+    /// one of `b,h,w` innermost → `Ker[k,c,r,s]` resident.
+    Bhw,
+}
+
+impl InnerLoop {
+    /// All three families.
+    pub const ALL: [InnerLoop; 3] = [InnerLoop::C, InnerLoop::K, InnerLoop::Bhw];
+}
+
+/// Real-valued decision variables of the simplified problem: composite
+/// work-partition sizes and tile sizes. (`W_c` has no tile because
+/// `T_c = 1` in the `C` family; the other families analogously fix the
+/// resident tensor's reload tile to 1 — see [`simplified_cost`].)
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimplifiedVars {
+    /// Composite `W_bhw`.
+    pub w_bhw: f64,
+    /// `W_k`.
+    pub w_k: f64,
+    /// `W_c`.
+    pub w_c: f64,
+    /// Composite `T_bhw`.
+    pub t_bhw: f64,
+    /// `T_k`.
+    pub t_k: f64,
+    /// `T_c`.
+    pub t_c: f64,
+}
+
+impl SimplifiedVars {
+    /// Check the constraint set of Eq. 4 (up to tolerance `tol` on the
+    /// Eq. 2 product constraint): bounds `1 ≤ T ≤ W ≤ N` and
+    /// `P·W_bhw·W_k·W_c = N_bhw·N_k·N_c`.
+    pub fn feasible(&self, p: &Conv2dProblem, procs: usize, tol: f64) -> bool {
+        let nbhw = p.nbhw() as f64;
+        let bounds = |t: f64, w: f64, n: f64| 1.0 - tol <= t && t <= w + tol && w <= n + tol;
+        if !bounds(self.t_bhw, self.w_bhw, nbhw)
+            || !bounds(self.t_k, self.w_k, p.nk as f64)
+            || !bounds(self.t_c, self.w_c, p.nc as f64)
+        {
+            return false;
+        }
+        let lhs = procs as f64 * self.w_bhw * self.w_k * self.w_c;
+        let rhs = nbhw * p.nk as f64 * p.nc as f64;
+        (lhs / rhs - 1.0).abs() <= tol
+    }
+}
+
+/// The recurring constant `A = N_k·N_c·N_bhw / P` (total iteration points
+/// per processor over the tiled dimensions).
+pub fn a_const(p: &Conv2dProblem, procs: usize) -> f64 {
+    p.iter_points() as f64 / procs as f64
+}
+
+/// Simplified data-movement cost for the given innermost-loop family.
+///
+/// * `C`   (Eq. 4):  `W_k·W_bhw                + A·(N_rN_s/T_bhw + σ_wσ_h/T_k)`
+/// * `K`:            `σ_wσ_h·W_c·W_bhw         + A·(N_rN_s/T_bhw + 2/T_c)`
+/// * `Bhw`:          `N_rN_s·W_k·W_c           + A·(σ_wσ_h/T_k  + 2/T_c)`
+///
+/// For `K`/`Bhw` the non-resident *output* is reloaded **and** stored on
+/// each visit, hence the factor 2 on its reload term (the `C` family has
+/// no such factor because `Out` is the resident tensor, written once).
+pub fn simplified_cost(
+    p: &Conv2dProblem,
+    procs: usize,
+    family: InnerLoop,
+    v: &SimplifiedVars,
+) -> f64 {
+    let a = a_const(p, procs);
+    let rs = (p.nr * p.ns) as f64;
+    let ss = (p.sw * p.sh) as f64;
+    match family {
+        InnerLoop::C => v.w_k * v.w_bhw + a * (rs / v.t_bhw + ss / v.t_k),
+        InnerLoop::K => ss * v.w_c * v.w_bhw + a * (rs / v.t_bhw + 2.0 / v.t_c),
+        InnerLoop::Bhw => rs * v.w_k * v.w_c + a * (ss / v.t_k + 2.0 / v.t_c),
+    }
+}
+
+/// Simplified memory footprint `g_L` for the family: the resident
+/// tensor's tile.
+///
+/// * `C`:   `T_bhw·T_k`          (`Out` tile)
+/// * `K`:   `σ_wσ_h·T_bhw·T_c`   (`In` tile)
+/// * `Bhw`: `N_rN_s·T_k·T_c`     (`Ker` tile)
+pub fn simplified_footprint(p: &Conv2dProblem, family: InnerLoop, v: &SimplifiedVars) -> f64 {
+    let rs = (p.nr * p.ns) as f64;
+    let ss = (p.sw * p.sh) as f64;
+    match family {
+        InnerLoop::C => v.t_bhw * v.t_k,
+        InnerLoop::K => ss * v.t_bhw * v.t_c,
+        InnerLoop::Bhw => rs * v.t_k * v.t_c,
+    }
+}
+
+/// Per-processor size of the resident tensor's work-partition slice when
+/// the *other two* partitions are maximal (the quantities appearing in
+/// Table 2's conditions):
+///
+/// * `C`:   `N_k·N_bhw / P`
+/// * `K`:   `σ_wσ_h·N_c·N_bhw / P`
+/// * `Bhw`: `N_rN_s·N_k·N_c / P`
+pub fn resident_slice(p: &Conv2dProblem, procs: usize, family: InnerLoop) -> f64 {
+    let nbhw = p.nbhw() as f64;
+    let (nk, nc) = (p.nk as f64, p.nc as f64);
+    let rs = (p.nr * p.ns) as f64;
+    let ss = (p.sw * p.sh) as f64;
+    match family {
+        InnerLoop::C => nk * nbhw / procs as f64,
+        InnerLoop::K => ss * nc * nbhw / procs as f64,
+        InnerLoop::Bhw => rs * nk * nc / procs as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Conv2dProblem {
+        Conv2dProblem::square(4, 16, 16, 8, 3)
+    }
+
+    #[test]
+    fn eq4_matches_hand_computation() {
+        let p = toy(); // Nbhw = 4·8·8 = 256, A = 256·16·16/P
+        let procs = 4;
+        let v = SimplifiedVars {
+            w_bhw: 64.0,
+            w_k: 16.0,
+            w_c: 16.0,
+            t_bhw: 32.0,
+            t_k: 8.0,
+            t_c: 1.0,
+        };
+        let a = 256.0 * 16.0 * 16.0 / 4.0;
+        let expect = 16.0 * 64.0 + a * (9.0 / 32.0 + 1.0 / 8.0);
+        assert_eq!(simplified_cost(&p, procs, InnerLoop::C, &v), expect);
+        assert_eq!(simplified_footprint(&p, InnerLoop::C, &v), 32.0 * 8.0);
+    }
+
+    #[test]
+    fn feasibility_checks_eq2() {
+        let p = toy();
+        let procs = 4;
+        let v = SimplifiedVars {
+            w_bhw: 64.0,
+            w_k: 16.0,
+            w_c: 16.0, // 4·64·16·16 = 65536 = 256·16·16 ✓
+            t_bhw: 32.0,
+            t_k: 8.0,
+            t_c: 1.0,
+        };
+        assert!(v.feasible(&p, procs, 1e-9));
+        let bad = SimplifiedVars { w_c: 8.0, ..v };
+        assert!(!bad.feasible(&p, procs, 1e-9));
+        let bad_t = SimplifiedVars { t_k: 20.0, ..v };
+        assert!(!bad_t.feasible(&p, procs, 1e-9));
+    }
+
+    #[test]
+    fn resident_slices() {
+        let p = toy();
+        assert_eq!(resident_slice(&p, 4, InnerLoop::C), 16.0 * 256.0 / 4.0);
+        assert_eq!(resident_slice(&p, 4, InnerLoop::K), 16.0 * 256.0 / 4.0); // σ=1
+        assert_eq!(resident_slice(&p, 4, InnerLoop::Bhw), 9.0 * 16.0 * 16.0 / 4.0);
+    }
+
+    #[test]
+    fn families_weight_resident_tensor() {
+        // With a huge kernel, keeping Ker resident should beat reloading
+        // it, all else equal.
+        let p = Conv2dProblem::square(2, 8, 8, 16, 7);
+        let v = SimplifiedVars {
+            w_bhw: 8.0,
+            w_k: 4.0,
+            w_c: 4.0,
+            t_bhw: 8.0,
+            t_k: 4.0,
+            t_c: 4.0,
+        };
+        let c_cost = simplified_cost(&p, 64, InnerLoop::C, &v);
+        let bhw_cost = simplified_cost(&p, 64, InnerLoop::Bhw, &v);
+        // C family pays A·49/8 on Ker reloads; Bhw pays only A·(1/4 + 2/4).
+        assert!(bhw_cost < c_cost, "bhw {bhw_cost} vs c {c_cost}");
+    }
+}

@@ -1,0 +1,334 @@
+//! Integer tilings and work partitions.
+//!
+//! The paper's optimization variables come in two levels:
+//!
+//! * a **work partition** `W = (W_b, W_k, W_c, W_h, W_w)` — the slab of
+//!   the iteration space one processor owns (Eq. 2:
+//!   `P · ∏ W_i = ∏ N_i`), and
+//! * a **tiling** `T = (T_b, T_k, T_c, T_h, T_w)` — the chunk of the work
+//!   partition executed between data movements (`T_i ≤ W_i`).
+//!
+//! This module provides the integer containers, validity checks, and the
+//! divisor machinery used both to *round* the paper's real-valued
+//! closed-form solutions to feasible integers and to drive the
+//! brute-force reference optimizer.
+
+use crate::problem::Conv2dProblem;
+use serde::{Deserialize, Serialize};
+
+/// Dimension order used for all 5-tuples in this crate: `b, k, c, h, w`.
+pub const DIM_NAMES: [&str; 5] = ["b", "k", "c", "h", "w"];
+
+/// Tile sizes `T_i` for the five tiled loops, in `[b, k, c, h, w]` order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tiling {
+    /// `T_b`.
+    pub tb: usize,
+    /// `T_k`.
+    pub tk: usize,
+    /// `T_c`.
+    pub tc: usize,
+    /// `T_h`.
+    pub th: usize,
+    /// `T_w`.
+    pub tw: usize,
+}
+
+impl Tiling {
+    /// Construct a tiling; all sizes must be positive.
+    pub fn new(tb: usize, tk: usize, tc: usize, th: usize, tw: usize) -> Self {
+        assert!(
+            [tb, tk, tc, th, tw].iter().all(|&x| x > 0),
+            "tile sizes must be positive"
+        );
+        Tiling { tb, tk, tc, th, tw }
+    }
+
+    /// The composite tile size `T_bhw = T_b · T_h · T_w`.
+    pub fn tbhw(&self) -> usize {
+        self.tb * self.th * self.tw
+    }
+
+    /// As an array in `[b, k, c, h, w]` order.
+    pub fn as_array(&self) -> [usize; 5] {
+        [self.tb, self.tk, self.tc, self.th, self.tw]
+    }
+}
+
+/// Work-partition sizes `W_i`, in `[b, k, c, h, w]` order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Partition {
+    /// `W_b`.
+    pub wb: usize,
+    /// `W_k`.
+    pub wk: usize,
+    /// `W_c`.
+    pub wc: usize,
+    /// `W_h`.
+    pub wh: usize,
+    /// `W_w`.
+    pub ww: usize,
+}
+
+impl Partition {
+    /// Construct a partition; all sizes must be positive.
+    pub fn new(wb: usize, wk: usize, wc: usize, wh: usize, ww: usize) -> Self {
+        assert!(
+            [wb, wk, wc, wh, ww].iter().all(|&x| x > 0),
+            "partition sizes must be positive"
+        );
+        Partition { wb, wk, wc, wh, ww }
+    }
+
+    /// The composite `W_bhw = W_b · W_h · W_w`.
+    pub fn wbhw(&self) -> usize {
+        self.wb * self.wh * self.ww
+    }
+
+    /// As an array in `[b, k, c, h, w]` order.
+    pub fn as_array(&self) -> [usize; 5] {
+        [self.wb, self.wk, self.wc, self.wh, self.ww]
+    }
+
+    /// Check Eq. 2: `P · ∏ W_i = ∏ N_i` and `W_i ≤ N_i` with every
+    /// `W_i` dividing `N_i` (so the processor grid `P_i = N_i / W_i` is
+    /// integral).
+    pub fn validates_eq2(&self, problem: &Conv2dProblem, p: usize) -> bool {
+        let w = self.as_array();
+        let n = [
+            problem.nb, problem.nk, problem.nc, problem.nh, problem.nw,
+        ];
+        if !w.iter().zip(n.iter()).all(|(&wi, &ni)| wi <= ni && ni % wi == 0) {
+            return false;
+        }
+        let grid: usize = w.iter().zip(n.iter()).map(|(&wi, &ni)| ni / wi).product();
+        grid == p
+    }
+
+    /// The processor-grid extents `P_i = N_i / W_i` in `[b,k,c,h,w]`
+    /// order. Requires divisibility (checked).
+    pub fn grid(&self, problem: &Conv2dProblem) -> [usize; 5] {
+        let w = self.as_array();
+        let n = [
+            problem.nb, problem.nk, problem.nc, problem.nh, problem.nw,
+        ];
+        let mut g = [0usize; 5];
+        for i in 0..5 {
+            assert!(
+                n[i].is_multiple_of(w[i]),
+                "W_{} = {} does not divide N_{} = {}",
+                DIM_NAMES[i],
+                w[i],
+                DIM_NAMES[i],
+                n[i]
+            );
+            g[i] = n[i] / w[i];
+        }
+        g
+    }
+}
+
+/// A combined `(W, T)` candidate with `T_i ≤ W_i` enforced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoLevel {
+    /// Work partition.
+    pub w: Partition,
+    /// Tile sizes within the partition.
+    pub t: Tiling,
+}
+
+impl TwoLevel {
+    /// Construct and validate `T ≤ W` elementwise.
+    pub fn new(w: Partition, t: Tiling) -> Self {
+        for (i, (&ti, &wi)) in t.as_array().iter().zip(w.as_array().iter()).enumerate() {
+            assert!(
+                ti <= wi,
+                "T_{} = {ti} exceeds W_{} = {wi}",
+                DIM_NAMES[i],
+                DIM_NAMES[i]
+            );
+        }
+        TwoLevel { w, t }
+    }
+}
+
+/// All positive divisors of `n`, ascending.
+pub fn divisors(n: usize) -> Vec<usize> {
+    assert!(n > 0);
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            small.push(d);
+            if d != n / d {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// The divisor of `n` closest to real-valued `x` (ties broken downward).
+pub fn nearest_divisor(n: usize, x: f64) -> usize {
+    let ds = divisors(n);
+    *ds.iter()
+        .min_by(|&&a, &&b| {
+            let da = (a as f64 - x).abs();
+            let db = (b as f64 - x).abs();
+            da.partial_cmp(&db)
+                .unwrap()
+                .then_with(|| a.cmp(&b))
+        })
+        .expect("n > 0 has divisors")
+}
+
+/// The largest divisor of `n` that is `<= limit` (at least 1).
+pub fn largest_divisor_at_most(n: usize, limit: usize) -> usize {
+    divisors(n)
+        .into_iter()
+        .take_while(|&d| d <= limit)
+        .last()
+        .unwrap_or(1)
+}
+
+/// Factor `p` into `dims` grid extents `g` with `∏ g = p`, each
+/// `g[i] ≤ cap[i]`, choosing extents that divide the corresponding cap
+/// when possible. Greedy: repeatedly assigns the largest prime factor to
+/// the dimension with the most remaining headroom. Returns `None` if `p`
+/// cannot be packed under the caps.
+pub fn factor_into_grid(p: usize, caps: &[usize]) -> Option<Vec<usize>> {
+    let mut g = vec![1usize; caps.len()];
+    let mut factors = prime_factors(p);
+    // Largest factors first: hardest to place.
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        // Prefer a dimension where multiplying by f still divides cap,
+        // maximizing remaining headroom; fall back to any that fits.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &cap) in caps.iter().enumerate() {
+            let ng = g[i] * f;
+            if ng > cap || cap % ng != 0 {
+                continue;
+            }
+            let headroom = cap as f64 / ng as f64;
+            if best.is_none_or(|(_, h)| headroom > h) {
+                best = Some((i, headroom));
+            }
+        }
+        match best {
+            Some((i, _)) => g[i] *= f,
+            None => {
+                // Relax divisibility: just fit under the cap.
+                let i = (0..caps.len())
+                    .filter(|&i| g[i] * f <= caps[i])
+                    .max_by(|&a, &b| {
+                        let ha = caps[a] / (g[a] * f);
+                        let hb = caps[b] / (g[b] * f);
+                        ha.cmp(&hb)
+                    })?;
+                g[i] *= f;
+            }
+        }
+    }
+    Some(g)
+}
+
+/// Prime factorization of `n` (with multiplicity), ascending.
+pub fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        while n.is_multiple_of(d) {
+            out.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Conv2dProblem {
+        Conv2dProblem::square(4, 8, 8, 8, 3)
+    }
+
+    #[test]
+    fn divisor_lists() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(17), vec![1, 17]);
+    }
+
+    #[test]
+    fn nearest_divisor_picks_closest() {
+        assert_eq!(nearest_divisor(12, 5.0), 4); // tie 4 vs 6 → downward
+        assert_eq!(nearest_divisor(12, 5.1), 6);
+        assert_eq!(nearest_divisor(12, 0.0), 1);
+        assert_eq!(nearest_divisor(12, 100.0), 12);
+    }
+
+    #[test]
+    fn largest_divisor_cap() {
+        assert_eq!(largest_divisor_at_most(12, 5), 4);
+        assert_eq!(largest_divisor_at_most(12, 12), 12);
+        assert_eq!(largest_divisor_at_most(7, 6), 1);
+    }
+
+    #[test]
+    fn prime_factorization() {
+        assert_eq!(prime_factors(1), Vec::<usize>::new());
+        assert_eq!(prime_factors(12), vec![2, 2, 3]);
+        assert_eq!(prime_factors(97), vec![97]);
+        assert_eq!(prime_factors(360), vec![2, 2, 2, 3, 3, 5]);
+    }
+
+    #[test]
+    fn grid_factoring() {
+        let g = factor_into_grid(16, &[4, 8, 8, 8, 8]).unwrap();
+        assert_eq!(g.iter().product::<usize>(), 16);
+        for (gi, cap) in g.iter().zip([4, 8, 8, 8, 8]) {
+            assert!(*gi <= cap);
+        }
+        // Impossible packing.
+        assert_eq!(factor_into_grid(64, &[2, 2]), None);
+        // Prime that must land in the only big dimension.
+        let g = factor_into_grid(7, &[2, 14]).unwrap();
+        assert_eq!(g, vec![1, 7]);
+    }
+
+    #[test]
+    fn eq2_validation() {
+        let p = toy(); // Nb=4 Nk=8 Nc=8 Nh=8 Nw=8 → ∏N = 16384
+        // W = (2,4,8,4,4): grid = (2,2,1,2,2) → P=16.
+        let w = Partition::new(2, 4, 8, 4, 4);
+        assert!(w.validates_eq2(&p, 16));
+        assert!(!w.validates_eq2(&p, 8));
+        assert_eq!(w.grid(&p), [2, 2, 1, 2, 2]);
+        assert_eq!(w.wbhw(), 2 * 4 * 4);
+    }
+
+    #[test]
+    fn eq2_rejects_non_divisor() {
+        let p = toy();
+        let w = Partition::new(3, 8, 8, 8, 8); // 3 does not divide 4
+        assert!(!w.validates_eq2(&p, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn two_level_enforces_t_le_w() {
+        let w = Partition::new(2, 2, 2, 2, 2);
+        let t = Tiling::new(4, 1, 1, 1, 1);
+        let _ = TwoLevel::new(w, t);
+    }
+}

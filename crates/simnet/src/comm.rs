@@ -1,0 +1,657 @@
+//! Communicators and collective operations.
+//!
+//! A [`Communicator`] is an ordered subset of the machine's ranks, like
+//! an `MPI_Comm`. Collectives are implemented with the standard
+//! algorithms — binomial trees for broadcast/reduce, direct exchange for
+//! reduce-scatter/gather/scatter/all-to-all, a ring for all-gather, and
+//! reduce-scatter + all-gather for large all-reduce — **on top of the
+//! point-to-point layer**, so every element a collective moves is
+//! counted by the machine's [`crate::Stats`] along its real path.
+//!
+//! ### Volume cheat-sheet (n members, payload of `v` elements)
+//!
+//! | collective        | total inter-rank volume        |
+//! |-------------------|--------------------------------|
+//! | `bcast`           | `(n−1)·v`                      |
+//! | `reduce`          | `(n−1)·v`                      |
+//! | `allgather` (ring)| `(n−1)·Σ chunk = (n−1)·v`      |
+//! | `reduce_scatter`  | `Σ_i (v − chunk_i) ≈ (n−1)/n·v·n` |
+//! | `allreduce`       | `≈ 2·(n−1)/n·v·n` (large), `2(n−1)v` (tree, small) |
+//!
+//! The tests pin these counts exactly.
+//!
+//! ### Tag discipline
+//!
+//! Each communicator carries a caller-supplied *context id* and an
+//! internal per-collective sequence number; both are folded into the
+//! reserved (top-bit-set) tag space. All members must create matching
+//! communicators (same ordered member list, same context id) and call
+//! the same collectives in the same order — the usual MPI contract.
+
+use crate::rank::{Msg, Rank, RankId, Tag};
+use std::cell::Cell;
+
+/// Reserved tag space marker for collective traffic.
+const COLL_BIT: u64 = 1 << 63;
+
+/// Collective operation codes (folded into tags for cross-talk safety).
+#[derive(Clone, Copy)]
+#[repr(u8)]
+enum Op {
+    Bcast = 1,
+    Reduce = 2,
+    Gather = 3,
+    Scatter = 4,
+    AllGather = 5,
+    ReduceScatter = 6,
+    Barrier = 7,
+    AllToAll = 8,
+    SendRecv = 9,
+}
+
+/// An ordered group of ranks supporting collective operations.
+///
+/// The struct is a per-rank *handle*: every member constructs its own
+/// `Communicator` with the identical member list and context.
+pub struct Communicator<'a, T: Msg> {
+    rank: &'a Rank<T>,
+    members: Vec<RankId>,
+    me: usize,
+    ctx: u32,
+    seq: Cell<u32>,
+}
+
+impl<'a, T: Msg> Communicator<'a, T> {
+    /// Build a communicator handle over `members` (world rank ids; must
+    /// contain the calling rank exactly once). `ctx` distinguishes
+    /// communicators with identical member lists used concurrently —
+    /// e.g. the different fibers of a processor grid.
+    pub fn new(rank: &'a Rank<T>, members: Vec<RankId>, ctx: u32) -> Self {
+        let me = members
+            .iter()
+            .position(|&m| m == rank.id())
+            .unwrap_or_else(|| {
+                panic!(
+                    "rank {} constructing a communicator it is not a member of: {members:?}",
+                    rank.id()
+                )
+            });
+        debug_assert!(
+            members.iter().collect::<std::collections::BTreeSet<_>>().len() == members.len(),
+            "duplicate members in communicator: {members:?}"
+        );
+        Communicator {
+            rank,
+            members,
+            me,
+            ctx,
+            seq: Cell::new(0),
+        }
+    }
+
+    /// A communicator over all ranks of the machine.
+    pub fn world(rank: &'a Rank<T>) -> Self {
+        let members = (0..rank.size()).collect();
+        Communicator::new(rank, members, 0)
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's index within the communicator (`0..size`).
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// The ordered member list (world rank ids).
+    pub fn members(&self) -> &[RankId] {
+        &self.members
+    }
+
+    /// World rank id of member index `i`.
+    pub fn world_rank(&self, i: usize) -> RankId {
+        self.members[i]
+    }
+
+    fn next_tag(&self, op: Op) -> Tag {
+        let s = self.seq.get();
+        self.seq.set(s.wrapping_add(1));
+        COLL_BIT | ((self.ctx as u64) << 28) | ((s as u64 & 0xF_FFFF) << 8) | op as u8 as u64
+    }
+
+    fn send_m(&self, member: usize, tag: Tag, data: &[T]) {
+        self.rank.send(self.members[member], tag, data);
+    }
+
+    fn recv_m(&self, member: usize, tag: Tag) -> Vec<T> {
+        self.rank.recv(self.members[member], tag)
+    }
+
+    /// Broadcast from member index `root`: on the root, `buf` is the
+    /// payload; on others, `buf`'s contents are replaced (which may
+    /// reallocate — hence `&mut Vec`, deliberately). All members must
+    /// pass buffers of identical length. Binomial tree: `⌈log₂ n⌉`
+    /// rounds, total volume `(n−1)·len`.
+    #[allow(clippy::ptr_arg)]
+    pub fn bcast(&self, root: usize, buf: &mut Vec<T>) {
+        let n = self.size();
+        assert!(root < n, "bcast root {root} out of range");
+        if n == 1 {
+            return;
+        }
+        let tag = self.next_tag(Op::Bcast);
+        let v = (self.me + n - root) % n; // virtual rank, root = 0
+        // Receive once (non-roots), from the partner that covers us.
+        if v != 0 {
+            // The highest set bit of v identifies the sender: v − msb(v).
+            let msb = 1usize << (usize::BITS - 1 - v.leading_zeros());
+            let src_v = v - msb;
+            let src = (src_v + root) % n;
+            *buf = self.recv_m(src, tag);
+        }
+        // Forward to children: v + mask for masks above our msb.
+        let mut mask = if v == 0 {
+            1
+        } else {
+            1usize << (usize::BITS - 1 - v.leading_zeros())
+        };
+        // Children of v are v + mask', for mask' in {mask, 2·mask, ...}
+        // starting *above* the bit that delivered to us.
+        if v != 0 {
+            mask <<= 1;
+        }
+        while mask < n {
+            let child_v = v + mask;
+            if child_v < n && (v & mask) == 0 {
+                let child = (child_v + root) % n;
+                self.send_m(child, tag, buf);
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Reduce (elementwise `+=`) to member index `root`. Every member
+    /// passes its contribution in `buf`; on return the root's `buf`
+    /// holds the sum (others' buffers hold partial sums — treat as
+    /// scratch). Binomial tree, total volume `(n−1)·len`.
+    /// (`&mut Vec` for symmetry with [`Communicator::bcast`].)
+    #[allow(clippy::ptr_arg)]
+    pub fn reduce(&self, root: usize, buf: &mut Vec<T>) {
+        let n = self.size();
+        assert!(root < n, "reduce root {root} out of range");
+        if n == 1 {
+            return;
+        }
+        let tag = self.next_tag(Op::Reduce);
+        let v = (self.me + n - root) % n;
+        let mut mask = 1usize;
+        while mask < n {
+            if v & mask != 0 {
+                let dst = ((v - mask) + root) % n;
+                self.send_m(dst, tag, buf);
+                return;
+            }
+            let peer_v = v | mask;
+            if peer_v < n {
+                let part = self.recv_m((peer_v + root) % n, tag);
+                assert_eq!(part.len(), buf.len(), "reduce length mismatch");
+                for (a, b) in buf.iter_mut().zip(part) {
+                    *a += b;
+                }
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// All-reduce: every member ends with the elementwise sum. Small
+    /// payloads (`< 4096` elements) use reduce + broadcast
+    /// (`2(n−1)·len` volume); larger ones use reduce-scatter +
+    /// all-gather (`≈ 2·len·(n−1)` total but `2·len·(n−1)/n` *per rank*,
+    /// the bandwidth-optimal Rabenseifner schedule).
+    pub fn allreduce(&self, buf: &mut Vec<T>) {
+        let n = self.size();
+        if n == 1 {
+            return;
+        }
+        if buf.len() < 4096 || buf.len() < n {
+            self.reduce(0, buf);
+            self.bcast(0, buf);
+        } else {
+            let counts = even_counts(buf.len(), n);
+            let mine = self.reduce_scatter(buf, &counts);
+            let gathered = self.allgather_varying(&mine);
+            buf.clear();
+            for chunk in gathered {
+                buf.extend_from_slice(&chunk);
+            }
+        }
+    }
+
+    /// Reduce-scatter with per-member chunk `counts` (must sum to
+    /// `buf.len()`, identical on all members): returns this member's
+    /// reduced chunk. Direct pairwise exchange: each member sends `n−1`
+    /// chunks.
+    pub fn reduce_scatter(&self, buf: &[T], counts: &[usize]) -> Vec<T> {
+        let n = self.size();
+        assert_eq!(counts.len(), n, "counts per member");
+        assert_eq!(counts.iter().sum::<usize>(), buf.len(), "counts must sum to len");
+        let tag = self.next_tag(Op::ReduceScatter);
+        let offsets = prefix_sums(counts);
+        let my_off = offsets[self.me];
+        let my_len = counts[self.me];
+        let mut acc = buf[my_off..my_off + my_len].to_vec();
+        // Send everyone else their chunk of my data.
+        for j in 0..n {
+            if j == self.me {
+                continue;
+            }
+            self.send_m(j, tag, &buf[offsets[j]..offsets[j] + counts[j]]);
+        }
+        // Accumulate everyone else's chunk of my slot.
+        for j in 0..n {
+            if j == self.me {
+                continue;
+            }
+            let part = self.recv_m(j, tag);
+            assert_eq!(part.len(), my_len, "reduce_scatter chunk mismatch");
+            for (a, b) in acc.iter_mut().zip(part) {
+                *a += b;
+            }
+        }
+        acc
+    }
+
+    /// Ring all-gather of per-member chunks (sizes may differ). Returns
+    /// the chunks indexed by member. Total volume `(n−1)·Σ chunks`.
+    pub fn allgather_varying(&self, mine: &[T]) -> Vec<Vec<T>> {
+        let n = self.size();
+        let tag = self.next_tag(Op::AllGather);
+        let mut out: Vec<Vec<T>> = vec![Vec::new(); n];
+        out[self.me] = mine.to_vec();
+        if n == 1 {
+            return out;
+        }
+        let right = (self.me + 1) % n;
+        let left = (self.me + n - 1) % n;
+        // At step s we forward the chunk originated by (me − s) mod n.
+        let mut carry = mine.to_vec();
+        for s in 0..n - 1 {
+            self.send_m(right, tag, &carry);
+            let incoming = self.recv_m(left, tag);
+            let origin = (self.me + n - s - 1) % n;
+            out[origin] = incoming.clone();
+            carry = incoming;
+        }
+        out
+    }
+
+    /// Convenience all-gather of equal-size chunks, flattened in member
+    /// order.
+    pub fn allgather(&self, mine: &[T]) -> Vec<T> {
+        self.allgather_varying(mine).concat()
+    }
+
+    /// Gather per-member chunks to member `root`; returns `Some(chunks)`
+    /// on the root, `None` elsewhere. Direct sends.
+    pub fn gather(&self, root: usize, mine: &[T]) -> Option<Vec<Vec<T>>> {
+        let n = self.size();
+        let tag = self.next_tag(Op::Gather);
+        if self.me != root {
+            self.send_m(root, tag, mine);
+            return None;
+        }
+        let mut out: Vec<Vec<T>> = vec![Vec::new(); n];
+        out[root] = mine.to_vec();
+        for (j, slot) in out.iter_mut().enumerate() {
+            if j != root {
+                *slot = self.recv_m(j, tag);
+            }
+        }
+        Some(out)
+    }
+
+    /// Scatter chunks from member `root` (which passes `Some(chunks)`,
+    /// one per member; others pass `None`). Returns this member's chunk.
+    pub fn scatter(&self, root: usize, chunks: Option<&[Vec<T>]>) -> Vec<T> {
+        let n = self.size();
+        let tag = self.next_tag(Op::Scatter);
+        if self.me == root {
+            let chunks = chunks.expect("root must provide chunks");
+            assert_eq!(chunks.len(), n, "one chunk per member");
+            for (j, chunk) in chunks.iter().enumerate() {
+                if j != root {
+                    self.send_m(j, tag, chunk);
+                }
+            }
+            chunks[root].clone()
+        } else {
+            self.recv_m(root, tag)
+        }
+    }
+
+    /// All-to-all personalized exchange: `outgoing[j]` goes to member
+    /// `j`; returns the chunks received, indexed by source member.
+    pub fn alltoall(&self, outgoing: &[Vec<T>]) -> Vec<Vec<T>> {
+        let n = self.size();
+        assert_eq!(outgoing.len(), n, "one outgoing chunk per member");
+        let tag = self.next_tag(Op::AllToAll);
+        let mut incoming: Vec<Vec<T>> = vec![Vec::new(); n];
+        incoming[self.me] = outgoing[self.me].clone();
+        for (j, chunk) in outgoing.iter().enumerate() {
+            if j != self.me {
+                self.send_m(j, tag, chunk);
+            }
+        }
+        for (j, slot) in incoming.iter_mut().enumerate() {
+            if j != self.me {
+                *slot = self.recv_m(j, tag);
+            }
+        }
+        incoming
+    }
+
+    /// Simultaneous exchange: send `data` to member `dst` and receive
+    /// the message member `src` sent us, without deadlocking (send
+    /// first — the transport is buffered). The shift primitive of
+    /// Cannon-style algorithms.
+    pub fn sendrecv(&self, dst: usize, src: usize, data: &[T]) -> Vec<T> {
+        let tag = self.next_tag(Op::SendRecv);
+        self.send_m(dst, tag, data);
+        self.recv_m(src, tag)
+    }
+
+    /// Split into disjoint sub-communicators by `color` (like
+    /// `MPI_Comm_split` with `key = member index`): every member calls
+    /// this with its own color; members sharing a color form a new
+    /// communicator ordered by their index in `self`. Purely local —
+    /// requires `colors` to list every member's color (deterministically
+    /// known, as all our topologies are static).
+    pub fn split(&self, colors: &[u32]) -> Communicator<'a, T> {
+        assert_eq!(colors.len(), self.size(), "one color per member");
+        let my_color = colors[self.me];
+        let members: Vec<RankId> = self
+            .members
+            .iter()
+            .zip(colors)
+            .filter(|(_, &c)| c == my_color)
+            .map(|(&m, _)| m)
+            .collect();
+        // Derive a child ctx unique per (parent ctx, color).
+        let ctx = self
+            .ctx
+            .wrapping_mul(0x9E37)
+            .wrapping_add(my_color)
+            .wrapping_add(0x4000_0000);
+        Communicator::new(self.rank, members, ctx)
+    }
+
+    /// Dissemination barrier: `⌈log₂ n⌉` rounds of empty messages.
+    pub fn barrier(&self) {
+        let n = self.size();
+        if n == 1 {
+            return;
+        }
+        let tag = self.next_tag(Op::Barrier);
+        let mut step = 1usize;
+        while step < n {
+            let to = (self.me + step) % n;
+            let from = (self.me + n - step) % n;
+            self.send_m(to, tag, &[]);
+            let _ = self.recv_m(from, tag);
+            step <<= 1;
+        }
+    }
+}
+
+/// Split `len` into `n` nearly-even counts (first `len % n` get one
+/// extra).
+pub fn even_counts(len: usize, n: usize) -> Vec<usize> {
+    let base = len / n;
+    let extra = len % n;
+    (0..n).map(|i| base + usize::from(i < extra)).collect()
+}
+
+fn prefix_sums(counts: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(counts.len());
+    let mut acc = 0;
+    for &c in counts {
+        out.push(acc);
+        acc += c;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, MachineConfig};
+
+    fn run_world<R: Send>(
+        p: usize,
+        f: impl Fn(&Communicator<'_, f64>) -> R + Send + Sync,
+    ) -> crate::machine::RunReport<R> {
+        Machine::run::<f64, _, _>(p, MachineConfig::default(), |rank| {
+            let comm = Communicator::world(rank);
+            f(&comm)
+        })
+    }
+
+    #[test]
+    fn bcast_all_sizes_all_roots() {
+        for p in [1usize, 2, 3, 4, 5, 7, 8, 16] {
+            for root in [0, p / 2, p - 1] {
+                let r = run_world(p, |comm| {
+                    let mut buf = if comm.me() == root {
+                        vec![1.0, 2.0, 3.0]
+                    } else {
+                        vec![0.0; 3]
+                    };
+                    comm.bcast(root, &mut buf);
+                    buf
+                });
+                for (i, res) in r.results.iter().enumerate() {
+                    assert_eq!(res, &vec![1.0, 2.0, 3.0], "p={p} root={root} rank={i}");
+                }
+                // Binomial tree: exactly (p−1) messages of 3 elements.
+                assert_eq!(r.stats.total_elems(), 3 * (p as u64 - 1), "p={p}");
+                assert_eq!(r.stats.total_msgs(), p as u64 - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            let root = p - 1;
+            let r = run_world(p, |comm| {
+                let me = comm.me() as f64;
+                let mut buf = vec![me, 2.0 * me];
+                comm.reduce(root, &mut buf);
+                buf
+            });
+            let s: f64 = (0..p).map(|x| x as f64).sum();
+            assert_eq!(r.results[root], vec![s, 2.0 * s], "p={p}");
+            assert_eq!(r.stats.total_elems(), 2 * (p as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn allreduce_small_and_large() {
+        for (p, len) in [(4usize, 16usize), (4, 10_000), (7, 9_999)] {
+            let r = run_world(p, move |comm| {
+                let mut buf: Vec<f64> = (0..len).map(|i| (i % 17) as f64).collect();
+                comm.allreduce(&mut buf);
+                buf
+            });
+            let expect: Vec<f64> = (0..len).map(|i| (i % 17) as f64 * p as f64).collect();
+            for res in &r.results {
+                assert_eq!(res, &expect, "p={p} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_large_volume_is_rabenseifner() {
+        let (p, len) = (8usize, 8192usize);
+        let r = run_world(p, move |comm| {
+            let mut buf = vec![1.0f64; len];
+            comm.allreduce(&mut buf);
+            buf.len()
+        });
+        // reduce_scatter: each rank sends len − chunk = len·(p−1)/p;
+        // allgather ring: same again. Total = 2·len·(p−1).
+        assert_eq!(r.stats.total_elems(), 2 * (len as u64) * (p as u64 - 1));
+    }
+
+    #[test]
+    fn reduce_scatter_returns_owned_chunk() {
+        let p = 4;
+        let r = run_world(p, |comm| {
+            let buf: Vec<f64> = (0..8).map(|i| i as f64).collect();
+            let counts = vec![2, 2, 2, 2];
+            comm.reduce_scatter(&buf, &counts)
+        });
+        for (i, res) in r.results.iter().enumerate() {
+            let expect: Vec<f64> = (0..2).map(|j| ((2 * i + j) as f64) * p as f64).collect();
+            assert_eq!(res, &expect, "member {i}");
+        }
+    }
+
+    #[test]
+    fn allgather_ring_order_and_volume() {
+        for p in [2usize, 3, 6] {
+            let r = run_world(p, |comm| {
+                let mine = vec![comm.me() as f64; comm.me() + 1]; // varying sizes
+                comm.allgather_varying(&mine)
+            });
+            let total: u64 = (1..=p as u64).sum();
+            for res in &r.results {
+                for (j, chunk) in res.iter().enumerate() {
+                    assert_eq!(chunk, &vec![j as f64; j + 1]);
+                }
+            }
+            // Ring: every chunk travels p−1 hops.
+            assert_eq!(r.stats.total_elems(), (p as u64 - 1) * total);
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_roundtrip() {
+        let p = 5;
+        let r = run_world(p, |comm| {
+            let mine = vec![comm.me() as f64 + 0.5];
+            let gathered = comm.gather(2, &mine);
+            if comm.me() == 2 {
+                let chunks = gathered.unwrap();
+                comm.scatter(2, Some(&chunks))
+            } else {
+                assert!(gathered.is_none());
+                comm.scatter(2, None)
+            }
+        });
+        for (i, res) in r.results.iter().enumerate() {
+            assert_eq!(res, &vec![i as f64 + 0.5]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let p = 4;
+        let r = run_world(p, |comm| {
+            let outgoing: Vec<Vec<f64>> = (0..p)
+                .map(|j| vec![(comm.me() * 10 + j) as f64])
+                .collect();
+            comm.alltoall(&outgoing)
+        });
+        for (i, res) in r.results.iter().enumerate() {
+            for (j, chunk) in res.iter().enumerate() {
+                assert_eq!(chunk, &vec![(j * 10 + i) as f64], "rank {i} from {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        let p = 8;
+        Machine::run::<f64, _, _>(p, MachineConfig::default(), |rank| {
+            let comm = Communicator::world(rank);
+            before.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier, every rank must have incremented.
+            if before.load(Ordering::SeqCst) != p {
+                violations.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn sub_communicators_with_distinct_ctx() {
+        // Two groups run concurrent broadcasts without cross-talk.
+        let p = 4;
+        let r = Machine::run::<f64, _, _>(p, MachineConfig::default(), |rank| {
+            let group = rank.id() % 2; // evens, odds
+            let members: Vec<usize> = (0..p).filter(|x| x % 2 == group).collect();
+            let comm = Communicator::new(rank, members, group as u32 + 1);
+            let mut buf = if comm.me() == 0 {
+                vec![group as f64 * 100.0]
+            } else {
+                vec![0.0]
+            };
+            comm.bcast(0, &mut buf);
+            buf[0]
+        });
+        assert_eq!(r.results, vec![0.0, 100.0, 0.0, 100.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn non_member_construction_panics() {
+        Machine::run::<f64, _, _>(2, MachineConfig::default(), |rank| {
+            let _ = Communicator::new(rank, vec![1 - rank.id()], 0);
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        let p = 5;
+        let r = run_world(p, |comm| {
+            let right = (comm.me() + 1) % comm.size();
+            let left = (comm.me() + comm.size() - 1) % comm.size();
+            // Shift my id one step right around the ring.
+            let got = comm.sendrecv(right, left, &[comm.me() as f64]);
+            got[0]
+        });
+        for (i, v) in r.results.iter().enumerate() {
+            assert_eq!(*v, ((i + p - 1) % p) as f64, "rank {i}");
+        }
+        // p messages of 1 element each.
+        assert_eq!(r.stats.total_elems(), p as u64);
+    }
+
+    #[test]
+    fn split_forms_disjoint_groups() {
+        let r = run_world(6, |comm| {
+            // Colors: even/odd member index.
+            let colors: Vec<u32> = (0..comm.size()).map(|i| (i % 2) as u32).collect();
+            let sub = comm.split(&colors);
+            assert_eq!(sub.size(), 3);
+            let mut buf = vec![comm.me() as f64];
+            sub.allreduce(&mut buf);
+            buf[0]
+        });
+        // Evens: 0+2+4 = 6; odds: 1+3+5 = 9.
+        assert_eq!(r.results, vec![6.0, 9.0, 6.0, 9.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn even_counts_splits() {
+        assert_eq!(even_counts(10, 3), vec![4, 3, 3]);
+        assert_eq!(even_counts(3, 5), vec![1, 1, 1, 0, 0]);
+    }
+}

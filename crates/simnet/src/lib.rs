@@ -1,0 +1,52 @@
+//! # distconv-simnet
+//!
+//! A distributed-memory machine **simulator**: the substrate the paper's
+//! algorithms run on in this reproduction (substituting for an MPI
+//! cluster, per DESIGN.md §2).
+//!
+//! ## Model
+//!
+//! A [`Machine`] runs `P` *ranks*, one OS thread each. Ranks share
+//! **nothing**: each gets a [`Rank`] handle whose only inter-rank
+//! facility is explicit message passing ([`Rank::send`] /
+//! [`Rank::recv`]), exactly the partitioned-memory semantics of the
+//! paper's Sec. 2.2. On top of point-to-point messages,
+//! [`Communicator`] provides MPI-style collectives (broadcast, reduce,
+//! all-reduce, gather, scatter, all-gather, reduce-scatter, barrier,
+//! all-to-all) implemented with standard tree/ring algorithms — so
+//! measured communication *volumes* are those of a real MPI stack.
+//!
+//! ## What is measured
+//!
+//! * [`Stats`] counts every point-to-point message and every element it
+//!   carries, globally and per rank. Collectives are built from p2p
+//!   sends, so their cost is accounted automatically and honestly.
+//! * [`MemoryTracker`] meters per-rank live allocations against a
+//!   capacity `M_D`; exceeding it fails the run — this is how Eq. 11's
+//!   memory-feasibility claims are *checked*, not assumed.
+//! * An α–β time model ([`CostParams`]) converts per-rank message/volume
+//!   counters into simulated seconds for who-wins comparisons.
+//!
+//! ## Topology
+//!
+//! [`CartGrid`] gives the logical multi-dimensional processor view of
+//! Sec. 2.2 (`P_b × P_k × P_c × P_h × P_w` for CNNs, 2-D/3-D grids for
+//! the matmul analogs), with fiber sub-communicators along any subset of
+//! dimensions (the "broadcast along the `k` dimension" operations of the
+//! paper's communication schedule).
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod grid;
+pub mod machine;
+pub mod memory;
+pub mod rank;
+pub mod stats;
+
+pub use comm::Communicator;
+pub use grid::CartGrid;
+pub use machine::{Machine, MachineConfig, RunReport};
+pub use memory::{MemLease, MemoryError, MemoryTracker};
+pub use rank::{Msg, Rank, RankId, Tag};
+pub use stats::{CostParams, Stats, StatsSnapshot};

@@ -1,0 +1,275 @@
+//! The machine: spawn `P` rank threads, run a closure on each, collect
+//! results, statistics and peak memory.
+
+use crate::memory::MemoryTracker;
+use crate::rank::{Msg, Packet, Rank};
+use crate::stats::{CostParams, Stats, StatsSnapshot};
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Machine-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Per-rank memory capacity in elements (`None` = unmetered).
+    pub mem_capacity: Option<u64>,
+    /// Deadlock-trap timeout for blocking receives.
+    pub recv_timeout: Duration,
+    /// α–β parameters for simulated-time reporting.
+    pub cost: CostParams,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            mem_capacity: None,
+            recv_timeout: Duration::from_secs(30),
+            cost: CostParams::default(),
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Per-rank return values, indexed by rank id.
+    pub results: Vec<R>,
+    /// Communication counters for the whole run.
+    pub stats: StatsSnapshot,
+    /// Per-rank peak live memory (elements) — compare against Eq. 11.
+    pub peak_mem: Vec<u64>,
+    /// Simulated communication time under the configured α–β model:
+    /// the per-rank volume-based estimate (`max_r α·msgs_r + β·elems_r`).
+    pub sim_time: f64,
+    /// Lamport makespan: the largest per-rank logical clock at exit.
+    /// Unlike `sim_time`, this respects the *dependency structure* of
+    /// the schedule (tree depths, serialized shifts), making it the
+    /// better who-wins metric for latency-sensitive comparisons.
+    pub makespan: f64,
+}
+
+impl<R> RunReport<R> {
+    /// Largest per-rank peak memory.
+    pub fn max_peak_mem(&self) -> u64 {
+        self.peak_mem.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The simulated distributed-memory machine.
+pub struct Machine;
+
+impl Machine {
+    /// Run `body` on `p` ranks (one OS thread each) and collect results.
+    ///
+    /// Rank threads communicate only through their [`Rank`] handles. If
+    /// any rank panics, the panic is re-raised on the caller thread
+    /// (after all threads have stopped) with the rank id attached;
+    /// remaining ranks blocked on receives are released by the deadlock
+    /// trap.
+    ///
+    /// Type parameters: `T` — message element type; `R` — per-rank
+    /// result.
+    pub fn run<T, R, F>(p: usize, cfg: MachineConfig, body: F) -> RunReport<R>
+    where
+        T: Msg,
+        R: Send,
+        F: Fn(&Rank<T>) -> R + Send + Sync,
+    {
+        assert!(p > 0, "machine needs at least one rank");
+        let stats = Arc::new(Stats::new(p));
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..p).map(|_| unbounded::<Packet<T>>()).unzip();
+        let senders = Arc::new(senders);
+        let trackers: Vec<MemoryTracker> = (0..p)
+            .map(|id| MemoryTracker::new(id, cfg.mem_capacity))
+            .collect();
+
+        let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+        let clocks: Vec<std::sync::atomic::AtomicU64> =
+            (0..p).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+        let panics: std::sync::Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> =
+            std::sync::Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (id, (rx, slot)) in receivers.into_iter().zip(results.iter_mut()).enumerate() {
+                let rank = Rank::new(
+                    id,
+                    p,
+                    Arc::clone(&senders),
+                    rx,
+                    Arc::clone(&stats),
+                    trackers[id].clone(),
+                    cfg.recv_timeout,
+                    cfg.cost,
+                );
+                let body = &body;
+                let panics = &panics;
+                let clock_slot = &clocks[id];
+                handles.push(scope.spawn(move || {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&rank))) {
+                        Ok(r) => {
+                            *slot = Some(r);
+                            clock_slot.store(
+                                rank.clock().to_bits(),
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
+                        }
+                        Err(e) => panics.lock().unwrap().push((id, e)),
+                    }
+                }));
+            }
+            for h in handles {
+                // Threads never panic (they catch), so join always succeeds.
+                h.join().expect("rank thread poisoned");
+            }
+        });
+
+        let mut panics = panics.into_inner().unwrap();
+        if let Some((id, payload)) = panics.drain(..).next() {
+            eprintln!("simnet: rank {id} panicked; re-raising");
+            std::panic::resume_unwind(payload);
+        }
+
+        let snapshot = stats.snapshot();
+        let sim_time = snapshot.simulated_time(&cfg.cost);
+        let makespan = clocks
+            .iter()
+            .map(|c| f64::from_bits(c.load(std::sync::atomic::Ordering::Relaxed)))
+            .fold(0.0, f64::max);
+        RunReport {
+            results: results.into_iter().map(|r| r.expect("rank completed")).collect(),
+            peak_mem: trackers.iter().map(|t| t.peak()).collect(),
+            stats: snapshot,
+            sim_time,
+            makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let r = Machine::run::<f32, _, _>(1, MachineConfig::default(), |rank| rank.id() * 10);
+        assert_eq!(r.results, vec![0]);
+        assert_eq!(r.stats.total_msgs(), 0);
+    }
+
+    #[test]
+    fn results_indexed_by_rank() {
+        let r = Machine::run::<f32, _, _>(8, MachineConfig::default(), |rank| rank.id());
+        assert_eq!(r.results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn memory_capacity_enforced() {
+        let cfg = MachineConfig {
+            mem_capacity: Some(100),
+            ..MachineConfig::default()
+        };
+        let r = Machine::run::<f32, _, _>(2, cfg, |rank| {
+            let lease = rank.mem().lease(60).unwrap();
+            let second = rank.mem().lease(60); // would exceed 100
+            drop(lease);
+            second.is_err()
+        });
+        assert_eq!(r.results, vec![true, true]);
+        assert_eq!(r.peak_mem, vec![60, 60]);
+    }
+
+    #[test]
+    fn peak_memory_reported() {
+        let r = Machine::run::<f32, _, _>(3, MachineConfig::default(), |rank| {
+            let _a = rank.mem().lease((rank.id() as u64 + 1) * 10).unwrap();
+        });
+        assert_eq!(r.peak_mem, vec![10, 20, 30]);
+        assert_eq!(r.max_peak_mem(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom from rank 2")]
+    fn rank_panic_propagates() {
+        Machine::run::<f32, _, _>(4, MachineConfig::default(), |rank| {
+            if rank.id() == 2 {
+                panic!("boom from rank {}", rank.id());
+            }
+        });
+    }
+
+    #[test]
+    fn makespan_single_hop() {
+        // One message: makespan = α + β·n exactly.
+        let cfg = MachineConfig::default();
+        let n = 1000usize;
+        let r = Machine::run::<f32, _, _>(2, cfg, move |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, &vec![0.0; n]);
+            } else {
+                let _ = rank.recv(0, 1);
+            }
+        });
+        let expect = cfg.cost.alpha + cfg.cost.beta * n as f64;
+        assert!((r.makespan - expect).abs() < 1e-15, "{} vs {expect}", r.makespan);
+    }
+
+    #[test]
+    fn makespan_respects_dependency_chains() {
+        // A 4-hop relay has makespan 4·(α+β) even though each rank only
+        // sends once (per-rank sim_time would be 1 hop).
+        let cfg = MachineConfig::default();
+        let r = Machine::run::<f32, _, _>(5, cfg, move |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, &[1.0]);
+            } else {
+                let v = rank.recv(rank.id() - 1, 1);
+                if rank.id() < 4 {
+                    rank.send(rank.id() + 1, 1, &v);
+                }
+            }
+        });
+        let hop = cfg.cost.alpha + cfg.cost.beta;
+        assert!(
+            (r.makespan - 4.0 * hop).abs() < 1e-15,
+            "relay makespan {} vs {}",
+            r.makespan,
+            4.0 * hop
+        );
+        // The volume-based estimate cannot see the chain.
+        assert!(r.sim_time < r.makespan);
+    }
+
+    #[test]
+    fn makespan_tree_depth_not_volume() {
+        // Binomial bcast among 8: makespan grows with depth (3 levels),
+        // not with total volume (7 messages).
+        use crate::comm::Communicator;
+        let cfg = MachineConfig::default();
+        let n = 1usize << 14;
+        let r = Machine::run::<f32, _, _>(8, cfg, move |rank| {
+            let comm = Communicator::world(rank);
+            let mut buf = vec![0.0f32; n];
+            comm.bcast(0, &mut buf);
+        });
+        let hop = cfg.cost.alpha + cfg.cost.beta * n as f64;
+        // Root sends its 3 children serially; the last child's subtree
+        // is shallow — classic binomial: makespan = 3 hops (depth) and
+        // at most ~(log2 P + small) hops, never the 7 hops of volume.
+        assert!(r.makespan >= 3.0 * hop * 0.99, "{} vs {}", r.makespan, 3.0 * hop);
+        assert!(r.makespan <= 4.0 * hop, "{} vs {}", r.makespan, 4.0 * hop);
+    }
+
+    #[test]
+    fn sim_time_positive_when_traffic() {
+        let r = Machine::run::<f32, _, _>(2, MachineConfig::default(), |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, &[0.0; 1000]);
+            } else {
+                let _ = rank.recv(0, 1);
+            }
+        });
+        assert!(r.sim_time > 0.0);
+    }
+}

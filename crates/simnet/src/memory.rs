@@ -1,0 +1,214 @@
+//! Per-rank memory accounting with capacity enforcement.
+//!
+//! The distributed algorithm's memory claim (Eq. 11: `g_D ≤ M_D`) is
+//! only meaningful if the implementation actually respects it. Every
+//! buffer a rank allocates is *leased* from its [`MemoryTracker`]; the
+//! lease is RAII — dropping it returns the capacity — and leasing past
+//! the capacity is an error the run surfaces. The tracker also records
+//! the **peak** concurrent usage, which the E6 experiment compares
+//! against Eq. 11.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Exceeding a rank's memory capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryError {
+    /// Rank that over-allocated.
+    pub rank: usize,
+    /// Elements requested by the failing lease.
+    pub requested: u64,
+    /// Elements already live.
+    pub live: u64,
+    /// The rank's capacity.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} out of memory: {} live + {} requested > capacity {}",
+            self.rank, self.live, self.requested, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+#[derive(Debug)]
+struct Inner {
+    rank: usize,
+    capacity: u64, // u64::MAX = unlimited
+    live: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// Tracks one rank's live and peak element allocations against an
+/// optional capacity. Clone-cheap (`Arc` inside); leases may outlive
+/// the scope that created the tracker handle.
+#[derive(Clone, Debug)]
+pub struct MemoryTracker {
+    inner: Arc<Inner>,
+}
+
+impl MemoryTracker {
+    /// A tracker for `rank` with `capacity` elements (`None` =
+    /// unlimited).
+    pub fn new(rank: usize, capacity: Option<u64>) -> Self {
+        MemoryTracker {
+            inner: Arc::new(Inner {
+                rank,
+                capacity: capacity.unwrap_or(u64::MAX),
+                live: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Lease `elems` elements. Fails if the lease would exceed capacity.
+    pub fn lease(&self, elems: u64) -> Result<MemLease, MemoryError> {
+        let prev = self.inner.live.fetch_add(elems, Ordering::Relaxed);
+        let now = prev + elems;
+        if now > self.inner.capacity {
+            self.inner.live.fetch_sub(elems, Ordering::Relaxed);
+            return Err(MemoryError {
+                rank: self.inner.rank,
+                requested: elems,
+                live: prev,
+                capacity: self.inner.capacity,
+            });
+        }
+        self.inner.peak.fetch_max(now, Ordering::Relaxed);
+        Ok(MemLease {
+            tracker: self.clone(),
+            elems,
+        })
+    }
+
+    /// Lease that panics on capacity violation — for call sites where an
+    /// over-allocation is a *bug in the plan*, not a recoverable
+    /// condition (the machine surfaces the panic with the rank id).
+    pub fn lease_or_panic(&self, elems: u64) -> MemLease {
+        match self.lease(elems) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Currently live elements.
+    pub fn live(&self) -> u64 {
+        self.inner.live.load(Ordering::Relaxed)
+    }
+
+    /// Peak concurrent live elements over the tracker's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// The capacity (u64::MAX if unlimited).
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+}
+
+/// An RAII memory lease; returns its elements to the tracker on drop.
+#[derive(Debug)]
+pub struct MemLease {
+    tracker: MemoryTracker,
+    elems: u64,
+}
+
+impl MemLease {
+    /// Size of this lease in elements.
+    pub fn elems(&self) -> u64 {
+        self.elems
+    }
+
+    /// Grow or shrink the lease in place (e.g. a reused buffer that
+    /// changes size between tile steps). Fails — leaving the lease
+    /// unchanged — if growth would exceed capacity.
+    pub fn resize(&mut self, new_elems: u64) -> Result<(), MemoryError> {
+        if new_elems > self.elems {
+            let grow = new_elems - self.elems;
+            // Delegate the capacity check to a temporary lease, then
+            // absorb it.
+            let tmp = self.tracker.lease(grow)?;
+            std::mem::forget(tmp);
+        } else {
+            self.tracker
+                .inner
+                .live
+                .fetch_sub(self.elems - new_elems, Ordering::Relaxed);
+        }
+        self.elems = new_elems;
+        Ok(())
+    }
+}
+
+impl Drop for MemLease {
+    fn drop(&mut self) {
+        self.tracker.inner.live.fetch_sub(self.elems, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_and_release() {
+        let t = MemoryTracker::new(0, Some(100));
+        let a = t.lease(60).unwrap();
+        assert_eq!(t.live(), 60);
+        let b = t.lease(40).unwrap();
+        assert_eq!(t.live(), 100);
+        drop(a);
+        assert_eq!(t.live(), 40);
+        drop(b);
+        assert_eq!(t.live(), 0);
+        assert_eq!(t.peak(), 100);
+    }
+
+    #[test]
+    fn over_capacity_fails_without_leaking() {
+        let t = MemoryTracker::new(3, Some(100));
+        let _a = t.lease(80).unwrap();
+        let err = t.lease(30).unwrap_err();
+        assert_eq!(err.rank, 3);
+        assert_eq!(err.live, 80);
+        assert_eq!(err.requested, 30);
+        // Failed lease must not consume capacity.
+        assert_eq!(t.live(), 80);
+        let _ok = t.lease(20).unwrap();
+    }
+
+    #[test]
+    fn unlimited_tracker() {
+        let t = MemoryTracker::new(0, None);
+        let _a = t.lease(u64::MAX / 2).unwrap();
+        assert!(t.lease(u64::MAX / 2).is_ok());
+    }
+
+    #[test]
+    fn resize_tracks_peak() {
+        let t = MemoryTracker::new(0, Some(100));
+        let mut l = t.lease(10).unwrap();
+        l.resize(90).unwrap();
+        assert_eq!(t.live(), 90);
+        assert!(l.resize(110).is_err());
+        assert_eq!(t.live(), 90, "failed resize must not change live");
+        l.resize(5).unwrap();
+        assert_eq!(t.live(), 5);
+        drop(l);
+        assert_eq!(t.live(), 0);
+        assert_eq!(t.peak(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn lease_or_panic_panics() {
+        let t = MemoryTracker::new(0, Some(10));
+        let _l = t.lease_or_panic(11);
+    }
+}

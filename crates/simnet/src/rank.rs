@@ -1,0 +1,326 @@
+//! The per-rank execution context: typed point-to-point messaging.
+//!
+//! A [`Rank`] is handed to each simulated processor's closure by
+//! [`crate::Machine::run`]. It owns the rank's mailbox and is the *only*
+//! channel to other ranks — the partitioned-memory model. Matching is
+//! MPI-like: [`Rank::recv`] blocks for a message with a given
+//! `(source, tag)`; messages that arrive out of order are parked in an
+//! unexpected-message queue, preserving per-(src, tag) FIFO order.
+//!
+//! A receive that waits longer than the machine's configured timeout
+//! panics with a diagnostic — the simulator's deadlock trap. A mismatched
+//! collective or a wrong schedule therefore fails loudly instead of
+//! hanging the test suite.
+
+use crate::memory::MemoryTracker;
+use crate::stats::{CostParams, Stats};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rank identifier: `0..P` within a [`crate::Machine`] run.
+pub type RankId = usize;
+
+/// Message tag. User point-to-point tags must keep the top bit clear;
+/// tags with the top bit set are reserved for collectives.
+pub type Tag = u64;
+
+/// Element types that can travel in messages: plain old data with an
+/// additive reduction (enough for every algorithm in the workspace; the
+/// reduction is only exercised by reduce-style collectives).
+pub trait Msg: Copy + Send + Default + std::ops::AddAssign + 'static {}
+impl<T: Copy + Send + Default + std::ops::AddAssign + 'static> Msg for T {}
+
+/// A message in flight. Carries the sender's logical clock at
+/// transmission time (after the α–β cost of this send), implementing a
+/// Lamport-style communication makespan: the receiver's clock advances
+/// to at least the arrival time.
+#[derive(Debug)]
+pub(crate) struct Packet<T> {
+    pub src: RankId,
+    pub tag: Tag,
+    pub data: Vec<T>,
+    pub sent_at: f64,
+}
+
+/// One simulated processor's execution context.
+pub struct Rank<T: Msg> {
+    id: RankId,
+    size: usize,
+    senders: Arc<Vec<Sender<Packet<T>>>>,
+    rx: Receiver<Packet<T>>,
+    pending: RefCell<VecDeque<Packet<T>>>,
+    stats: Arc<Stats>,
+    mem: MemoryTracker,
+    timeout: Duration,
+    cost: CostParams,
+    /// Logical communication clock (seconds of simulated network time
+    /// this rank has accumulated). Advanced by α+β·n per send, and to
+    /// the arrival time on each receive — a Lamport makespan clock.
+    clock: std::cell::Cell<f64>,
+}
+
+impl<T: Msg> Rank<T> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: RankId,
+        size: usize,
+        senders: Arc<Vec<Sender<Packet<T>>>>,
+        rx: Receiver<Packet<T>>,
+        stats: Arc<Stats>,
+        mem: MemoryTracker,
+        timeout: Duration,
+        cost: CostParams,
+    ) -> Self {
+        Rank {
+            id,
+            size,
+            senders,
+            rx,
+            pending: RefCell::new(VecDeque::new()),
+            stats,
+            mem,
+            timeout,
+            cost,
+            clock: std::cell::Cell::new(0.0),
+        }
+    }
+
+    /// This rank's current logical communication clock (seconds).
+    pub fn clock(&self) -> f64 {
+        self.clock.get()
+    }
+
+    /// This rank's id (`0..size`).
+    pub fn id(&self) -> RankId {
+        self.id
+    }
+
+    /// Number of ranks in the machine.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// This rank's memory tracker (lease buffers from it to participate
+    /// in capacity enforcement and peak accounting).
+    pub fn mem(&self) -> &MemoryTracker {
+        &self.mem
+    }
+
+    /// Send `data` to `dst` with `tag`, consuming the buffer (no copy).
+    pub fn send_vec(&self, dst: RankId, tag: Tag, data: Vec<T>) {
+        assert!(dst < self.size, "send to nonexistent rank {dst}");
+        self.stats
+            .record_send(self.id, data.len() as u64, dst == self.id);
+        // Advance the logical clock by this message's α–β cost
+        // (self-sends are local copies: free).
+        if dst != self.id {
+            self.clock.set(
+                self.clock.get() + self.cost.alpha + self.cost.beta * data.len() as f64,
+            );
+        }
+        let pkt = Packet {
+            src: self.id,
+            tag,
+            data,
+            sent_at: self.clock.get(),
+        };
+        // Unbounded channel: send only fails if the receiver is gone,
+        // which means that rank's thread already panicked; propagate a
+        // clear diagnostic instead of unwinding inside crossbeam.
+        if self.senders[dst].send(pkt).is_err() {
+            panic!("rank {}: send to rank {dst} failed (receiver gone)", self.id);
+        }
+    }
+
+    /// Send a copy of `data` to `dst` with `tag`.
+    pub fn send(&self, dst: RankId, tag: Tag, data: &[T]) {
+        self.send_vec(dst, tag, data.to_vec());
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`
+    /// (FIFO per `(src, tag)` pair). Panics after the machine's receive
+    /// timeout — the deadlock trap.
+    pub fn recv(&self, src: RankId, tag: Tag) -> Vec<T> {
+        // First, check the unexpected-message queue.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|p| p.src == src && p.tag == tag) {
+                let pkt = pending.remove(pos).expect("position valid");
+                self.observe_arrival(pkt.src, pkt.sent_at);
+                return pkt.data;
+            }
+        }
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(pkt) if pkt.src == src && pkt.tag == tag => {
+                    self.observe_arrival(pkt.src, pkt.sent_at);
+                    return pkt.data;
+                }
+                Ok(pkt) => self.pending.borrow_mut().push_back(pkt),
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {}: deadlock trap — no message from rank {src} with tag {tag:#x} \
+                     within {:?} ({} unexpected messages parked)",
+                    self.id,
+                    self.timeout,
+                    self.pending.borrow().len()
+                ),
+                Err(RecvTimeoutError::Disconnected) => panic!(
+                    "rank {}: mailbox disconnected while waiting for rank {src} tag {tag:#x}",
+                    self.id
+                ),
+            }
+        }
+    }
+
+    /// Blocking receive of the next message with `tag` from *any* rank.
+    /// Returns `(source, data)`.
+    pub fn recv_any(&self, tag: Tag) -> (RankId, Vec<T>) {
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|p| p.tag == tag) {
+                let pkt = pending.remove(pos).expect("position valid");
+                self.observe_arrival(pkt.src, pkt.sent_at);
+                return (pkt.src, pkt.data);
+            }
+        }
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(pkt) if pkt.tag == tag => {
+                    self.observe_arrival(pkt.src, pkt.sent_at);
+                    return (pkt.src, pkt.data);
+                }
+                Ok(pkt) => self.pending.borrow_mut().push_back(pkt),
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {}: deadlock trap — no message with tag {tag:#x} within {:?}",
+                    self.id, self.timeout
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("rank {}: mailbox disconnected (tag {tag:#x})", self.id)
+                }
+            }
+        }
+    }
+
+    /// Number of parked unexpected messages (diagnostics).
+    pub fn parked(&self) -> usize {
+        self.pending.borrow().len()
+    }
+
+    /// Advance the logical clock to a received message's arrival time
+    /// (Lamport max; self-sends carry our own clock and are no-ops).
+    fn observe_arrival(&self, src: RankId, sent_at: f64) {
+        if src != self.id {
+            self.clock.set(self.clock.get().max(sent_at));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::{Machine, MachineConfig};
+    use std::time::Duration;
+
+    #[test]
+    fn pingpong() {
+        let report = Machine::run::<f32, _, _>(2, MachineConfig::default(), |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 7, &[1.0, 2.0, 3.0]);
+                rank.recv(1, 8)
+            } else {
+                let v = rank.recv(0, 7);
+                let doubled: Vec<f32> = v.iter().map(|x| x * 2.0).collect();
+                rank.send(0, 8, &doubled);
+                v
+            }
+        });
+        assert_eq!(report.results[0], vec![2.0, 4.0, 6.0]);
+        assert_eq!(report.results[1], vec![1.0, 2.0, 3.0]);
+        assert_eq!(report.stats.total_msgs(), 2);
+        assert_eq!(report.stats.total_elems(), 6);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_parked() {
+        let report = Machine::run::<u64, _, _>(2, MachineConfig::default(), |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, &[10]);
+                rank.send(1, 2, &[20]);
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = rank.recv(0, 2);
+                let a = rank.recv(0, 1);
+                assert_eq!((a[0], b[0]), (10, 20));
+                rank.parked() as u64
+            }
+        });
+        assert_eq!(report.results[1], 0, "queue drained");
+    }
+
+    #[test]
+    fn fifo_per_src_tag() {
+        let report = Machine::run::<u64, _, _>(2, MachineConfig::default(), |rank| {
+            if rank.id() == 0 {
+                for i in 0..10u64 {
+                    rank.send(1, 5, &[i]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| rank.recv(0, 5)[0]).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(report.results[1], (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn recv_any_finds_sender() {
+        let report = Machine::run::<u64, _, _>(3, MachineConfig::default(), |rank| {
+            if rank.id() == 0 {
+                let mut from = vec![];
+                for _ in 0..2 {
+                    let (src, data) = rank.recv_any(9);
+                    from.push((src, data[0]));
+                }
+                from.sort_unstable();
+                from
+            } else {
+                rank.send(0, 9, &[rank.id() as u64 * 100]);
+                vec![]
+            }
+        });
+        assert_eq!(report.results[0], vec![(1, 100), (2, 200)]);
+    }
+
+    #[test]
+    fn self_send_not_counted_as_traffic() {
+        let report = Machine::run::<f64, _, _>(1, MachineConfig::default(), |rank| {
+            rank.send(0, 3, &[1.0, 2.0]);
+            rank.recv(0, 3)
+        });
+        assert_eq!(report.results[0], vec![1.0, 2.0]);
+        assert_eq!(report.stats.total_elems(), 0);
+        assert_eq!(report.stats.self_elems, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock trap")]
+    fn deadlock_trap_fires() {
+        let cfg = MachineConfig {
+            recv_timeout: Duration::from_millis(50),
+            ..MachineConfig::default()
+        };
+        Machine::run::<f32, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                // Rank 0 waits for a message nobody sends.
+                let _ = rank.recv(1, 42);
+            }
+        });
+    }
+}

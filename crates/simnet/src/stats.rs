@@ -1,0 +1,208 @@
+//! Communication accounting: message and element counters, and the α–β
+//! simulated-time model.
+//!
+//! Every point-to-point send in the machine increments these counters;
+//! collectives are composed of point-to-point sends, so collective
+//! volumes are accounted automatically along their actual algorithmic
+//! paths (tree edges, ring hops). The paper's claims are stated in data
+//! *volume* (elements moved), which [`StatsSnapshot::total_elems`]
+//! reports exactly; the α–β model is a standard linear latency/bandwidth
+//! estimate layered on top for who-wins time comparisons.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-machine communication counters. Cheap relaxed atomics: the
+/// counters are monotone sums read only after the run completes (or for
+/// progress display), so no ordering is required beyond atomicity.
+#[derive(Debug)]
+pub struct Stats {
+    per_rank_msgs: Vec<AtomicU64>,
+    per_rank_elems: Vec<AtomicU64>,
+    /// Messages a rank sent to itself (tracked separately: local copies,
+    /// not network traffic — excluded from totals).
+    self_msgs: AtomicU64,
+    self_elems: AtomicU64,
+}
+
+impl Stats {
+    /// Counters for `p` ranks, all zero.
+    pub fn new(p: usize) -> Self {
+        Stats {
+            per_rank_msgs: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            per_rank_elems: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            self_msgs: AtomicU64::new(0),
+            self_elems: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a message of `elems` elements sent by `src` to a *different*
+    /// rank, or a self-copy when `is_self`.
+    pub fn record_send(&self, src: usize, elems: u64, is_self: bool) {
+        if is_self {
+            self.self_msgs.fetch_add(1, Ordering::Relaxed);
+            self.self_elems.fetch_add(elems, Ordering::Relaxed);
+        } else {
+            self.per_rank_msgs[src].fetch_add(1, Ordering::Relaxed);
+            self.per_rank_elems[src].fetch_add(elems, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            per_rank_msgs: self
+                .per_rank_msgs
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            per_rank_elems: self
+                .per_rank_elems
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            self_msgs: self.self_msgs.load(Ordering::Relaxed),
+            self_elems: self.self_elems.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of the counters at one point in time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Outbound message count per sending rank (self-sends excluded).
+    pub per_rank_msgs: Vec<u64>,
+    /// Outbound element count per sending rank (self-sends excluded).
+    pub per_rank_elems: Vec<u64>,
+    /// Total self-send messages (local copies).
+    pub self_msgs: u64,
+    /// Total self-send elements.
+    pub self_elems: u64,
+}
+
+impl StatsSnapshot {
+    /// Total inter-rank messages.
+    pub fn total_msgs(&self) -> u64 {
+        self.per_rank_msgs.iter().sum()
+    }
+
+    /// Total inter-rank elements moved — the paper's "communication
+    /// volume".
+    pub fn total_elems(&self) -> u64 {
+        self.per_rank_elems.iter().sum()
+    }
+
+    /// The largest per-rank outbound volume (load-balance indicator).
+    pub fn max_rank_elems(&self) -> u64 {
+        self.per_rank_elems.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean per-rank outbound volume.
+    pub fn mean_rank_elems(&self) -> f64 {
+        if self.per_rank_elems.is_empty() {
+            0.0
+        } else {
+            self.total_elems() as f64 / self.per_rank_elems.len() as f64
+        }
+    }
+
+    /// Difference of two snapshots (`self` after, `earlier` before):
+    /// the traffic of the interval between them.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        assert_eq!(self.per_rank_msgs.len(), earlier.per_rank_msgs.len());
+        StatsSnapshot {
+            per_rank_msgs: self
+                .per_rank_msgs
+                .iter()
+                .zip(&earlier.per_rank_msgs)
+                .map(|(a, b)| a - b)
+                .collect(),
+            per_rank_elems: self
+                .per_rank_elems
+                .iter()
+                .zip(&earlier.per_rank_elems)
+                .map(|(a, b)| a - b)
+                .collect(),
+            self_msgs: self.self_msgs - earlier.self_msgs,
+            self_elems: self.self_elems - earlier.self_elems,
+        }
+    }
+
+    /// Simulated per-rank communication time under `params`, the maximum
+    /// over ranks (a lower-bound critical-path estimate: sends across
+    /// ranks overlap, a rank's own sends serialize).
+    pub fn simulated_time(&self, params: &CostParams) -> f64 {
+        self.per_rank_msgs
+            .iter()
+            .zip(&self.per_rank_elems)
+            .map(|(&m, &e)| params.alpha * m as f64 + params.beta * e as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// α–β communication cost parameters: a message of `n` elements costs
+/// `α + β·n` seconds. Defaults approximate a 100 Gb/s, 1 µs-latency
+/// interconnect moving 4-byte words.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostParams {
+    /// Per-message latency (seconds).
+    pub alpha: f64,
+    /// Per-element transfer time (seconds/element).
+    pub beta: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            alpha: 1e-6,
+            // 100 Gb/s = 12.5 GB/s → 4-byte elements at 3.125 G elem/s.
+            beta: 3.2e-10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::new(2);
+        s.record_send(0, 10, false);
+        s.record_send(0, 5, false);
+        s.record_send(1, 7, false);
+        s.record_send(1, 3, true); // self-copy
+        let snap = s.snapshot();
+        assert_eq!(snap.per_rank_msgs, vec![2, 1]);
+        assert_eq!(snap.per_rank_elems, vec![15, 7]);
+        assert_eq!(snap.total_msgs(), 3);
+        assert_eq!(snap.total_elems(), 22);
+        assert_eq!(snap.self_elems, 3);
+        assert_eq!(snap.max_rank_elems(), 15);
+        assert!((snap.mean_rank_elems() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_accounting() {
+        let s = Stats::new(1);
+        s.record_send(0, 100, false);
+        let before = s.snapshot();
+        s.record_send(0, 50, false);
+        let after = s.snapshot();
+        let d = after.since(&before);
+        assert_eq!(d.total_elems(), 50);
+        assert_eq!(d.total_msgs(), 1);
+    }
+
+    #[test]
+    fn simulated_time_is_max_over_ranks() {
+        let s = Stats::new(2);
+        s.record_send(0, 1000, false);
+        s.record_send(1, 10, false);
+        let p = CostParams {
+            alpha: 1.0,
+            beta: 0.01,
+        };
+        let t = s.snapshot().simulated_time(&p);
+        assert!((t - (1.0 + 10.0)).abs() < 1e-12); // rank 0 dominates
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the simulator's collectives: randomized
+//! rank counts, roots and payload sizes, always checked against a
+//! sequential model — plus exact volume laws.
+
+use distconv_simnet::{Communicator, Machine, MachineConfig};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case spawns threads; keep counts moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bcast_delivers_and_counts(
+        p in 1usize..10,
+        root_sel in any::<u64>(),
+        len in 0usize..200,
+    ) {
+        let root = (root_sel as usize) % p;
+        let report = Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
+            let comm = Communicator::world(rank);
+            let mut buf = if comm.me() == root {
+                (0..len).map(|i| i as f64).collect()
+            } else {
+                vec![0.0; len]
+            };
+            comm.bcast(root, &mut buf);
+            buf
+        });
+        let expect: Vec<f64> = (0..len).map(|i| i as f64).collect();
+        for r in &report.results {
+            prop_assert_eq!(r, &expect);
+        }
+        prop_assert_eq!(report.stats.total_elems(), (len * (p - 1)) as u64);
+        prop_assert_eq!(report.stats.total_msgs(), (p - 1) as u64);
+    }
+
+    #[test]
+    fn allreduce_equals_sequential_sum(
+        p in 1usize..9,
+        len in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let report = Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
+            let mut buf: Vec<f64> = (0..len)
+                .map(|i| ((seed ^ (rank.id() as u64 * 31 + i as u64)) % 100) as f64)
+                .collect();
+            let comm = Communicator::world(rank);
+            comm.allreduce(&mut buf);
+            buf
+        });
+        // Sequential model.
+        let mut expect = vec![0.0f64; len];
+        for r in 0..p {
+            for (i, e) in expect.iter_mut().enumerate() {
+                *e += ((seed ^ (r as u64 * 31 + i as u64)) % 100) as f64;
+            }
+        }
+        for res in &report.results {
+            prop_assert_eq!(res, &expect);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_inverse(
+        p in 1usize..8,
+        root_sel in any::<u64>(),
+        base_len in 1usize..20,
+    ) {
+        // scatter(gather(x)) == x for varying chunk sizes.
+        let root = (root_sel as usize) % p;
+        let report = Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
+            let comm = Communicator::world(rank);
+            let mine: Vec<f64> = (0..base_len + comm.me())
+                .map(|i| (comm.me() * 1000 + i) as f64)
+                .collect();
+            let gathered = comm.gather(root, &mine);
+            let back = if comm.me() == root {
+                comm.scatter(root, Some(&gathered.unwrap()))
+            } else {
+                prop_assert!(gathered.is_none());
+                comm.scatter(root, None)
+            };
+            prop_assert_eq!(back, mine);
+            Ok(())
+        });
+        for r in report.results {
+            r?;
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_chunks_sum(
+        p in 1usize..7,
+        chunk in 1usize..10,
+    ) {
+        let len = chunk * p;
+        let report = Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
+            let comm = Communicator::world(rank);
+            let buf: Vec<f64> = (0..len).map(|i| (rank.id() + i) as f64).collect();
+            let counts = vec![chunk; p];
+            comm.reduce_scatter(&buf, &counts)
+        });
+        // Element j of chunk i is Σ_r (r + i·chunk + j).
+        let rank_sum: f64 = (0..p).map(|r| r as f64).sum();
+        for (i, res) in report.results.iter().enumerate() {
+            for (j, &v) in res.iter().enumerate() {
+                let expect = rank_sum + (p * (i * chunk + j)) as f64;
+                prop_assert_eq!(v, expect, "member {} elem {}", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_is_transpose(p in 1usize..7, len in 0usize..8) {
+        let report = Machine::run::<u64, _, _>(p, MachineConfig::default(), move |rank| {
+            let comm = Communicator::world(rank);
+            let outgoing: Vec<Vec<u64>> = (0..p)
+                .map(|j| vec![(comm.me() * 100 + j) as u64; len])
+                .collect();
+            comm.alltoall(&outgoing)
+        });
+        for (i, res) in report.results.iter().enumerate() {
+            for (j, chunk) in res.iter().enumerate() {
+                prop_assert_eq!(chunk, &vec![(j * 100 + i) as u64; len]);
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_disjoint_groups_do_not_interfere() {
+    // 3 groups of 3 ranks each run different collectives concurrently.
+    let report = Machine::run::<f64, _, _>(9, MachineConfig::default(), |rank| {
+        let group = rank.id() / 3;
+        let members: Vec<usize> = (group * 3..group * 3 + 3).collect();
+        let comm = Communicator::new(rank, members, group as u32 + 10);
+        match group {
+            0 => {
+                let mut buf = vec![rank.id() as f64];
+                comm.allreduce(&mut buf);
+                buf[0]
+            }
+            1 => {
+                let mut buf = if comm.me() == 0 { vec![42.0] } else { vec![0.0] };
+                comm.bcast(0, &mut buf);
+                buf[0]
+            }
+            _ => {
+                let gathered = comm.gather(2, &[rank.id() as f64]);
+                gathered.map_or(-1.0, |g| g.iter().map(|c| c[0]).sum())
+            }
+        }
+    });
+    assert_eq!(report.results[0], 0.0 + 1.0 + 2.0);
+    assert_eq!(report.results[4], 42.0);
+    assert_eq!(report.results[8], 6.0 + 7.0 + 8.0);
+}
+
+#[test]
+fn ring_order_independence_of_thread_scheduling() {
+    // Volumes and results must be identical across repeated runs even
+    // though thread interleavings differ.
+    let run = || {
+        Machine::run::<f64, _, _>(6, MachineConfig::default(), |rank| {
+            let comm = Communicator::world(rank);
+            let mine = vec![rank.id() as f64; 64];
+            let all = comm.allgather_varying(&mine);
+            all.iter().map(|c| c.iter().sum::<f64>()).sum::<f64>()
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.stats.total_elems(), b.stats.total_elems());
+    assert_eq!(a.stats.per_rank_elems, b.stats.per_rank_elems);
+}

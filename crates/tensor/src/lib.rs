@@ -1,0 +1,97 @@
+//! # distconv-tensor
+//!
+//! Dense tensor substrate for the `distconv` workspace.
+//!
+//! The SPAA '21 paper's algorithms move *slices* of three 4-dimensional
+//! tensors (`In`, `Ker`, `Out`) between memories. This crate provides the
+//! minimal, dependency-light storage layer those algorithms manipulate:
+//!
+//! * [`Tensor4`] — an owned, row-major 4-D array over any [`Scalar`],
+//!   with checked indexing, sub-range [`slicing`](Tensor4::slice) and
+//!   [`copy`](Tensor4::copy_range_from) operations used to pack/unpack
+//!   communication buffers.
+//! * [`Matrix`] — a 2-D specialization used by the distributed
+//!   matrix-multiplication reference algorithms (SUMMA / 2.5D / 3D).
+//! * [`Range4`]/[`Shape4`] — closed-open multi-dimensional ranges with the
+//!   halo arithmetic ([`conv_input_region`]) that maps an output tile to
+//!   the strided, kernel-widened input region it reads
+//!   (`σ·w + r` indexing from the paper's Eq. 1).
+//! * Deterministic pseudo-random initialization ([`fill_random`],
+//!   [`Tensor4::random`]) so every distributed run can be checked
+//!   element-for-element against a sequential reference.
+//!
+//! Nothing in this crate knows about processors or communication; it is a
+//! pure data-layout substrate shared by every other crate in the
+//! workspace.
+
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod region;
+pub mod scalar;
+pub mod shape;
+pub mod tensor4;
+
+pub use matrix::Matrix;
+pub use region::{conv_input_extent, conv_input_region};
+pub use scalar::Scalar;
+pub use shape::{Idx4, Range4, Shape4};
+pub use tensor4::{fill_random, Tensor4};
+
+/// Maximum relative error between two scalar slices, for approximate
+/// equality checks of floating-point results produced by different
+/// summation orders.
+///
+/// Returns `None` if the slices have different lengths.
+pub fn max_rel_err<T: Scalar>(a: &[T], b: &[T]) -> Option<f64> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut worst = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let (x, y) = (x.to_f64(), y.to_f64());
+        let denom = x.abs().max(y.abs()).max(1.0);
+        worst = worst.max((x - y).abs() / denom);
+    }
+    Some(worst)
+}
+
+/// Assert that two slices agree within `tol` relative error.
+///
+/// # Panics
+/// Panics with a diagnostic message if the slices differ in length or any
+/// element pair exceeds the tolerance.
+pub fn assert_close<T: Scalar>(a: &[T], b: &[T], tol: f64, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    let err = max_rel_err(a, b).unwrap();
+    assert!(
+        err <= tol,
+        "{what}: max relative error {err:.3e} exceeds tolerance {tol:.1e}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_err_basics() {
+        let a = [1.0f64, 2.0, 3.0];
+        let b = [1.0f64, 2.0, 3.0];
+        assert_eq!(max_rel_err(&a, &b), Some(0.0));
+        let c = [1.0f64, 2.0, 4.0];
+        let e = max_rel_err(&a, &c).unwrap();
+        assert!(e > 0.2 && e < 0.3, "{e}");
+    }
+
+    #[test]
+    fn rel_err_len_mismatch() {
+        assert_eq!(max_rel_err(&[1.0f32], &[1.0f32, 2.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tolerance")]
+    fn assert_close_panics() {
+        assert_close(&[1.0f32], &[2.0f32], 1e-6, "unit");
+    }
+}

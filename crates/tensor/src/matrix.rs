@@ -1,0 +1,260 @@
+//! Row-major 2-D matrices for the distributed matrix-multiplication
+//! reference algorithms (SUMMA-2D / 2.5D / 3D).
+//!
+//! The paper's Sec 2.2 identifies its Case-1 CNN algorithm with 2D SUMMA
+//! and Case-2 with 2.5D/3D matmul; the `distconv-distmm` crate implements
+//! those analogs on this type and the analogy experiments (E7) compare
+//! the two families numerically via the 1×1-convolution reduction.
+
+use crate::scalar::Scalar;
+
+/// An owned, row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// A zero matrix of the given dimensions.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Wrap `data` (length `rows*cols`, row-major) as a matrix.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Deterministic pseudo-random matrix; element `(i,j)` is a pure
+    /// function of `(seed, i, j)` relative to a logical global matrix of
+    /// `global_cols` columns with this matrix's top-left at
+    /// `(row0, col0)`.
+    pub fn random_window(
+        rows: usize,
+        cols: usize,
+        seed: u64,
+        row0: usize,
+        col0: usize,
+        global_cols: usize,
+    ) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let lin = ((row0 + i) * global_cols + (col0 + j)) as u64;
+                m[(i, j)] = T::from_u64_hash(seed ^ lin.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+        }
+        m
+    }
+
+    /// Deterministic pseudo-random matrix (standalone; its own global
+    /// coordinate system).
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        Self::random_window(rows, cols, seed, 0, 0, cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major element slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat row-major element slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the flat element vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Set every element to zero.
+    pub fn clear(&mut self) {
+        self.data.fill(T::zero());
+    }
+
+    /// Copy the `[r0, r0+nr) × [c0, c0+nc)` block into a packed buffer.
+    pub fn pack_block(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Vec<T> {
+        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "block OOB");
+        let mut out = Vec::with_capacity(nr * nc);
+        for i in r0..r0 + nr {
+            let base = i * self.cols + c0;
+            out.extend_from_slice(&self.data[base..base + nc]);
+        }
+        out
+    }
+
+    /// Overwrite the `[r0, r0+nr) × [c0, c0+nc)` block from a packed
+    /// buffer.
+    pub fn unpack_block(&mut self, r0: usize, c0: usize, nr: usize, nc: usize, buf: &[T]) {
+        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "block OOB");
+        assert_eq!(buf.len(), nr * nc, "packed block length mismatch");
+        for i in 0..nr {
+            let base = (r0 + i) * self.cols + c0;
+            self.data[base..base + nc].copy_from_slice(&buf[i * nc..(i + 1) * nc]);
+        }
+    }
+
+    /// `self += other`, elementwise; shapes must match.
+    pub fn add_assign(&mut self, other: &Matrix<T>) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "matrix shape mismatch in add_assign"
+        );
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += buf` interpreted as a row-major matrix of identical shape.
+    pub fn add_assign_slice(&mut self, buf: &[T]) {
+        assert_eq!(buf.len(), self.data.len(), "slice length mismatch");
+        for (a, &b) in self.data.iter_mut().zip(buf.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl<T: Scalar> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// `C += A · B` with a simple ikj loop order (cache-friendly row-major
+/// accumulation). This is the correctness reference all distributed
+/// matmuls are validated against; the blocked/parallel production kernel
+/// lives in `distconv-distmm`.
+pub fn matmul_acc<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "output cols mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for i in 0..m {
+        for l in 0..k {
+            let av = a[(i, l)];
+            let brow = &b.as_slice()[l * n..(l + 1) * n];
+            let crow = &mut c.as_mut_slice()[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_shape() {
+        let mut m = Matrix::<f32>::zeros(2, 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m.as_slice()[5], 5.0);
+        assert_eq!((m.rows(), m.cols(), m.len()), (2, 3, 6));
+    }
+
+    #[test]
+    fn pack_unpack_block_roundtrip() {
+        let m = Matrix::from_vec(3, 4, (0..12).map(|x| x as f64).collect());
+        let b = m.pack_block(1, 1, 2, 2);
+        assert_eq!(b, vec![5.0, 6.0, 9.0, 10.0]);
+        let mut z = Matrix::<f64>::zeros(3, 4);
+        z.unpack_block(1, 1, 2, 2, &b);
+        assert_eq!(z[(1, 1)], 5.0);
+        assert_eq!(z[(2, 2)], 10.0);
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_vec(2, 2, vec![1.0f64, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0f64, 6.0, 7.0, 8.0]);
+        let mut c = Matrix::zeros(2, 2);
+        matmul_acc(&mut c, &a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let n = 5;
+        let mut id = Matrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            id[(i, i)] = 1.0;
+        }
+        let a = Matrix::random(n, n, 3);
+        let mut c = Matrix::zeros(n, n);
+        matmul_acc(&mut c, &a, &id);
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn random_window_consistency() {
+        let full = Matrix::<f32>::random(8, 8, 7);
+        let win = Matrix::<f32>::random_window(3, 4, 7, 2, 1, 8);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(win[(i, j)], full[(2 + i, 1 + j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_works() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0f32, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![10.0f32, 20.0, 30.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[11.0, 22.0, 33.0]);
+        a.add_assign_slice(&[1.0, 1.0, 1.0]);
+        assert_eq!(a.as_slice(), &[12.0, 23.0, 34.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 3);
+        let mut c = Matrix::<f64>::zeros(2, 3);
+        matmul_acc(&mut c, &a, &b);
+    }
+}

@@ -1,0 +1,134 @@
+//! Halo arithmetic: which input region does an output tile read?
+//!
+//! The CNN indexing `In[b, c, σw·w + r, σh·h + s]` (paper Eq. at Sec. 1)
+//! means an output tile of extent `Tw × Th` reads an input window of
+//! extent `(σw·Tw + Nr − 1) × (σh·Th + Ns − 1)` — the "halo" the paper's
+//! footprint expressions (Eq. 1, 3, 11) carry around. Centralizing the
+//! arithmetic here keeps the tiled executor, the distributed data
+//! distribution, and the analytical model in exact agreement.
+
+use crate::shape::Range4;
+
+/// Extent of input pixels read along one spatial dimension by `t_out`
+/// contiguous output pixels with stride `sigma` and kernel extent `n_ker`:
+/// `σ·T + N − σ` ... precisely: outputs `o, o+1, …, o+t_out−1` read inputs
+/// `σ·o + 0 … σ·(o+t_out−1) + (n_ker−1)`, an extent of
+/// `σ·(t_out−1) + n_ker`.
+///
+/// Note the paper writes this as `σ·T + N − 1`, which equals
+/// `σ·(T−1) + N + (σ−1)`; the two agree for σ=1 and the paper's form is
+/// an upper bound for σ>1. We use the exact extent for execution and the
+/// paper's form in the analytical model (matching its equations).
+#[inline]
+pub fn conv_input_extent(t_out: usize, sigma: usize, n_ker: usize) -> usize {
+    if t_out == 0 {
+        return 0;
+    }
+    sigma * (t_out - 1) + n_ker
+}
+
+/// The paper's halo-extent form `σ·T + N − 1` (used verbatim by the cost
+/// model so measured and modeled volumes can be compared term-for-term).
+#[inline]
+pub fn paper_input_extent(t_out: usize, sigma: usize, n_ker: usize) -> usize {
+    if t_out == 0 {
+        return 0;
+    }
+    sigma * t_out + n_ker - 1
+}
+
+/// Map an `Out` tile range (dimensions `[b, k, w, h]`) to the `In` region
+/// it reads (dimensions `[b, c, x, y]` where `x = σw·w + r`,
+/// `y = σh·h + s`), for input channels `[c_lo, c_hi)`.
+///
+/// The returned range is in global input coordinates and is exact
+/// (σ·(T−1)+N extents).
+pub fn conv_input_region(
+    out_range: Range4,
+    c_lo: usize,
+    c_hi: usize,
+    sigma_w: usize,
+    sigma_h: usize,
+    nr: usize,
+    ns: usize,
+) -> Range4 {
+    let [b_lo, _k_lo, w_lo, h_lo] = out_range.lo;
+    let [b_hi, _k_hi, w_hi, h_hi] = out_range.hi;
+    let tw = w_hi - w_lo;
+    let th = h_hi - h_lo;
+    Range4::new(
+        [b_lo, c_lo, sigma_w * w_lo, sigma_h * h_lo],
+        [
+            b_hi,
+            c_hi,
+            sigma_w * w_lo + conv_input_extent(tw, sigma_w, nr),
+            sigma_h * h_lo + conv_input_extent(th, sigma_h, ns),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_unit_stride() {
+        // 3 outputs, 3-wide kernel, stride 1: inputs 0..5 → extent 5.
+        assert_eq!(conv_input_extent(3, 1, 3), 5);
+        assert_eq!(paper_input_extent(3, 1, 3), 5); // agrees at σ=1
+    }
+
+    #[test]
+    fn extent_strided() {
+        // 3 outputs, 3-wide kernel, stride 2: inputs 0..2·2+2 → extent 7.
+        assert_eq!(conv_input_extent(3, 2, 3), 7);
+        // paper form is an upper bound for σ>1
+        assert_eq!(paper_input_extent(3, 2, 3), 8);
+        assert!(paper_input_extent(3, 2, 3) >= conv_input_extent(3, 2, 3));
+    }
+
+    #[test]
+    fn extent_zero_tile() {
+        assert_eq!(conv_input_extent(0, 1, 3), 0);
+        assert_eq!(paper_input_extent(0, 2, 5), 0);
+    }
+
+    #[test]
+    fn region_covers_all_reads() {
+        // Exhaustively confirm every (w, h, r, s) read falls inside the
+        // computed region, and the region's corners are attained.
+        let (sw, sh, nr, ns) = (2usize, 1usize, 3usize, 5usize);
+        let out = Range4::new([0, 0, 2, 1], [2, 4, 5, 4]); // [b,k,w,h]
+        let reg = conv_input_region(out, 1, 3, sw, sh, nr, ns);
+        assert_eq!(reg.lo, [0, 1, 4, 1]);
+        let mut max_x = 0;
+        let mut max_y = 0;
+        for w in out.lo[2]..out.hi[2] {
+            for h in out.lo[3]..out.hi[3] {
+                for r in 0..nr {
+                    for s in 0..ns {
+                        let x = sw * w + r;
+                        let y = sh * h + s;
+                        assert!(
+                            reg.contains([out.lo[0], 1, x, y]),
+                            "read ({x},{y}) outside {reg:?}"
+                        );
+                        max_x = max_x.max(x);
+                        max_y = max_y.max(y);
+                    }
+                }
+            }
+        }
+        assert_eq!(reg.hi[2], max_x + 1, "x extent not tight");
+        assert_eq!(reg.hi[3], max_y + 1, "y extent not tight");
+    }
+
+    #[test]
+    fn region_batch_and_channel_passthrough() {
+        let out = Range4::new([3, 0, 0, 0], [5, 2, 1, 1]);
+        let reg = conv_input_region(out, 2, 7, 1, 1, 1, 1);
+        assert_eq!((reg.lo[0], reg.hi[0]), (3, 5)); // batch preserved
+        assert_eq!((reg.lo[1], reg.hi[1]), (2, 7)); // channels from args
+        assert_eq!(reg.extents()[2], 1); // 1x1 kernel, stride 1
+    }
+}

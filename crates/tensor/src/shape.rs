@@ -1,0 +1,350 @@
+//! Shapes, indices and closed–open multi-dimensional ranges.
+//!
+//! The paper manipulates 4-D tensors (`In[b,c,y,x]`, `Ker[k,c,r,s]`,
+//! `Out[b,k,w,h]`); all shape arithmetic used by the tiled executors and
+//! the distributed data-distribution code lives here so it can be tested
+//! in isolation.
+
+/// Shape of a 4-D tensor, row-major (last dimension contiguous).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Shape4(pub [usize; 4]);
+
+/// A 4-D index.
+pub type Idx4 = [usize; 4];
+
+impl Shape4 {
+    /// Construct from four extents.
+    pub fn new(d0: usize, d1: usize, d2: usize, d3: usize) -> Self {
+        Shape4([d0, d1, d2, d3])
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True if any extent is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides (elements).
+    pub fn strides(&self) -> [usize; 4] {
+        let d = self.0;
+        [d[1] * d[2] * d[3], d[2] * d[3], d[3], 1]
+    }
+
+    /// Linear offset of `idx`, debug-checked against the extents.
+    #[inline]
+    pub fn offset(&self, idx: Idx4) -> usize {
+        debug_assert!(
+            idx.iter().zip(self.0.iter()).all(|(i, d)| i < d),
+            "index {idx:?} out of bounds for shape {:?}",
+            self.0
+        );
+        let s = self.strides();
+        idx[0] * s[0] + idx[1] * s[1] + idx[2] * s[2] + idx[3] * s[3]
+    }
+
+    /// The full range `[0, d) × … × [0, d)`.
+    pub fn full_range(&self) -> Range4 {
+        Range4 {
+            lo: [0; 4],
+            hi: self.0,
+        }
+    }
+
+    /// Inverse of [`Shape4::offset`]: the 4-D index of linear offset `lin`.
+    pub fn unoffset(&self, lin: usize) -> Idx4 {
+        debug_assert!(lin < self.len());
+        let s = self.strides();
+        [
+            lin / s[0],
+            (lin % s[0]) / s[1],
+            (lin % s[1]) / s[2],
+            lin % s[2],
+        ]
+    }
+}
+
+/// A closed–open 4-D range `[lo, hi)`, the unit of data the tiled and
+/// distributed executors move around (a tensor *slice* in the paper's
+/// terminology).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Range4 {
+    /// Inclusive lower corner.
+    pub lo: Idx4,
+    /// Exclusive upper corner.
+    pub hi: Idx4,
+}
+
+impl Range4 {
+    /// Construct from corner arrays; `hi[i] >= lo[i]` is required.
+    pub fn new(lo: Idx4, hi: Idx4) -> Self {
+        assert!(
+            lo.iter().zip(hi.iter()).all(|(l, h)| l <= h),
+            "invalid range lo={lo:?} hi={hi:?}"
+        );
+        Range4 { lo, hi }
+    }
+
+    /// Extent along each dimension.
+    pub fn extents(&self) -> [usize; 4] {
+        [
+            self.hi[0] - self.lo[0],
+            self.hi[1] - self.lo[1],
+            self.hi[2] - self.lo[2],
+            self.hi[3] - self.lo[3],
+        ]
+    }
+
+    /// The shape of the slice this range selects.
+    pub fn shape(&self) -> Shape4 {
+        Shape4(self.extents())
+    }
+
+    /// Number of elements selected.
+    pub fn len(&self) -> usize {
+        self.extents().iter().product()
+    }
+
+    /// True if the range selects no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `self` lies fully inside a tensor of shape `shape`.
+    pub fn fits_in(&self, shape: Shape4) -> bool {
+        self.hi.iter().zip(shape.0.iter()).all(|(h, d)| h <= d)
+    }
+
+    /// Elementwise intersection, or `None` if disjoint/empty.
+    pub fn intersect(&self, other: &Range4) -> Option<Range4> {
+        let mut lo = [0; 4];
+        let mut hi = [0; 4];
+        for i in 0..4 {
+            lo[i] = self.lo[i].max(other.lo[i]);
+            hi[i] = self.hi[i].min(other.hi[i]);
+            if lo[i] >= hi[i] {
+                return None;
+            }
+        }
+        Some(Range4 { lo, hi })
+    }
+
+    /// True if `idx` is inside the range.
+    pub fn contains(&self, idx: Idx4) -> bool {
+        (0..4).all(|i| self.lo[i] <= idx[i] && idx[i] < self.hi[i])
+    }
+
+    /// Translate so that `self.lo` becomes the origin (used when a global
+    /// slice is copied into a freshly allocated local buffer).
+    pub fn rebase(&self) -> Range4 {
+        Range4 {
+            lo: [0; 4],
+            hi: self.extents(),
+        }
+    }
+
+    /// Translate by `-origin` (global coordinates → coordinates inside a
+    /// buffer whose element `[0,0,0,0]` is global `origin`).
+    pub fn relative_to(&self, origin: Idx4) -> Range4 {
+        let mut lo = [0; 4];
+        let mut hi = [0; 4];
+        for i in 0..4 {
+            assert!(
+                self.lo[i] >= origin[i],
+                "range {self:?} not within origin {origin:?}"
+            );
+            lo[i] = self.lo[i] - origin[i];
+            hi[i] = self.hi[i] - origin[i];
+        }
+        Range4 { lo, hi }
+    }
+
+    /// Iterate over all contained indices in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Idx4> + '_ {
+        let lo = self.lo;
+        let hi = self.hi;
+        (lo[0]..hi[0]).flat_map(move |a| {
+            (lo[1]..hi[1]).flat_map(move |b| {
+                (lo[2]..hi[2]).flat_map(move |c| (lo[3]..hi[3]).map(move |d| [a, b, c, d]))
+            })
+        })
+    }
+}
+
+/// Split `[0, n)` into `parts` contiguous chunks as evenly as possible;
+/// chunk `i` is `[chunk_lo(i), chunk_lo(i+1))`. The first `n % parts`
+/// chunks get one extra element — the standard block distribution used
+/// for initial data placement.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockDist {
+    /// Total extent being distributed.
+    pub n: usize,
+    /// Number of chunks.
+    pub parts: usize,
+}
+
+impl BlockDist {
+    /// Create a distribution of `n` items over `parts` chunks.
+    pub fn new(n: usize, parts: usize) -> Self {
+        assert!(parts > 0, "cannot distribute over zero parts");
+        BlockDist { n, parts }
+    }
+
+    /// Start of chunk `i` (also valid for `i == parts`, giving `n`).
+    pub fn lo(&self, i: usize) -> usize {
+        debug_assert!(i <= self.parts);
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        base * i + extra.min(i)
+    }
+
+    /// `[lo, hi)` bounds of chunk `i`.
+    pub fn range(&self, i: usize) -> (usize, usize) {
+        (self.lo(i), self.lo(i + 1))
+    }
+
+    /// Length of chunk `i`.
+    pub fn len(&self, i: usize) -> usize {
+        let (l, h) = self.range(i);
+        h - l
+    }
+
+    /// True if every chunk is empty (`n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Which chunk owns item `x`.
+    pub fn owner(&self, x: usize) -> usize {
+        debug_assert!(x < self.n);
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        let fat = (base + 1) * extra; // items covered by the fat chunks
+        if base == 0 || x < fat {
+            x / (base + 1)
+        } else {
+            extra + (x - fat) / base
+        }
+    }
+
+    /// Largest chunk length (the capacity a receiver must budget for).
+    pub fn max_len(&self) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            self.n / self.parts + usize::from(!self.n.is_multiple_of(self.parts))
+        }
+    }
+}
+
+/// Exact integer ceiling division.
+#[inline]
+pub fn ceil_div(a: usize, b: usize) -> usize {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_offsets_roundtrip() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        let mut seen = vec![false; s.len()];
+        for idx in s.full_range().iter() {
+            let o = s.offset(idx);
+            assert!(!seen[o], "duplicate offset for {idx:?}");
+            seen[o] = true;
+            assert_eq!(s.unoffset(o), idx);
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.strides(), [60, 20, 5, 1]);
+        // Last dim contiguous.
+        assert_eq!(s.offset([0, 0, 0, 1]) - s.offset([0, 0, 0, 0]), 1);
+    }
+
+    #[test]
+    fn range_len_and_intersect() {
+        let a = Range4::new([0, 0, 0, 0], [4, 4, 4, 4]);
+        let b = Range4::new([2, 2, 2, 2], [6, 6, 6, 6]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Range4::new([2, 2, 2, 2], [4, 4, 4, 4]));
+        assert_eq!(i.len(), 16);
+        let c = Range4::new([4, 0, 0, 0], [5, 1, 1, 1]);
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn range_iter_covers_in_order() {
+        let r = Range4::new([1, 0, 2, 0], [3, 2, 3, 2]);
+        let v: Vec<_> = r.iter().collect();
+        assert_eq!(v.len(), r.len());
+        assert_eq!(v[0], [1, 0, 2, 0]);
+        assert_eq!(v[1], [1, 0, 2, 1]);
+        assert_eq!(*v.last().unwrap(), [2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn range_relative() {
+        let r = Range4::new([4, 2, 8, 8], [6, 3, 12, 16]);
+        let rel = r.relative_to([4, 2, 8, 8]);
+        assert_eq!(rel, Range4::new([0, 0, 0, 0], [2, 1, 4, 8]));
+        assert_eq!(r.rebase().hi, rel.hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn bad_range_panics() {
+        let _ = Range4::new([2, 0, 0, 0], [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn block_dist_partitions() {
+        for n in [0usize, 1, 7, 16, 100] {
+            for p in [1usize, 2, 3, 7, 16] {
+                let d = BlockDist::new(n, p);
+                assert_eq!(d.lo(0), 0);
+                assert_eq!(d.lo(p), n);
+                let mut total = 0;
+                for i in 0..p {
+                    let (l, h) = d.range(i);
+                    assert!(l <= h);
+                    assert!(h - l <= d.max_len());
+                    total += h - l;
+                    for x in l..h {
+                        assert_eq!(d.owner(x), i, "n={n} p={p} x={x}");
+                    }
+                }
+                assert_eq!(total, n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_dist_evenness() {
+        let d = BlockDist::new(10, 3);
+        assert_eq!(
+            (0..3).map(|i| d.len(i)).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
+        assert_eq!(d.max_len(), 4);
+    }
+
+    #[test]
+    fn ceil_div_cases() {
+        assert_eq!(ceil_div(0, 3), 0);
+        assert_eq!(ceil_div(1, 3), 1);
+        assert_eq!(ceil_div(3, 3), 1);
+        assert_eq!(ceil_div(4, 3), 2);
+    }
+}

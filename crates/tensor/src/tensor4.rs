@@ -1,0 +1,332 @@
+//! Owned row-major 4-D tensors with range-based copy in/out.
+//!
+//! [`Tensor4`] is the storage type for the three CNN tensors. The
+//! distributed executors never send tensors — they send packed `Vec<T>`
+//! buffers extracted with [`Tensor4::pack_range`] and re-inserted with
+//! [`Tensor4::unpack_range`] / [`Tensor4::add_unpack_range`]; keeping
+//! pack/unpack here keeps every communication path allocation-explicit,
+//! which is what the per-rank memory tracker meters.
+
+use crate::scalar::Scalar;
+use crate::shape::{Idx4, Range4, Shape4};
+
+/// An owned, row-major (last dimension contiguous) 4-D tensor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor4<T> {
+    shape: Shape4,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor4<T> {
+    /// A zero-filled tensor of the given shape.
+    pub fn zeros(shape: Shape4) -> Self {
+        Tensor4 {
+            shape,
+            data: vec![T::zero(); shape.len()],
+        }
+    }
+
+    /// Take ownership of `data` as a tensor of shape `shape`.
+    ///
+    /// # Panics
+    /// If `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape4, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape.0
+        );
+        Tensor4 { shape, data }
+    }
+
+    /// A tensor whose every element is a deterministic pseudo-random
+    /// function of `(seed, its coordinates)`. Two tensors created with the
+    /// same seed and shape are identical; shards of a larger tensor can be
+    /// materialized consistently by passing global coordinates via
+    /// [`Tensor4::random_window`].
+    pub fn random(shape: Shape4, seed: u64) -> Self {
+        Self::random_window(shape, seed, [0; 4], shape)
+    }
+
+    /// Like [`Tensor4::random`], but element `[i0..i3]` takes the value
+    /// the *global* tensor of shape `global_shape` would have at
+    /// `origin + [i0..i3]`. This is how distributed ranks materialize
+    /// their shard of a logically global input without communication.
+    pub fn random_window(shape: Shape4, seed: u64, origin: Idx4, global_shape: Shape4) -> Self {
+        let mut t = Tensor4::zeros(shape);
+        for idx in shape.full_range().iter() {
+            let g = [
+                origin[0] + idx[0],
+                origin[1] + idx[1],
+                origin[2] + idx[2],
+                origin[3] + idx[3],
+            ];
+            let h = seed ^ (global_shape.offset(g) as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            t[idx] = T::from_u64_hash(h);
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat element slice (row-major).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat element slice (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the flat element vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Set all elements to zero.
+    pub fn clear(&mut self) {
+        self.data.fill(T::zero());
+    }
+
+    /// Copy the elements of `range` (in this tensor's coordinates) into a
+    /// fresh row-major packed buffer. This is the "pack" half of every
+    /// message the distributed algorithms send.
+    pub fn pack_range(&self, range: Range4) -> Vec<T> {
+        assert!(
+            range.fits_in(self.shape),
+            "pack range {range:?} out of bounds for {:?}",
+            self.shape.0
+        );
+        let mut out = Vec::with_capacity(range.len());
+        let s = self.shape.strides();
+        let row = range.hi[3] - range.lo[3];
+        for a in range.lo[0]..range.hi[0] {
+            for b in range.lo[1]..range.hi[1] {
+                for c in range.lo[2]..range.hi[2] {
+                    let base = a * s[0] + b * s[1] + c * s[2] + range.lo[3];
+                    out.extend_from_slice(&self.data[base..base + row]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Overwrite the elements of `range` from a packed buffer produced by
+    /// [`Tensor4::pack_range`] on a range of identical extents.
+    pub fn unpack_range(&mut self, range: Range4, buf: &[T]) {
+        self.unpack_with(range, buf, |dst, src| *dst = src);
+    }
+
+    /// Accumulate (`+=`) a packed buffer into `range` — used for the final
+    /// `Out` reduction when the processor grid replicates along `c`.
+    pub fn add_unpack_range(&mut self, range: Range4, buf: &[T]) {
+        self.unpack_with(range, buf, |dst, src| *dst += src);
+    }
+
+    fn unpack_with(&mut self, range: Range4, buf: &[T], mut f: impl FnMut(&mut T, T)) {
+        assert!(
+            range.fits_in(self.shape),
+            "unpack range {range:?} out of bounds for {:?}",
+            self.shape.0
+        );
+        assert_eq!(
+            buf.len(),
+            range.len(),
+            "packed buffer length {} != range volume {}",
+            buf.len(),
+            range.len()
+        );
+        let s = self.shape.strides();
+        let row = range.hi[3] - range.lo[3];
+        let mut off = 0;
+        for a in range.lo[0]..range.hi[0] {
+            for b in range.lo[1]..range.hi[1] {
+                for c in range.lo[2]..range.hi[2] {
+                    let base = a * s[0] + b * s[1] + c * s[2] + range.lo[3];
+                    for (dst, &src) in self.data[base..base + row]
+                        .iter_mut()
+                        .zip(buf[off..off + row].iter())
+                    {
+                        f(dst, src);
+                    }
+                    off += row;
+                }
+            }
+        }
+    }
+
+    /// Copy `range` (coordinates of `src`) from `src` into the same range
+    /// of `self`. Both tensors must contain the range.
+    pub fn copy_range_from(&mut self, src: &Tensor4<T>, range: Range4) {
+        let buf = src.pack_range(range);
+        self.unpack_range(range, &buf);
+    }
+
+    /// Copy `src_range` of `src` into `dst_range` of `self`; the two
+    /// ranges must have identical extents (a translated copy — the core
+    /// of halo extraction and shard materialization).
+    pub fn copy_translated(&mut self, src: &Tensor4<T>, src_range: Range4, dst_lo: Idx4) {
+        let extents = src_range.extents();
+        let dst_range = Range4::new(
+            dst_lo,
+            [
+                dst_lo[0] + extents[0],
+                dst_lo[1] + extents[1],
+                dst_lo[2] + extents[2],
+                dst_lo[3] + extents[3],
+            ],
+        );
+        let buf = src.pack_range(src_range);
+        self.unpack_range(dst_range, &buf);
+    }
+
+    /// Extract `range` as a new owned tensor with the range rebased to
+    /// the origin.
+    pub fn slice(&self, range: Range4) -> Tensor4<T> {
+        Tensor4::from_vec(range.shape(), self.pack_range(range))
+    }
+}
+
+impl<T: Scalar> std::ops::Index<Idx4> for Tensor4<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, idx: Idx4) -> &T {
+        &self.data[self.shape.offset(idx)]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<Idx4> for Tensor4<T> {
+    #[inline]
+    fn index_mut(&mut self, idx: Idx4) -> &mut T {
+        let o = self.shape.offset(idx);
+        &mut self.data[o]
+    }
+}
+
+/// Fill a mutable slice with deterministic pseudo-random scalars derived
+/// from `seed` and each element's position.
+pub fn fill_random<T: Scalar>(buf: &mut [T], seed: u64) {
+    for (i, v) in buf.iter_mut().enumerate() {
+        *v = T::from_u64_hash(seed ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(shape: Shape4) -> Tensor4<f64> {
+        let data = (0..shape.len()).map(|i| i as f64).collect();
+        Tensor4::from_vec(shape, data)
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut t = Tensor4::<f32>::zeros(Shape4::new(2, 3, 4, 5));
+        t[[1, 2, 3, 4]] = 7.0;
+        assert_eq!(t[[1, 2, 3, 4]], 7.0);
+        assert_eq!(t.as_slice()[t.shape().offset([1, 2, 3, 4])], 7.0);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let t = seq_tensor(Shape4::new(3, 4, 5, 6));
+        let r = Range4::new([1, 0, 2, 1], [3, 3, 4, 5]);
+        let buf = t.pack_range(r);
+        assert_eq!(buf.len(), r.len());
+        let mut u = Tensor4::<f64>::zeros(t.shape());
+        u.unpack_range(r, &buf);
+        for idx in t.shape().full_range().iter() {
+            let expect = if r.contains(idx) { t[idx] } else { 0.0 };
+            assert_eq!(u[idx], expect, "at {idx:?}");
+        }
+    }
+
+    #[test]
+    fn pack_order_is_row_major() {
+        let t = seq_tensor(Shape4::new(2, 2, 2, 4));
+        let r = Range4::new([0, 0, 0, 1], [1, 1, 2, 3]);
+        // rows [0,0,0,1..3] then [0,0,1,1..3]
+        assert_eq!(t.pack_range(r), vec![1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn add_unpack_accumulates() {
+        let mut t = Tensor4::<f64>::zeros(Shape4::new(1, 1, 2, 2));
+        let r = t.shape().full_range();
+        t.add_unpack_range(r, &[1.0, 2.0, 3.0, 4.0]);
+        t.add_unpack_range(r, &[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(t.as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn copy_translated_moves_window() {
+        let src = seq_tensor(Shape4::new(1, 1, 4, 4));
+        let mut dst = Tensor4::<f64>::zeros(Shape4::new(1, 1, 2, 2));
+        dst.copy_translated(&src, Range4::new([0, 0, 1, 1], [1, 1, 3, 3]), [0, 0, 0, 0]);
+        assert_eq!(dst.as_slice(), &[5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn slice_rebases() {
+        let t = seq_tensor(Shape4::new(2, 2, 2, 2));
+        let s = t.slice(Range4::new([1, 0, 0, 0], [2, 2, 2, 2]));
+        assert_eq!(s.shape(), Shape4::new(1, 2, 2, 2));
+        assert_eq!(s[[0, 0, 0, 0]], t[[1, 0, 0, 0]]);
+    }
+
+    #[test]
+    fn random_window_matches_global() {
+        let g = Shape4::new(4, 4, 8, 8);
+        let full = Tensor4::<f32>::random(g, 99);
+        let win = Range4::new([1, 2, 3, 0], [3, 4, 6, 8]);
+        let shard = Tensor4::<f32>::random_window(win.shape(), 99, win.lo, g);
+        for idx in win.shape().full_range().iter() {
+            let gidx = [
+                win.lo[0] + idx[0],
+                win.lo[1] + idx[1],
+                win.lo[2] + idx[2],
+                win.lo[3] + idx[3],
+            ];
+            assert_eq!(shard[idx], full[gidx]);
+        }
+    }
+
+    #[test]
+    fn random_is_seed_sensitive() {
+        let s = Shape4::new(1, 1, 4, 4);
+        let a = Tensor4::<f64>::random(s, 1);
+        let b = Tensor4::<f64>::random(s, 2);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn pack_out_of_bounds_panics() {
+        let t = Tensor4::<f32>::zeros(Shape4::new(1, 1, 2, 2));
+        let _ = t.pack_range(Range4::new([0, 0, 0, 0], [1, 1, 3, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "packed buffer length")]
+    fn unpack_wrong_len_panics() {
+        let mut t = Tensor4::<f32>::zeros(Shape4::new(1, 1, 2, 2));
+        t.unpack_range(t.shape().full_range(), &[0.0; 3]);
+    }
+}

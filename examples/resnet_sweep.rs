@@ -1,0 +1,53 @@
+//! Layer sweep: plan every ResNet-50 / VGG-16 layer at full scale and
+//! chart the per-step communication of the paper's algorithm against
+//! the data-parallel gradient all-reduce — the "who wins where" table.
+//!
+//! ```sh
+//! cargo run --release --example resnet_sweep [batch] [procs]
+//! ```
+
+use distconv::cost::presets::{resnet50, vgg16};
+use distconv::cost::{MachineSpec, Planner};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let batch: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let procs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let mem = 1usize << 30; // 4 GiB of f32 words per rank
+
+    println!("batch {batch}, P = {procs}, per-rank memory 2^30 words\n");
+    println!(
+        "{:<22} {:>9} {:>12} {:>12} {:>12} {:>8}  winner",
+        "layer", "regime", "distconv C", "distconv D", "dp-allreduce", "ratio"
+    );
+    for layer in resnet50(batch).into_iter().chain(vgg16(batch)) {
+        let p = layer.problem;
+        match Planner::new(p, MachineSpec::new(procs, mem)).plan() {
+            Ok(plan) => {
+                // Horovod-style recurring cost: gradient all-reduce.
+                let dp = 2.0 * p.size_ker() as f64 * (procs as f64 - 1.0) / procs as f64;
+                let ratio = dp / plan.predicted.cost_c.max(1.0);
+                println!(
+                    "{:<22} {:>9} {:>12.0} {:>12.0} {:>12.0} {:>8.2}  {}",
+                    layer.name,
+                    plan.regime.name(),
+                    plan.predicted.cost_c,
+                    plan.predicted.cost_d,
+                    dp,
+                    ratio,
+                    if plan.predicted.cost_c < dp {
+                        "distconv"
+                    } else {
+                        "data-parallel"
+                    }
+                );
+            }
+            Err(e) => println!("{:<22} infeasible: {e}", layer.name),
+        }
+    }
+    println!(
+        "\nReading: early, image-heavy layers favor data parallelism (tiny kernels);\n\
+         deep layers with big kernels and small images favor the paper's algorithm —\n\
+         the crossover moves earlier as P grows."
+    );
+}

@@ -1,0 +1,57 @@
+//! A full training-step comparison: forward + weight gradient,
+//! distributed two ways.
+//!
+//! * **Horovod-style data parallelism**: replicate the kernel, split the
+//!   batch, all-reduce the gradient every step.
+//! * **The paper's algorithm, extended to training** (`distconv-core`'s
+//!   `run_training_step`): partitioned kernel, rotating broadcasts, and
+//!   a gradient reduce-scatter that lands *shard-aligned* with the
+//!   weights — no further movement before the optimizer update.
+//!
+//! Both are verified end-to-end against sequential references.
+//!
+//! ```sh
+//! cargo run --release --example training_step
+//! ```
+
+use distconv::baselines::run_data_parallel;
+use distconv::core::run_training_step;
+use distconv::cost::{Conv2dProblem, MachineSpec, Planner};
+use distconv::simnet::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::default();
+    let procs = 4;
+    println!("P = {procs} (all volumes in elements per training step)\n");
+    println!(
+        "{:<26} {:>14} {:>16} {:>16} {:>9}",
+        "layer", "dp fwd+grad", "distconv fwd", "distconv fwd+grad", "verified"
+    );
+    for (name, p) in [
+        ("wide image (16², 16ch)", Conv2dProblem::square(4, 16, 16, 16, 3)),
+        ("mid (8², 32ch)", Conv2dProblem::square(4, 32, 32, 8, 3)),
+        ("deep (4², 64ch)", Conv2dProblem::square(4, 64, 64, 4, 3)),
+    ] {
+        let dp = run_data_parallel(p, procs, 7, true, cfg);
+        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 22))
+            .plan()
+            .expect("plan");
+        let tr = run_training_step::<f64>(plan, 7, cfg).expect("verified");
+        println!(
+            "{:<26} {:>14} {:>16} {:>16} {:>9}",
+            name,
+            dp.stats.total_elems(),
+            tr.expected_forward.total(),
+            tr.measured_volume(),
+            dp.verified && tr.forward_verified && tr.grad_verified
+        );
+        assert_eq!(tr.measured_volume() as u128, tr.expected_total());
+    }
+    println!(
+        "\nReading: the data-parallel step pays 2(P−1)|Ker| for the gradient\n\
+         all-reduce plus the input scatter; the paper's distribution reuses its\n\
+         forward broadcasts for the backward pass (the In term shrinks by the\n\
+         k-tile count) and its gradient reduce-scatter is already shard-aligned.\n\
+         On kernel-heavy layers the partitioned scheme moves less per step."
+    );
+}

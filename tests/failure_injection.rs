@@ -1,0 +1,133 @@
+//! Failure injection: the system must fail loudly and precisely, not
+//! silently corrupt results.
+
+use distconv::conv::gvm::{GvmError, GvmExecutor};
+use distconv::conv::kernels::workload;
+use distconv::core::DistConv;
+use distconv::cost::exact::eq3_footprint_g;
+use distconv::cost::simplified::InnerLoop;
+use distconv::cost::{Conv2dProblem, MachineSpec, Partition, Planner, Tiling};
+use distconv::simnet::{Communicator, Machine, MachineConfig};
+use std::time::Duration;
+
+#[test]
+fn mismatched_collective_trips_deadlock_trap() {
+    // Rank 1 never joins the broadcast: rank 0 must hit the trap with a
+    // diagnostic instead of hanging forever.
+    let cfg = MachineConfig {
+        recv_timeout: Duration::from_millis(100),
+        ..MachineConfig::default()
+    };
+    let result = std::panic::catch_unwind(|| {
+        Machine::run::<f32, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                let comm = Communicator::world(rank);
+                let mut buf = vec![0.0f32; 4];
+                comm.bcast(1, &mut buf); // waits for rank 1, who never sends
+            }
+        })
+    });
+    let err = result.expect_err("must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("deadlock trap"), "got: {msg}");
+}
+
+#[test]
+fn memory_over_commit_is_attributed_to_the_rank() {
+    let cfg = MachineConfig {
+        mem_capacity: Some(50),
+        ..MachineConfig::default()
+    };
+    let result = std::panic::catch_unwind(|| {
+        Machine::run::<f32, _, _>(3, cfg, |rank| {
+            if rank.id() == 2 {
+                let _l = rank.mem().lease_or_panic(51);
+            }
+        })
+    });
+    let err = result.expect_err("must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("rank 2 out of memory"), "got: {msg}");
+}
+
+#[test]
+fn gvm_memory_violation_is_an_error_not_a_panic() {
+    let p = Conv2dProblem::square(2, 4, 4, 4, 3);
+    let w = Partition::new(2, 4, 4, 4, 4);
+    let t = Tiling::new(2, 4, 4, 4, 4); // whole problem in one tile
+    let g = eq3_footprint_g(&p, &t);
+    let ex = GvmExecutor::new(p, w, t, InnerLoop::C, Some(g - 1)).unwrap();
+    let (input, ker) = workload::<f32>(&p, 1);
+    match ex.execute_all(&input, &ker) {
+        Err(GvmError::TileExceedsMemory { needed, capacity }) => {
+            assert!(needed > capacity);
+        }
+        other => panic!("expected TileExceedsMemory, got {other:?}"),
+    }
+}
+
+#[test]
+fn distconv_memory_enforcement_fires_on_a_lying_plan() {
+    let p = Conv2dProblem::square(2, 8, 8, 4, 3);
+    let mut plan = Planner::new(p, MachineSpec::new(4, 1 << 20)).plan().unwrap();
+    plan.machine.mem = 16; // claim 16 words of memory per rank
+    let result =
+        std::panic::catch_unwind(|| DistConv::<f32>::new(plan).enforce_memory(true).run(1));
+    assert!(result.is_err());
+}
+
+#[test]
+fn honest_plan_fits_under_enforcement() {
+    // A plan the planner itself produced, run with the capacity it was
+    // planned for plus the documented spatial-halo slack, must fit.
+    let p = Conv2dProblem::square(2, 8, 8, 4, 3);
+    let plan = Planner::new(p, MachineSpec::new(4, 1 << 20)).plan().unwrap();
+    let r = DistConv::<f32>::new(plan)
+        .enforce_memory(true)
+        .run_verified(1)
+        .expect("planned capacity must suffice");
+    assert!(r.verified);
+    assert!(r.max_peak_mem() <= 1 << 20);
+}
+
+#[test]
+fn rank_panic_does_not_hang_the_machine() {
+    let cfg = MachineConfig {
+        recv_timeout: Duration::from_millis(200),
+        ..MachineConfig::default()
+    };
+    let result = std::panic::catch_unwind(|| {
+        Machine::run::<f32, _, _>(4, cfg, |rank| {
+            if rank.id() == 3 {
+                panic!("injected fault");
+            }
+            // Other ranks wait on rank 3 and must be released by the trap.
+            let comm = Communicator::world(rank);
+            comm.barrier();
+        })
+    });
+    assert!(result.is_err(), "fault must propagate, not hang");
+}
+
+#[test]
+fn wrong_payload_sizes_are_caught() {
+    let result = std::panic::catch_unwind(|| {
+        Machine::run::<f64, _, _>(2, MachineConfig::default(), |rank| {
+            let comm = Communicator::world(rank);
+            // Rank 0 contributes 3 elements, rank 1 contributes 4: the
+            // reduce must detect the mismatch.
+            let mut buf = vec![1.0; 3 + rank.id()];
+            comm.reduce(0, &mut buf);
+        })
+    });
+    let err = result.expect_err("must panic");
+    let msg = err
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("length mismatch"), "got: {msg}");
+}

@@ -1,0 +1,127 @@
+//! End-to-end integration: plan → distribute → execute → reduce →
+//! verify, across regimes, dtypes and grid families.
+
+use distconv::core::{expected_volumes, DistConv};
+use distconv::cost::{Conv2dProblem, MachineSpec, PlanError, Planner};
+
+#[test]
+fn full_pipeline_across_processor_counts() {
+    let p = Conv2dProblem::square(4, 16, 16, 8, 3);
+    for procs in [1usize, 2, 4, 8, 16, 32] {
+        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 20))
+            .plan()
+            .unwrap_or_else(|e| panic!("P={procs}: {e}"));
+        assert_eq!(plan.grid.total(), procs);
+        let r = DistConv::<f64>::new(plan).run_verified(99).expect("verified");
+        assert_eq!(
+            r.measured_volume() as u128,
+            expected_volumes(&plan).total(),
+            "P={procs}"
+        );
+    }
+}
+
+#[test]
+fn both_dtypes_agree_on_volume() {
+    let p = Conv2dProblem::square(2, 8, 8, 8, 3);
+    let plan = Planner::new(p, MachineSpec::new(8, 1 << 18)).plan().unwrap();
+    let r32 = DistConv::<f32>::new(plan).run_verified(5).unwrap();
+    let r64 = DistConv::<f64>::new(plan).run_verified(5).unwrap();
+    // Identical schedule → identical element counts, regardless of dtype.
+    assert_eq!(r32.measured_volume(), r64.measured_volume());
+    assert_eq!(r32.stats.per_rank_elems, r64.stats.per_rank_elems);
+}
+
+#[test]
+fn forced_grid_families_all_verify() {
+    let p = Conv2dProblem::square(2, 8, 16, 4, 3);
+    for pc in [1usize, 2, 4] {
+        let Ok(plan) = Planner::new(p, MachineSpec::new(8, 1 << 20))
+            .with_forced_pc(pc)
+            .plan()
+        else {
+            continue;
+        };
+        assert_eq!(plan.grid.pc, pc);
+        let r = DistConv::<f64>::new(plan).run_verified(17).expect("verified");
+        assert_eq!(r.measured_volume() as u128, r.expected.total(), "pc={pc}");
+    }
+}
+
+#[test]
+fn constant_gap_theorem_every_plan() {
+    // cost_D − cost == (|In|+|Ker|)/P for every plan the planner emits.
+    for (p, procs) in [
+        (Conv2dProblem::square(4, 16, 16, 8, 3), 8usize),
+        (Conv2dProblem::new(2, 8, 8, 6, 4, 3, 5, 1, 1), 4),
+        (Conv2dProblem::new(4, 16, 16, 8, 8, 3, 3, 2, 2), 16),
+    ] {
+        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 22)).plan().unwrap();
+        let gap = plan.predicted.cost_d - plan.predicted.cost_gvm;
+        let theorem = (p.size_in_paper() + p.size_ker()) as f64 / procs as f64;
+        assert!(
+            (gap - theorem).abs() < 1e-6,
+            "{p:?} P={procs}: gap {gap} vs theorem {theorem}"
+        );
+    }
+}
+
+#[test]
+fn volume_decreases_with_memory() {
+    // The headline trade-off, measured (not just predicted): more
+    // per-rank memory must never increase realized traffic.
+    let p = Conv2dProblem::square(4, 16, 32, 4, 3);
+    let mut prev = u64::MAX;
+    for mem in [1usize << 12, 1 << 14, 1 << 18, 1 << 22] {
+        let Ok(plan) = Planner::new(p, MachineSpec::new(16, mem)).plan() else {
+            continue;
+        };
+        let r = DistConv::<f64>::new(plan).run_verified(3).unwrap();
+        assert!(
+            r.measured_volume() <= prev,
+            "mem={mem}: {} after {prev}",
+            r.measured_volume()
+        );
+        prev = r.measured_volume();
+    }
+    assert!(prev < u64::MAX, "at least one memory level must be feasible");
+}
+
+#[test]
+fn planner_failure_modes_are_typed() {
+    let p = Conv2dProblem::square(4, 16, 16, 8, 3);
+    // Far too little memory.
+    match Planner::new(p, MachineSpec::new(8, 16)).plan() {
+        Err(PlanError::InsufficientMemory { needed, available }) => {
+            assert!(needed > available);
+        }
+        other => panic!("expected InsufficientMemory, got {other:?}"),
+    }
+    // Prime processor count not dividing anything.
+    match Planner::new(p, MachineSpec::new(23, 1 << 22)).plan() {
+        Err(PlanError::Unfactorable { p: 23 }) => {}
+        other => panic!("expected Unfactorable, got {other:?}"),
+    }
+}
+
+#[test]
+fn seeds_change_data_not_volume() {
+    let p = Conv2dProblem::square(2, 8, 8, 4, 3);
+    let plan = Planner::new(p, MachineSpec::new(4, 1 << 18)).plan().unwrap();
+    let a = DistConv::<f64>::new(plan).run_verified(1).unwrap();
+    let b = DistConv::<f64>::new(plan).run_verified(2).unwrap();
+    assert_eq!(a.measured_volume(), b.measured_volume());
+}
+
+#[test]
+fn non_power_of_two_extents() {
+    // 6 = 2·3 and 12 = 2²·3 exercise non-dyadic divisor grids.
+    let p = Conv2dProblem::new(6, 12, 6, 6, 6, 3, 3, 1, 1);
+    for procs in [2usize, 3, 6, 12] {
+        let Ok(plan) = Planner::new(p, MachineSpec::new(procs, 1 << 20)).plan() else {
+            panic!("P={procs} should be plannable for 6/12 extents");
+        };
+        let r = DistConv::<f64>::new(plan).run_verified(7).expect("verified");
+        assert_eq!(r.measured_volume() as u128, r.expected.total(), "P={procs}");
+    }
+}
