@@ -69,10 +69,8 @@ pub fn run_data_parallel(
             let _lf = rank.mem().lease_or_panic(full.len() as u64);
             for dst in 1..procs {
                 let (lo, hi) = dist.range(dst);
-                let rng = distconv_tensor::Range4::new(
-                    [lo, 0, 0, 0],
-                    [hi, p.nc, p.in_w(), p.in_h()],
-                );
+                let rng =
+                    distconv_tensor::Range4::new([lo, 0, 0, 0], [hi, p.nc, p.in_w(), p.in_h()]);
                 rank.send_vec(dst, TAG_IN_SCATTER, full.pack_range(rng));
             }
             full.slice(distconv_tensor::Range4::new(

@@ -33,8 +33,7 @@ pub fn spatial_feasible(p: &Conv2dProblem, procs: usize) -> bool {
     }
     let dist = BlockDist::new(p.nw, procs);
     let halo = p.nr.saturating_sub(p.sw);
-    (0..procs.saturating_sub(1))
-        .all(|i| p.sw * dist.len(i + 1) >= halo || i + 1 == procs - 1)
+    (0..procs.saturating_sub(1)).all(|i| p.sw * dist.len(i + 1) >= halo || i + 1 == procs - 1)
 }
 
 /// Run the spatial (width-split) scheme. Requires `procs ≤ N_w` and
@@ -101,10 +100,7 @@ pub fn run_spatial_parallel(
                 } else {
                     p.sw * dw_hi
                 };
-                let rng = Range4::new(
-                    [0, 0, dx_lo, 0],
-                    [p.nb, p.nc, dx_hi, p.in_h()],
-                );
+                let rng = Range4::new([0, 0, dx_lo, 0], [p.nb, p.nc, dx_hi, p.in_h()]);
                 rank.send_vec(dst, TAG_IN_SCATTER, full.pack_range(rng));
             }
             full.slice(Range4::new(
@@ -137,12 +133,8 @@ pub fn run_spatial_parallel(
         }
         // Assemble my compute window = owned ++ halo.
         let window_w = x_hi_needed - x_lo;
-        let mut window = Tensor4::<f64>::zeros(distconv_tensor::Shape4::new(
-            p.nb,
-            p.nc,
-            window_w,
-            p.in_h(),
-        ));
+        let mut window =
+            Tensor4::<f64>::zeros(distconv_tensor::Shape4::new(p.nb, p.nc, window_w, p.in_h()));
         let _lw = rank.mem().lease_or_panic(window.len() as u64);
         window.unpack_range(
             Range4::new([0, 0, 0, 0], [p.nb, p.nc, x_hi_owned - x_lo, p.in_h()]),
@@ -191,7 +183,11 @@ pub fn run_spatial_parallel(
         .map(|i| {
             let (dw_lo, dw_hi) = dist.range(i);
             let dx_lo = p.sw * dw_lo;
-            let dx_hi = if i == procs - 1 { p.in_w() } else { p.sw * dw_hi };
+            let dx_hi = if i == procs - 1 {
+                p.in_w()
+            } else {
+                p.sw * dw_hi
+            };
             (dx_hi - dx_lo) as u128 * plane
         })
         .sum();
@@ -242,14 +238,12 @@ mod tests {
         let r = run_spatial_parallel(p, 2, 1, MachineConfig::default());
         assert!(r.verified);
         let plane = (p.nb * p.nc * p.in_h()) as u128;
-        let halo_part = r.analytic_recurring
-            - (1..2u128).map(|_| 0).sum::<u128>()
-            - {
-                // subtract the scatter part to isolate halo
-                let dist = BlockDist::new(p.nw, 2);
-                let (dw_lo, _) = dist.range(1);
-                (p.in_w() - p.sw * dw_lo) as u128 * plane
-            };
+        let halo_part = r.analytic_recurring - (1..2u128).map(|_| 0).sum::<u128>() - {
+            // subtract the scatter part to isolate halo
+            let dist = BlockDist::new(p.nw, 2);
+            let (dw_lo, _) = dist.range(1);
+            (p.in_w() - p.sw * dw_lo) as u128 * plane
+        };
         assert_eq!(halo_part, 0, "no halo expected for σ ≥ Nr");
     }
 

@@ -1,58 +1,59 @@
-//! Criterion bench: simulator collectives — the substrate's overhead
+//! Wall-clock bench: simulator collectives — the substrate's overhead
 //! per collective, across rank counts and payloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use distconv_bench::Suite;
 use distconv_simnet::{Communicator, Machine, MachineConfig};
 use std::hint::black_box;
 
-fn bench_bcast(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bcast");
+fn bench_bcast() {
+    let mut g = Suite::new("bcast");
     for procs in [4usize, 8, 16] {
         let len = 64 * 1024usize;
-        g.throughput(Throughput::Elements((len * (procs - 1)) as u64));
-        g.bench_with_input(BenchmarkId::new("ranks", procs), &procs, |b, &procs| {
-            b.iter(|| {
+        g.bench_throughput(
+            format!("ranks/{procs}"),
+            Some((len * (procs - 1)) as u64),
+            || {
                 Machine::run::<f32, _, _>(procs, MachineConfig::default(), |rank| {
                     let comm = Communicator::world(rank);
                     let mut buf = vec![1.0f32; len];
                     comm.bcast(0, &mut buf);
                     black_box(buf[0])
                 })
-            })
-        });
+            },
+        );
     }
     g.finish();
 }
 
-fn bench_allreduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("allreduce");
+fn bench_allreduce() {
+    let mut g = Suite::new("allreduce");
     for len in [1024usize, 64 * 1024] {
-        g.throughput(Throughput::Elements(len as u64));
-        g.bench_with_input(BenchmarkId::new("len", len), &len, |b, &len| {
-            b.iter(|| {
-                Machine::run::<f32, _, _>(8, MachineConfig::default(), |rank| {
-                    let comm = Communicator::world(rank);
-                    let mut buf = vec![rank.id() as f32; len];
-                    comm.allreduce(&mut buf);
-                    black_box(buf[0])
-                })
+        g.bench_throughput(format!("len/{len}"), Some(len as u64), || {
+            Machine::run::<f32, _, _>(8, MachineConfig::default(), |rank| {
+                let comm = Communicator::world(rank);
+                let mut buf = vec![rank.id() as f32; len];
+                comm.allreduce(&mut buf);
+                black_box(buf[0])
             })
         });
     }
     g.finish();
 }
 
-fn bench_machine_spinup(c: &mut Criterion) {
+fn bench_machine_spinup() {
     // Thread spawn + teardown cost: the fixed overhead every simulated
     // experiment pays.
-    let mut g = c.benchmark_group("machine_spinup");
+    let mut g = Suite::new("machine_spinup");
     for procs in [4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::new("ranks", procs), &procs, |b, &procs| {
-            b.iter(|| Machine::run::<f32, _, _>(procs, MachineConfig::default(), |rank| rank.id()))
+        g.bench(format!("ranks/{procs}"), || {
+            Machine::run::<f32, _, _>(procs, MachineConfig::default(), |rank| rank.id())
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_bcast, bench_allreduce, bench_machine_spinup);
-criterion_main!(benches);
+fn main() {
+    bench_bcast();
+    bench_allreduce();
+    bench_machine_spinup();
+}

@@ -1,10 +1,10 @@
-//! Criterion bench: the analytical machinery (E1/E2 ablation) —
+//! Wall-clock bench: the analytical machinery (E1/E2 ablation) —
 //! closed-form solve vs brute-force integer optimization, and the full
 //! planner. Regenerates the cost side of Tables 1–2; the point is the
 //! *speed gap* between the paper's closed form (O(1)) and the
 //! exhaustive search it replaces.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distconv_bench::Suite;
 use distconv_cost::brute::{brute_eq3, brute_eq4};
 use distconv_cost::closed_form::{solve_table1, solve_table2};
 use distconv_cost::simplified::InnerLoop;
@@ -15,43 +15,51 @@ fn layer() -> Conv2dProblem {
     Conv2dProblem::square(4, 32, 32, 8, 3)
 }
 
-fn bench_closed_forms(c: &mut Criterion) {
+fn bench_closed_forms() {
     let p = layer();
-    let mut g = c.benchmark_group("table_solvers");
-    g.bench_function("table1_closed_form", |b| {
-        b.iter(|| solve_table1(black_box(&p), black_box(64), black_box(4096.0)))
+    let mut g = Suite::new("table_solvers");
+    g.bench("table1_closed_form", || {
+        solve_table1(black_box(&p), black_box(64), black_box(4096.0))
     });
-    g.bench_function("table2_closed_form", |b| {
-        b.iter(|| solve_table2(black_box(&p), black_box(64), black_box(4096.0)))
+    g.bench("table2_closed_form", || {
+        solve_table2(black_box(&p), black_box(64), black_box(4096.0))
     });
-    g.bench_function("table1_brute_force_eq4", |b| {
-        b.iter(|| brute_eq4(black_box(&p), black_box(64), black_box(4096.0), InnerLoop::C))
+    g.bench("table1_brute_force_eq4", || {
+        brute_eq4(
+            black_box(&p),
+            black_box(64),
+            black_box(4096.0),
+            InnerLoop::C,
+        )
     });
     g.finish();
 }
 
-fn bench_exact_brute(c: &mut Criterion) {
+fn bench_exact_brute() {
     // Small problem: the 5-D exhaustive search is exponential.
     let p = Conv2dProblem::square(2, 4, 4, 4, 3);
-    c.bench_function("eq3_brute_force_small", |b| {
-        b.iter(|| brute_eq3(black_box(&p), black_box(4), black_box(256)))
+    let mut g = Suite::new("eq3_brute_force");
+    g.bench("small", || {
+        brute_eq3(black_box(&p), black_box(4), black_box(256))
     });
+    g.finish();
 }
 
-fn bench_planner(c: &mut Criterion) {
+fn bench_planner() {
     let p = layer();
-    let mut g = c.benchmark_group("planner");
+    let mut g = Suite::new("planner");
     for procs in [16usize, 64, 256] {
-        g.bench_with_input(BenchmarkId::new("plan", procs), &procs, |b, &procs| {
-            b.iter(|| {
-                Planner::new(black_box(p), MachineSpec::new(procs, 1 << 20))
-                    .plan()
-                    .unwrap()
-            })
+        g.bench(format!("plan/{procs}"), || {
+            Planner::new(black_box(p), MachineSpec::new(procs, 1 << 20))
+                .plan()
+                .unwrap()
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_closed_forms, bench_exact_brute, bench_planner);
-criterion_main!(benches);
+fn main() {
+    bench_closed_forms();
+    bench_exact_brute();
+    bench_planner();
+}

@@ -1,9 +1,9 @@
-//! Criterion bench: the full distributed CNN algorithm (E6/E8/E9) —
+//! Wall-clock bench: the full distributed CNN algorithm (E6/E8/E9) —
 //! end-to-end wall time of plan + distribute + execute + reduce, and
 //! the regime ablation (planner's grid vs forced 2D grid).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use distconv_baselines::run_data_parallel;
+use distconv_bench::Suite;
 use distconv_core::DistConv;
 use distconv_cost::{Conv2dProblem, MachineSpec, Planner};
 use distconv_simnet::MachineConfig;
@@ -13,61 +13,57 @@ fn layer() -> Conv2dProblem {
     Conv2dProblem::square(4, 16, 16, 8, 3)
 }
 
-fn bench_distconv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("distconv_end_to_end");
-    g.sample_size(10);
+fn bench_distconv() {
+    let mut g = Suite::new("distconv_end_to_end");
     for procs in [4usize, 8, 16] {
         let plan = Planner::new(layer(), MachineSpec::new(procs, 1 << 20))
             .plan()
             .unwrap();
-        g.bench_with_input(BenchmarkId::new("ranks", procs), &plan, |b, plan| {
-            b.iter(|| black_box(DistConv::<f32>::new(*plan).run(7)))
+        g.bench(format!("ranks/{procs}"), move || {
+            black_box(DistConv::<f32>::new(plan).run(7))
         });
     }
     g.finish();
 }
 
-fn bench_regime_ablation(c: &mut Criterion) {
+fn bench_regime_ablation() {
     // Same layer and P, optimizer grid vs forced-Pc=1 grid: the cost of
     // ignoring the paper's Case-2 option.
     let p = Conv2dProblem::square(4, 8, 32, 4, 3);
-    let mut g = c.benchmark_group("regime_ablation");
-    g.sample_size(10);
-    let free = Planner::new(p, MachineSpec::new(16, 1 << 22)).plan().unwrap();
+    let mut g = Suite::new("regime_ablation");
+    let free = Planner::new(p, MachineSpec::new(16, 1 << 22))
+        .plan()
+        .unwrap();
     let forced = Planner::new(p, MachineSpec::new(16, 1 << 22))
         .with_forced_pc(1)
         .plan()
         .unwrap();
-    g.bench_function("planner_choice", |b| {
-        b.iter(|| black_box(DistConv::<f32>::new(free).run(9)))
+    g.bench("planner_choice", move || {
+        black_box(DistConv::<f32>::new(free).run(9))
     });
-    g.bench_function("forced_pc1", |b| {
-        b.iter(|| black_box(DistConv::<f32>::new(forced).run(9)))
+    g.bench("forced_pc1", move || {
+        black_box(DistConv::<f32>::new(forced).run(9))
     });
     g.finish();
 }
 
-fn bench_vs_data_parallel(c: &mut Criterion) {
+fn bench_vs_data_parallel() {
     let p = layer();
-    let mut g = c.benchmark_group("vs_data_parallel");
-    g.sample_size(10);
-    let plan = Planner::new(p, MachineSpec::new(4, 1 << 20)).plan().unwrap();
-    g.bench_function("distconv_p4", |b| {
-        b.iter(|| black_box(DistConv::<f32>::new(plan).run(11)))
+    let mut g = Suite::new("vs_data_parallel");
+    let plan = Planner::new(p, MachineSpec::new(4, 1 << 20))
+        .plan()
+        .unwrap();
+    g.bench("distconv_p4", move || {
+        black_box(DistConv::<f32>::new(plan).run(11))
     });
-    g.bench_function("data_parallel_p4", |b| {
-        b.iter(|| {
-            black_box(run_data_parallel(
-                p,
-                4,
-                11,
-                true,
-                MachineConfig::default(),
-            ))
-        })
+    g.bench("data_parallel_p4", move || {
+        black_box(run_data_parallel(p, 4, 11, true, MachineConfig::default()))
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_distconv, bench_regime_ablation, bench_vs_data_parallel);
-criterion_main!(benches);
+fn main() {
+    bench_distconv();
+    bench_regime_ablation();
+    bench_vs_data_parallel();
+}

@@ -1,47 +1,49 @@
-//! Criterion bench: the global-virtual-memory tiled executor (E3) —
+//! Wall-clock bench: the global-virtual-memory tiled executor (E3) —
 //! how tile-size choice changes wall time, alongside the data-movement
 //! model it validates. Optimal tiles (from Table 1) vs deliberately bad
 //! tiles is the ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use distconv_bench::Suite;
 use distconv_conv::gvm::GvmExecutor;
 use distconv_conv::kernels::workload;
 use distconv_cost::simplified::InnerLoop;
 use distconv_cost::{Conv2dProblem, Partition, Tiling};
 use std::hint::black_box;
 
-fn bench_gvm_tilings(c: &mut Criterion) {
+fn bench_gvm_tilings() {
     let p = Conv2dProblem::square(2, 16, 16, 8, 3);
     let w = Partition::new(p.nb, p.nk, p.nc, p.nh, p.nw);
     let (input, ker) = workload::<f32>(&p, 3);
-    let mut g = c.benchmark_group("gvm_tilings");
+    let mut g = Suite::new("gvm_tilings");
     for (name, t) in [
         ("unit_tiles", Tiling::new(1, 1, 1, 1, 1)),
         ("balanced_tiles", Tiling::new(1, 4, 1, 4, 4)),
         ("full_tiles", Tiling::new(2, 16, 16, 8, 8)),
     ] {
         let ex = GvmExecutor::new(p, w, t, InnerLoop::C, None).unwrap();
-        g.bench_function(name, |b| {
-            b.iter(|| ex.execute_all(black_box(&input), black_box(&ker)).unwrap())
+        g.bench(name, || {
+            ex.execute_all(black_box(&input), black_box(&ker)).unwrap()
         });
     }
     g.finish();
 }
 
-fn bench_gvm_schedules(c: &mut Criterion) {
+fn bench_gvm_schedules() {
     let p = Conv2dProblem::square(2, 16, 16, 8, 3);
     let w = Partition::new(p.nb, p.nk, p.nc, p.nh, p.nw);
     let t = Tiling::new(1, 4, 2, 4, 4);
     let (input, ker) = workload::<f32>(&p, 5);
-    let mut g = c.benchmark_group("gvm_schedules");
+    let mut g = Suite::new("gvm_schedules");
     for sched in [InnerLoop::C, InnerLoop::K, InnerLoop::Bhw] {
         let ex = GvmExecutor::new(p, w, t, sched, None).unwrap();
-        g.bench_function(format!("{sched:?}_innermost"), |b| {
-            b.iter(|| ex.execute_all(black_box(&input), black_box(&ker)).unwrap())
+        g.bench(format!("{sched:?}_innermost"), || {
+            ex.execute_all(black_box(&input), black_box(&ker)).unwrap()
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_gvm_tilings, bench_gvm_schedules);
-criterion_main!(benches);
+fn main() {
+    bench_gvm_tilings();
+    bench_gvm_schedules();
+}

@@ -1,12 +1,12 @@
-//! Criterion bench: local convolution kernels — direct vs im2col vs
-//! rayon-parallel direct, across representative layer shapes.
+//! Wall-clock bench: local convolution kernels — direct vs im2col vs
+//! thread-parallel direct, across representative layer shapes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distconv_bench::Suite;
 use distconv_conv::kernels::{conv2d_direct, conv2d_direct_par, conv2d_im2col, workload};
 use distconv_cost::Conv2dProblem;
 use std::hint::black_box;
 
-fn bench_conv_kernels(c: &mut Criterion) {
+fn bench_conv_kernels() {
     let layers = [
         ("early_16x16", Conv2dProblem::square(2, 8, 8, 16, 3)),
         ("mid_8x8", Conv2dProblem::square(2, 16, 16, 8, 3)),
@@ -14,32 +14,26 @@ fn bench_conv_kernels(c: &mut Criterion) {
     ];
     for (name, p) in layers {
         let (input, ker) = workload::<f32>(&p, 1);
-        let mut g = c.benchmark_group(format!("conv_{name}"));
-        g.bench_function("direct", |b| {
-            b.iter(|| black_box(conv2d_direct(&p, &input, &ker)))
+        let mut g = Suite::new(format!("conv_{name}"));
+        g.bench("direct", || black_box(conv2d_direct(&p, &input, &ker)));
+        g.bench("direct_par", || {
+            black_box(conv2d_direct_par(&p, &input, &ker))
         });
-        g.bench_function("direct_par", |b| {
-            b.iter(|| black_box(conv2d_direct_par(&p, &input, &ker)))
-        });
-        g.bench_function("im2col", |b| {
-            b.iter(|| black_box(conv2d_im2col(&p, &input, &ker)))
-        });
+        g.bench("im2col", || black_box(conv2d_im2col(&p, &input, &ker)));
         g.finish();
     }
 }
 
-fn bench_strided(c: &mut Criterion) {
+fn bench_strided() {
     let p = Conv2dProblem::new(2, 16, 16, 8, 8, 3, 3, 2, 2);
     let (input, ker) = workload::<f32>(&p, 2);
-    let mut g = c.benchmark_group("conv_strided");
-    g.bench_with_input(BenchmarkId::new("direct", "s2"), &p, |b, p| {
-        b.iter(|| black_box(conv2d_direct(p, &input, &ker)))
-    });
-    g.bench_with_input(BenchmarkId::new("im2col", "s2"), &p, |b, p| {
-        b.iter(|| black_box(conv2d_im2col(p, &input, &ker)))
-    });
+    let mut g = Suite::new("conv_strided");
+    g.bench("direct/s2", || black_box(conv2d_direct(&p, &input, &ker)));
+    g.bench("im2col/s2", || black_box(conv2d_im2col(&p, &input, &ker)));
     g.finish();
 }
 
-criterion_group!(benches, bench_conv_kernels, bench_strided);
-criterion_main!(benches);
+fn main() {
+    bench_conv_kernels();
+    bench_strided();
+}

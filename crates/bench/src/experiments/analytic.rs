@@ -4,7 +4,9 @@
 
 use crate::table::{fnum, inum, Table};
 use distconv_cost::brute::{brute_eq4, brute_eq4_conforming, property5_holds};
-use distconv_cost::closed_form::{ml_deflate, solve_table1, solve_table2, solve_table2_factored, thresh3d};
+use distconv_cost::closed_form::{
+    ml_deflate, solve_table1, solve_table2, solve_table2_factored, thresh3d,
+};
 use distconv_cost::exact::eq3_footprint_g;
 use distconv_cost::simplified::{resident_slice, InnerLoop};
 use distconv_cost::tiling::{largest_divisor_at_most, Tiling};
@@ -29,7 +31,15 @@ pub fn analytic_layers() -> Vec<(&'static str, Conv2dProblem)> {
 pub fn e1_table1() -> Table {
     let mut t = Table::new(
         "E1 — Table 1: closed-form vs brute-force integer optimum (Eq. 4, c innermost)",
-        &["layer", "P", "M_L", "regime", "closed", "brute", "brute/closed"],
+        &[
+            "layer",
+            "P",
+            "M_L",
+            "regime",
+            "closed",
+            "brute",
+            "brute/closed",
+        ],
     );
     let mut worst_ratio = 1.0f64;
     for (name, p) in analytic_layers() {
@@ -74,7 +84,14 @@ pub fn e2_table2() -> Table {
     let mut t = Table::new(
         "E2 — Table 2: all-permutation solutions vs brute force over the three families",
         &[
-            "layer", "P", "M_L", "printed", "factored", "brute(best)", "family", "printed≤t1",
+            "layer",
+            "P",
+            "M_L",
+            "printed",
+            "factored",
+            "brute(best)",
+            "family",
+            "printed≤t1",
         ],
     );
     for (name, p) in analytic_layers() {
@@ -152,8 +169,14 @@ pub fn e4_property5() -> Table {
     // Non-dyadic extents: integer violations can occur; certify each as
     // an integrality artifact (no conforming point matches the optimum).
     let awkward = [
-        ("awkward(30,6,6)", Conv2dProblem::new(2, 6, 6, 3, 5, 1, 1, 1, 1)),
-        ("awkward(21,10,14)", Conv2dProblem::new(3, 10, 14, 7, 1, 3, 3, 1, 1)),
+        (
+            "awkward(30,6,6)",
+            Conv2dProblem::new(2, 6, 6, 3, 5, 1, 1, 1, 1),
+        ),
+        (
+            "awkward(21,10,14)",
+            Conv2dProblem::new(3, 10, 14, 7, 1, 3, 3, 1, 1),
+        ),
     ];
     let mut violations = 0;
     let mut certified = 0;
@@ -169,7 +192,10 @@ pub fn e4_property5() -> Table {
                         None => true,
                         Some(c) => c.cost > b.cost * (1.0 + 1e-12),
                     };
-                    assert!(cert, "{name}: real Property-5 violation at P={procs} M_L={m_l}");
+                    assert!(
+                        cert,
+                        "{name}: real Property-5 violation at P={procs} M_L={m_l}"
+                    );
                     certified += 1;
                 }
             }
@@ -189,7 +215,16 @@ pub fn e4_property5() -> Table {
 pub fn e5_ml_deflation() -> Table {
     let mut t = Table::new(
         "E5 — M_L deflation: validity of the K-formula (Sec. 2.1)",
-        &["layer", "M", "M_L", "tile(Tk×Tbhw)", "exact g", "g≤M", "LB", "achieved"],
+        &[
+            "layer",
+            "M",
+            "M_L",
+            "tile(Tk×Tbhw)",
+            "exact g",
+            "g≤M",
+            "LB",
+            "achieved",
+        ],
     );
     for (name, p) in analytic_layers() {
         for m in [1usize << 10, 1 << 13, 1 << 16, 1 << 20] {
@@ -236,7 +271,15 @@ pub fn e5_ml_deflation() -> Table {
 pub fn e8_regime_sweep() -> Table {
     let mut t = Table::new(
         "E8 — memory sweep: regime transitions of the planned grid (P = 64)",
-        &["layer", "M_D", "grid(b,k,c,h,w)", "Pc", "regime", "cost_D", "gd"],
+        &[
+            "layer",
+            "M_D",
+            "grid(b,k,c,h,w)",
+            "Pc",
+            "regime",
+            "cost_D",
+            "gd",
+        ],
     );
     let p = Conv2dProblem::square(8, 64, 64, 8, 3);
     let mut prev = f64::INFINITY;
@@ -284,7 +327,11 @@ mod tests {
     #[test]
     fn e1_runs_and_validates() {
         let t = e1_table1();
-        assert!(t.rows.len() >= 30, "expected a dense sweep, got {}", t.rows.len());
+        assert!(
+            t.rows.len() >= 30,
+            "expected a dense sweep, got {}",
+            t.rows.len()
+        );
     }
 
     #[test]

@@ -5,6 +5,6 @@ pub mod simulated;
 
 pub use analytic::{e1_table1, e2_table2, e4_property5, e5_ml_deflation, e8_regime_sweep};
 pub use simulated::{
-    e10_scaling, e11_alpha_beta, e3_gvm_exactness, e6_distributed, e7_matmul_analogy,
-    e12_network, e9_baselines, e9_baselines_analytic,
+    e10_scaling, e11_alpha_beta, e12_network, e3_gvm_exactness, e6_distributed, e7_matmul_analogy,
+    e9_baselines, e9_baselines_analytic,
 };

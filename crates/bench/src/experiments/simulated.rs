@@ -2,7 +2,9 @@
 //! machine (E3, E6, E7, E9, E10).
 
 use crate::table::{fnum, inum, Table};
-use distconv_baselines::{run_data_parallel, run_filter_parallel, run_spatial_parallel, spatial_feasible};
+use distconv_baselines::{
+    run_data_parallel, run_filter_parallel, run_spatial_parallel, spatial_feasible,
+};
 use distconv_conv::gvm::GvmExecutor;
 use distconv_conv::kernels::workload;
 use distconv_core::{expected_volumes, DistConv};
@@ -17,12 +19,28 @@ use distconv_simnet::{CostParams, MachineConfig, StatsSnapshot};
 pub fn e3_gvm_exactness() -> Table {
     let mut t = Table::new(
         "E3 — GVM executor: measured global↔local traffic vs Eq. 3",
-        &["tiling (Tb,Tk,Tc,Th,Tw)", "σ", "schedule", "measured", "Eq.3", "relation"],
+        &[
+            "tiling (Tb,Tk,Tc,Th,Tw)",
+            "σ",
+            "schedule",
+            "measured",
+            "Eq.3",
+            "relation",
+        ],
     );
     let cases = [
-        (Conv2dProblem::square(2, 4, 4, 4, 3), Tiling::new(1, 2, 1, 2, 2)),
-        (Conv2dProblem::square(2, 4, 4, 4, 3), Tiling::new(2, 1, 1, 4, 1)),
-        (Conv2dProblem::square(2, 8, 8, 4, 3), Tiling::new(1, 4, 1, 2, 4)),
+        (
+            Conv2dProblem::square(2, 4, 4, 4, 3),
+            Tiling::new(1, 2, 1, 2, 2),
+        ),
+        (
+            Conv2dProblem::square(2, 4, 4, 4, 3),
+            Tiling::new(2, 1, 1, 4, 1),
+        ),
+        (
+            Conv2dProblem::square(2, 8, 8, 4, 3),
+            Tiling::new(1, 4, 1, 2, 4),
+        ),
         (
             Conv2dProblem::new(2, 4, 4, 4, 4, 3, 3, 2, 2),
             Tiling::new(1, 2, 1, 2, 2),
@@ -70,7 +88,10 @@ fn sim_layers() -> Vec<(&'static str, Conv2dProblem)> {
     vec![
         ("sim/mid", Conv2dProblem::square(4, 16, 16, 8, 3)),
         ("sim/deep", Conv2dProblem::square(4, 32, 32, 4, 3)),
-        ("sim/strided", Conv2dProblem::new(4, 16, 16, 8, 8, 3, 3, 2, 2)),
+        (
+            "sim/strided",
+            Conv2dProblem::new(4, 16, 16, 8, 8, 3, 3, 2, 2),
+        ),
     ]
 }
 
@@ -80,7 +101,15 @@ pub fn e6_distributed() -> Table {
     let mut t = Table::new(
         "E6 — distributed CNN algorithm: measured vs modeled (Eq. 10/11)",
         &[
-            "layer", "P", "grid", "measured", "expected", "eq10·P", "peak", "gd(Eq11)", "gap==|In|+|Ker|/P",
+            "layer",
+            "P",
+            "grid",
+            "measured",
+            "expected",
+            "eq10·P",
+            "peak",
+            "gd(Eq11)",
+            "gap==|In|+|Ker|/P",
         ],
     );
     for (name, p) in sim_layers() {
@@ -129,7 +158,9 @@ pub fn e7_matmul_analogy() -> Table {
     let procs = 16;
 
     // The paper's algorithm (planner free to choose the grid).
-    let plan = Planner::new(p, MachineSpec::new(procs, 1 << 22)).plan().unwrap();
+    let plan = Planner::new(p, MachineSpec::new(procs, 1 << 22))
+        .plan()
+        .unwrap();
     let r = DistConv::<f64>::new(plan).run_verified(31).unwrap();
     let g = plan.grid;
     t.row(vec![
@@ -212,13 +243,23 @@ pub fn e7_matmul_analogy() -> Table {
 pub fn e9_baselines() -> Table {
     let mut t = Table::new(
         "E9 — distconv vs baseline schemes (measured, simulator scale)",
-        &["layer", "P", "scheme", "recurring", "placement", "peak mem", "ok"],
+        &[
+            "layer",
+            "P",
+            "scheme",
+            "recurring",
+            "placement",
+            "peak mem",
+            "ok",
+        ],
     );
     let cfg = MachineConfig::default();
     for (name, p) in sim_layers() {
         {
             let procs = 4usize;
-            let plan = Planner::new(p, MachineSpec::new(procs, 1 << 20)).plan().unwrap();
+            let plan = Planner::new(p, MachineSpec::new(procs, 1 << 20))
+                .plan()
+                .unwrap();
             let r = DistConv::<f64>::new(plan).run_verified(41).unwrap();
             t.row(vec![
                 name.into(),
@@ -284,7 +325,14 @@ pub fn e9_baselines() -> Table {
 pub fn e9_baselines_analytic(nb: usize) -> Table {
     let mut t = Table::new(
         format!("E9b — full-scale analytic: per-step volume/processor, batch {nb}"),
-        &["layer", "P", "distconv cost_C", "dp allreduce", "dp/distconv", "winner"],
+        &[
+            "layer",
+            "P",
+            "distconv cost_C",
+            "dp allreduce",
+            "dp/distconv",
+            "winner",
+        ],
     );
     let layers = distconv_cost::presets::resnet50(nb)
         .into_iter()
@@ -311,7 +359,9 @@ pub fn e9_baselines_analytic(nb: usize) -> Table {
             ]);
         }
     }
-    t.note("distconv wins where kernels are large relative to per-rank work (late layers, high P);");
+    t.note(
+        "distconv wins where kernels are large relative to per-rank work (late layers, high P);",
+    );
     t.note("data-parallel wins on wide-image early layers where its allreduce is tiny — matching the paper's motivation that no single simple scheme dominates.");
     t
 }
@@ -327,7 +377,9 @@ pub fn e10_scaling() -> Table {
     // Strong: fixed layer.
     let p = Conv2dProblem::square(8, 16, 16, 8, 3);
     for procs in [1usize, 2, 4, 8, 16] {
-        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 20)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 20))
+            .plan()
+            .unwrap();
         let r = DistConv::<f64>::new(plan).run_verified(51).unwrap();
         let g = plan.grid;
         t.row(vec![
@@ -342,7 +394,9 @@ pub fn e10_scaling() -> Table {
     // Weak: batch scales with P.
     for procs in [1usize, 2, 4, 8] {
         let p = Conv2dProblem::square(2 * procs, 16, 16, 8, 3);
-        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 20)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 20))
+            .plan()
+            .unwrap();
         let r = DistConv::<f64>::new(plan).run_verified(53).unwrap();
         let g = plan.grid;
         t.row(vec![
@@ -377,20 +431,41 @@ pub fn check_volume_invariant(p: Conv2dProblem, procs: usize, mem: usize, seed: 
 pub fn e11_alpha_beta() -> Table {
     let mut t = Table::new(
         "E11 — α–β makespan: three network profiles (P = 8)",
-        &["scheme", "msgs", "elems", "latency-bound", "balanced", "bandwidth-bound"],
+        &[
+            "scheme",
+            "msgs",
+            "elems",
+            "latency-bound",
+            "balanced",
+            "bandwidth-bound",
+        ],
     );
     let p = Conv2dProblem::square(8, 32, 32, 8, 3);
     let procs = 8;
     let profiles = [
-        ("latency-bound", CostParams { alpha: 1e-4, beta: 1e-10 }),
+        (
+            "latency-bound",
+            CostParams {
+                alpha: 1e-4,
+                beta: 1e-10,
+            },
+        ),
         ("balanced", CostParams::default()),
-        ("bandwidth-bound", CostParams { alpha: 1e-7, beta: 1e-7 }),
+        (
+            "bandwidth-bound",
+            CostParams {
+                alpha: 1e-7,
+                beta: 1e-7,
+            },
+        ),
     ];
 
     // Each row: (name, closure running the scheme under a config and
     // returning (stats, makespan)).
     type RunFn = Box<dyn Fn(MachineConfig) -> (StatsSnapshot, f64)>;
-    let plan = Planner::new(p, MachineSpec::new(procs, 1 << 22)).plan().unwrap();
+    let plan = Planner::new(p, MachineSpec::new(procs, 1 << 22))
+        .plan()
+        .unwrap();
     let plan2d = Planner::new(p, MachineSpec::new(procs, 1 << 22))
         .with_forced_pc(1)
         .plan()
@@ -460,7 +535,15 @@ pub fn e12_network() -> Table {
     use distconv_core::{run_network, NetworkPlan};
     let mut t = Table::new(
         "E12 — multi-layer network: per-layer grids + redistribution tax",
-        &["P", "layers", "fwd volume", "redist volume", "redist %", "exact", "verified"],
+        &[
+            "P",
+            "layers",
+            "fwd volume",
+            "redist volume",
+            "redist %",
+            "exact",
+            "verified",
+        ],
     );
     let layers = vec![
         Conv2dProblem::new(2, 16, 4, 16, 16, 3, 3, 1, 1),
@@ -487,7 +570,9 @@ pub fn e12_network() -> Table {
             r.verified.to_string(),
         ]);
     }
-    t.note("redistribution = activations moving between consecutive layers' different optimal grids;");
+    t.note(
+        "redistribution = activations moving between consecutive layers' different optimal grids;",
+    );
     t.note("a real cost (≈25% of traffic at P=4 here) that per-layer analysis leaves on the table — future-work territory the reproduction surfaces.");
     t
 }

@@ -1,0 +1,236 @@
+//! A tiny wall-clock bench runner: the in-tree replacement for
+//! `criterion` (hermeticity policy, DESIGN.md).
+//!
+//! Each `benches/bench_*.rs` target is a plain `main()` (the manifests
+//! keep `harness = false`) that builds [`Suite`]s and times closures.
+//! Compared to criterion this keeps: named groups, per-case labels,
+//! warmup, multiple timed batches with min/median reporting, and a
+//! throughput column. It drops: statistical regression analysis, HTML
+//! reports, and saved baselines — for this repo the benches are
+//! *relative* ablations (blocked vs parallel, optimal vs bad tiles),
+//! where a median over a few batches answers the question.
+//!
+//! Environment knobs:
+//!
+//! * `DISTCONV_BENCH_QUICK=1` — one warmup + one batch of one
+//!   iteration per case. CI uses this as a "benches still run" smoke
+//!   test; timings are meaningless in this mode.
+//! * `DISTCONV_BENCH_BATCHES=<n>` — timed batches per case (default 7).
+//! * `DISTCONV_BENCH_MIN_MS=<n>` — target milliseconds per batch
+//!   (default 40): iterations per batch are auto-calibrated so one
+//!   batch runs at least this long.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Resolved runner settings (see module docs for the env knobs).
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Timed batches per case; the median batch is reported.
+    pub batches: u32,
+    /// Target wall time per batch, used to calibrate iterations.
+    pub min_batch: Duration,
+    /// Smoke mode: one iteration, one batch.
+    pub quick: bool,
+}
+
+impl BenchConfig {
+    /// Read configuration from the environment.
+    pub fn from_env() -> Self {
+        let quick = std::env::var("DISTCONV_BENCH_QUICK").is_ok_and(|v| v != "0");
+        let batches = std::env::var("DISTCONV_BENCH_BATCHES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(7);
+        let min_ms = std::env::var("DISTCONV_BENCH_MIN_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(40u64);
+        BenchConfig {
+            batches: batches.max(1),
+            min_batch: Duration::from_millis(min_ms.max(1)),
+            quick,
+        }
+    }
+}
+
+/// A named group of benchmark cases, printed as a table on [`Suite::finish`].
+pub struct Suite {
+    name: String,
+    cfg: BenchConfig,
+    rows: Vec<Row>,
+}
+
+struct Row {
+    label: String,
+    iters: u64,
+    median_ns: f64,
+    min_ns: f64,
+    throughput: Option<u64>,
+}
+
+impl Suite {
+    /// Start a group named `name` with environment-derived settings.
+    pub fn new(name: impl Into<String>) -> Self {
+        Suite {
+            name: name.into(),
+            cfg: BenchConfig::from_env(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Time `f`, reporting per-iteration cost under `label`.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, label: impl Into<String>, f: F) -> &mut Self {
+        self.bench_throughput(label, None, f)
+    }
+
+    /// Like [`Suite::bench`], additionally reporting `elems/s` derived
+    /// from `elems` processed per iteration.
+    pub fn bench_throughput<R, F: FnMut() -> R>(
+        &mut self,
+        label: impl Into<String>,
+        elems: Option<u64>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = label.into();
+        // Warmup + calibration: run batches of growing size until one
+        // takes min_batch; that size is the measured batch size.
+        let mut iters: u64 = 1;
+        if !self.cfg.quick {
+            loop {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                let el = t.elapsed();
+                if el >= self.cfg.min_batch || iters >= 1 << 24 {
+                    break;
+                }
+                // Aim past the target so the next probe usually ends it.
+                let factor = (self.cfg.min_batch.as_secs_f64() / el.as_secs_f64().max(1e-9))
+                    .clamp(1.5, 100.0);
+                iters = ((iters as f64 * factor).ceil() as u64).max(iters + 1);
+            }
+        }
+        let batches = if self.cfg.quick { 1 } else { self.cfg.batches };
+        let mut samples: Vec<f64> = (0..batches)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_secs_f64() * 1e9 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.rows.push(Row {
+            label,
+            iters,
+            median_ns: samples[samples.len() / 2],
+            min_ns: samples[0],
+            throughput: elems,
+        });
+        self
+    }
+
+    /// Print the group's table to stdout.
+    pub fn finish(&mut self) {
+        println!("\n## {}", self.name);
+        println!(
+            "| {:<28} | {:>12} | {:>12} | {:>8} | {:>14} |",
+            "case", "median/iter", "min/iter", "iters", "throughput"
+        );
+        println!(
+            "|{}|{}|{}|{}|{}|",
+            "-".repeat(30),
+            "-".repeat(14),
+            "-".repeat(14),
+            "-".repeat(10),
+            "-".repeat(16)
+        );
+        for r in &self.rows {
+            let tp = r
+                .throughput
+                .map(|e| {
+                    let per_sec = e as f64 / (r.median_ns / 1e9);
+                    format!("{} elem/s", human(per_sec))
+                })
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "| {:<28} | {:>12} | {:>12} | {:>8} | {:>14} |",
+                r.label,
+                human_ns(r.median_ns),
+                human_ns(r.min_ns),
+                r.iters,
+                tp
+            );
+        }
+        self.rows.clear();
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human(x: f64) -> String {
+    if x < 1e3 {
+        format!("{x:.0}")
+    } else if x < 1e6 {
+        format!("{:.1}K", x / 1e3)
+    } else if x < 1e9 {
+        format!("{:.1}M", x / 1e6)
+    } else {
+        format!("{:.2}G", x / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_each_case_once_per_batch() {
+        let mut s = Suite::new("test");
+        s.cfg = BenchConfig {
+            batches: 3,
+            min_batch: Duration::from_millis(1),
+            quick: true,
+        };
+        let mut calls = 0u64;
+        s.bench("counted", || calls += 1);
+        assert_eq!(calls, 1, "quick mode: no warmup, single 1-iter batch");
+        assert_eq!(s.rows.len(), 1);
+        assert_eq!(s.rows[0].iters, 1);
+    }
+
+    #[test]
+    fn calibration_reaches_min_batch() {
+        let mut s = Suite::new("test");
+        s.cfg = BenchConfig {
+            batches: 2,
+            min_batch: Duration::from_millis(2),
+            quick: false,
+        };
+        s.bench("spin", || std::hint::black_box((0..1000).sum::<u64>()));
+        assert!(s.rows[0].iters > 1, "cheap op must be batched up");
+        assert!(s.rows[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn humanizers() {
+        assert_eq!(human_ns(12.34), "12.3 ns");
+        assert_eq!(human_ns(12_340.0), "12.34 µs");
+        assert_eq!(human_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(human(1500.0), "1.5K");
+        assert_eq!(human(2.5e7), "25.0M");
+    }
+}

@@ -194,7 +194,12 @@ impl GvmExecutor {
                                 for jc in 0..sc {
                                     let c_lo = oc + jc * t.tc;
                                     self.load_and_compute(
-                                        out_rng, c_lo, input, ker, &mut out_tile, &mut meas,
+                                        out_rng,
+                                        c_lo,
+                                        input,
+                                        ker,
+                                        &mut out_tile,
+                                        &mut meas,
                                         &mut mem,
                                     )?;
                                 }
@@ -213,8 +218,7 @@ impl GvmExecutor {
                             for jc in 0..sc {
                                 let c_lo = oc + jc * t.tc;
                                 // In tile resident across the k loop.
-                                let probe =
-                                    self.out_tile_range(part, [jb, 0, jh, jw]);
+                                let probe = self.out_tile_range(part, [jb, 0, jh, jw]);
                                 let in_rng = conv_input_region(
                                     probe,
                                     c_lo,
@@ -228,11 +232,10 @@ impl GvmExecutor {
                                 mem.acquire(in_rng.len() as u128)?;
                                 meas.loads_in += in_rng.len() as u128;
                                 for jk in 0..sk {
-                                    let out_rng =
-                                        self.out_tile_range(part, [jb, jk, jh, jw]);
+                                    let out_rng = self.out_tile_range(part, [jb, jk, jh, jw]);
                                     self.ker_out_step(
-                                        out_rng, c_lo, jc, &in_tile, in_rng, ker, out,
-                                        &mut meas, &mut mem,
+                                        out_rng, c_lo, jc, &in_tile, in_rng, ker, out, &mut meas,
+                                        &mut mem,
                                     )?;
                                 }
                                 mem.release(in_rng.len() as u128);
@@ -247,18 +250,15 @@ impl GvmExecutor {
                         let c_lo = oc + jc * t.tc;
                         let k_lo = ok + jk * t.tk;
                         // Ker tile resident across the bhw loops.
-                        let ker_rng = Range4::new(
-                            [k_lo, c_lo, 0, 0],
-                            [k_lo + t.tk, c_lo + t.tc, p.nr, p.ns],
-                        );
+                        let ker_rng =
+                            Range4::new([k_lo, c_lo, 0, 0], [k_lo + t.tk, c_lo + t.tc, p.nr, p.ns]);
                         let ker_tile = ker.slice(ker_rng);
                         mem.acquire(ker_rng.len() as u128)?;
                         meas.loads_ker += ker_rng.len() as u128;
                         for jb in 0..sb {
                             for jw in 0..sw {
                                 for jh in 0..sh {
-                                    let out_rng =
-                                        self.out_tile_range(part, [jb, jk, jh, jw]);
+                                    let out_rng = self.out_tile_range(part, [jb, jk, jh, jw]);
                                     self.in_out_step(
                                         out_rng, c_lo, jc, &ker_tile, input, out, &mut meas,
                                         &mut mem,
@@ -310,10 +310,7 @@ impl GvmExecutor {
         mem.acquire(in_rng.len() as u128)?;
         meas.loads_in += in_rng.len() as u128;
         let k_lo = out_rng.lo[1];
-        let ker_rng = Range4::new(
-            [k_lo, c_lo, 0, 0],
-            [k_lo + t.tk, c_lo + t.tc, p.nr, p.ns],
-        );
+        let ker_rng = Range4::new([k_lo, c_lo, 0, 0], [k_lo + t.tk, c_lo + t.tc, p.nr, p.ns]);
         let ker_tile = ker.slice(ker_rng);
         mem.acquire(ker_rng.len() as u128)?;
         meas.loads_ker += ker_rng.len() as u128;
@@ -341,10 +338,7 @@ impl GvmExecutor {
         let p = &self.problem;
         let t = self.t;
         let k_lo = out_rng.lo[1];
-        let ker_rng = Range4::new(
-            [k_lo, c_lo, 0, 0],
-            [k_lo + t.tk, c_lo + t.tc, p.nr, p.ns],
-        );
+        let ker_rng = Range4::new([k_lo, c_lo, 0, 0], [k_lo + t.tk, c_lo + t.tc, p.nr, p.ns]);
         let ker_tile = ker.slice(ker_rng);
         mem.acquire(ker_rng.len() as u128)?;
         meas.loads_ker += ker_rng.len() as u128;
@@ -420,8 +414,8 @@ impl GvmExecutor {
                 for ic in 0..grid[2] {
                     for ih in 0..grid[3] {
                         for iw in 0..grid[4] {
-                            let m = self
-                                .run_partition([ib, ik, ic, ih, iw], input, ker, &mut out)?;
+                            let m =
+                                self.run_partition([ib, ik, ic, ih, iw], input, ker, &mut out)?;
                             all.push(m);
                         }
                     }

@@ -1,9 +1,9 @@
-//! Convolution compute kernels: references, the rayon-parallel local
+//! Convolution compute kernels: references, the thread-parallel local
 //! kernel, and the shared tile micro-kernel.
 
 use distconv_cost::Conv2dProblem;
+use distconv_par::pool;
 use distconv_tensor::{Scalar, Shape4, Tensor4};
-use rayon::prelude::*;
 
 /// Shape of the `In` tensor for `p` (exact halo form).
 pub fn in_shape(p: &Conv2dProblem) -> Shape4 {
@@ -49,8 +49,8 @@ pub fn conv2d_direct<T: Scalar>(
                     for c in 0..p.nc {
                         for r in 0..p.nr {
                             for s in 0..p.ns {
-                                acc += input[[b, c, p.sw * w + r, p.sh * h + s]]
-                                    * ker[[k, c, r, s]];
+                                acc +=
+                                    input[[b, c, p.sw * w + r, p.sh * h + s]] * ker[[k, c, r, s]];
                             }
                         }
                     }
@@ -62,7 +62,7 @@ pub fn conv2d_direct<T: Scalar>(
     out
 }
 
-/// Rayon-parallel direct convolution (parallel over `(b, k)` pairs —
+/// Thread-parallel direct convolution (parallel over `(b, k)` pairs —
 /// independent output planes, so the parallelization is race-free by
 /// construction). Produces bitwise-identical results to
 /// [`conv2d_direct`]: each output element is an independent sum in the
@@ -76,27 +76,23 @@ pub fn conv2d_direct_par<T: Scalar>(
     assert_eq!(ker.shape(), ker_shape(p), "Ker shape mismatch");
     let mut out = Tensor4::zeros(out_shape(p));
     let plane = p.nw * p.nh;
-    out.as_mut_slice()
-        .par_chunks_mut(plane)
-        .enumerate()
-        .for_each(|(bk, chunk)| {
-            let b = bk / p.nk;
-            let k = bk % p.nk;
-            for w in 0..p.nw {
-                for h in 0..p.nh {
-                    let mut acc = T::zero();
-                    for c in 0..p.nc {
-                        for r in 0..p.nr {
-                            for s in 0..p.ns {
-                                acc += input[[b, c, p.sw * w + r, p.sh * h + s]]
-                                    * ker[[k, c, r, s]];
-                            }
+    pool::par_chunks_mut(out.as_mut_slice(), plane, |bk, chunk| {
+        let b = bk / p.nk;
+        let k = bk % p.nk;
+        for w in 0..p.nw {
+            for h in 0..p.nh {
+                let mut acc = T::zero();
+                for c in 0..p.nc {
+                    for r in 0..p.nr {
+                        for s in 0..p.ns {
+                            acc += input[[b, c, p.sw * w + r, p.sh * h + s]] * ker[[k, c, r, s]];
                         }
                     }
-                    chunk[w * p.nh + h] = acc;
                 }
+                chunk[w * p.nh + h] = acc;
             }
-        });
+        }
+    });
     out
 }
 
@@ -214,8 +210,8 @@ pub fn grad_ker<T: Scalar>(
                     for b in 0..p.nb {
                         for w in 0..p.nw {
                             for h in 0..p.nh {
-                                acc += d_out[[b, k, w, h]]
-                                    * input[[b, c, p.sw * w + r, p.sh * h + s]];
+                                acc +=
+                                    d_out[[b, k, w, h]] * input[[b, c, p.sw * w + r, p.sh * h + s]];
                             }
                         }
                     }

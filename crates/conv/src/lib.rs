@@ -14,7 +14,7 @@
 //! Contents:
 //!
 //! * [`kernels`] — `conv2d_direct` (Listing 1 reference),
-//!   `conv2d_direct_par` (rayon), `conv2d_im2col` (matmul-reduction
+//!   `conv2d_direct_par` (worker pool), `conv2d_im2col` (matmul-reduction
 //!   reference), the shared tile micro-kernel [`kernels::conv_tile`],
 //!   and the weight-gradient kernel used by the training-step example.
 //! * [`gvm`] — executes Listing 3 (and its `k`/`bhw`-innermost

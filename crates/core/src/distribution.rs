@@ -97,7 +97,13 @@ pub fn distribute<T: Scalar>(plan: &DistPlan, rank_id: usize, seed: u64) -> Rank
     let w = plan.w;
     let grid = plan_grid(plan);
     let coords_v = grid.coords_of(rank_id);
-    let coords: [usize; 5] = [coords_v[0], coords_v[1], coords_v[2], coords_v[3], coords_v[4]];
+    let coords: [usize; 5] = [
+        coords_v[0],
+        coords_v[1],
+        coords_v[2],
+        coords_v[3],
+        coords_v[4],
+    ];
     let [ib, ik, ic, ih, iw] = coords;
     let bhw_pos = (ib * plan.grid.ph + ih) * plan.grid.pw + iw;
 
@@ -157,8 +163,8 @@ pub fn out_range(plan: &DistPlan, coords: [usize; 5]) -> Range4 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distconv_cost::{Conv2dProblem, MachineSpec, Planner};
     use distconv_conv::kernels::workload;
+    use distconv_cost::{Conv2dProblem, MachineSpec, Planner};
 
     fn plan16() -> DistPlan {
         Planner::new(
@@ -263,7 +269,13 @@ mod tests {
             let coords_v = grid.coords_of(id);
             let r = out_range(
                 &plan,
-                [coords_v[0], coords_v[1], coords_v[2], coords_v[3], coords_v[4]],
+                [
+                    coords_v[0],
+                    coords_v[1],
+                    coords_v[2],
+                    coords_v[3],
+                    coords_v[4],
+                ],
             );
             for idx in r.iter() {
                 count[out_shape.offset(idx)] += 1;

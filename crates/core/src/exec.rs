@@ -33,7 +33,10 @@ impl std::fmt::Display for CoreError {
                 write!(f, "plan grid has {grid} ranks but machine has {machine}")
             }
             CoreError::VerificationFailed { max_rel_err } => {
-                write!(f, "distributed result mismatch: max rel err {max_rel_err:.3e}")
+                write!(
+                    f,
+                    "distributed result mismatch: max rel err {max_rel_err:.3e}"
+                )
             }
         }
     }
@@ -116,7 +119,8 @@ impl<T: Scalar> DistConv<T> {
 
     /// Execute the plan with workload `seed`; no verification.
     pub fn run(&self, seed: u64) -> DistConvReport {
-        self.run_inner(seed, false).expect("unverified run cannot fail")
+        self.run_inner(seed, false)
+            .expect("unverified run cannot fail")
     }
 
     /// Execute and verify every output element against the sequential
@@ -132,9 +136,7 @@ impl<T: Scalar> DistConv<T> {
         if self.enforce_memory {
             cfg.mem_capacity = Some(plan.machine.mem as u64);
         }
-        let report = Machine::run::<T, _, _>(procs, cfg, |rank| {
-            rank_body::<T>(rank, &plan, seed)
-        });
+        let report = Machine::run::<T, _, _>(procs, cfg, |rank| rank_body::<T>(rank, &plan, seed));
 
         let (verified, max_rel_err) = if verify {
             let worst = verify_results::<T>(&plan, seed, &report.results);
@@ -165,7 +167,11 @@ impl<T: Scalar> DistConv<T> {
 fn verification_tolerance<T: Scalar>(plan: &DistPlan) -> f64 {
     let p = &plan.problem;
     let terms = (p.nc * p.nr * p.ns) as f64;
-    let eps = if std::mem::size_of::<T>() == 4 { 1e-6 } else { 1e-14 };
+    let eps = if std::mem::size_of::<T>() == 4 {
+        1e-6
+    } else {
+        1e-14
+    };
     eps * terms.max(1.0) * 8.0
 }
 
@@ -187,9 +193,9 @@ fn rank_body<T: Scalar>(rank: &Rank<T>, plan: &DistPlan, seed: u64) -> (RankOut<
         ker_c_range: _,
     } = distribute::<T>(plan, rank.id(), seed);
     let [_ib, ik, ic, _ih, _iw] = coords;
-    let _shard_lease = rank.mem().lease_or_panic(
-        (out_slice.len() + in_shard.len() + ker_shard.len()) as u64,
-    );
+    let _shard_lease = rank
+        .mem()
+        .lease_or_panic((out_slice.len() + in_shard.len() + ker_shard.len()) as u64);
 
     // Fiber communicators: dims are [b, k, c, h, w].
     let k_comm = grid.sub_comm(rank, rank.id(), &world, &[1]);
@@ -217,8 +223,8 @@ fn rank_body<T: Scalar>(rank: &Rank<T>, plan: &DistPlan, seed: u64) -> (RankOut<
 
     // --- Final reduction of Out partials along the c fiber. ---
     if plan.grid.pc > 1 {
-        let mut buf = std::mem::replace(&mut out_slice, Tensor4::zeros(Shape4::new(1, 1, 1, 1)))
-            .into_vec();
+        let mut buf =
+            std::mem::replace(&mut out_slice, Tensor4::zeros(Shape4::new(1, 1, 1, 1))).into_vec();
         c_comm.reduce(0, &mut buf);
         out_slice = Tensor4::from_vec(Shape4::new(w.wb, w.wk, w.ww, w.wh), buf);
     }
@@ -245,11 +251,7 @@ pub struct RankOut<T> {
 
 /// Compare every `i_c = 0` rank's slice against the sequential
 /// reference; returns the worst relative error.
-fn verify_results<T: Scalar>(
-    plan: &DistPlan,
-    seed: u64,
-    results: &[(RankOut<T>, ())],
-) -> f64 {
+fn verify_results<T: Scalar>(plan: &DistPlan, seed: u64, results: &[(RankOut<T>, ())]) -> f64 {
     let p = plan.problem;
     let (input, ker) = workload::<T>(&p, seed);
     let reference = conv2d_direct_par(&p, &input, &ker);
@@ -273,7 +275,9 @@ mod tests {
     use distconv_cost::{Conv2dProblem, MachineSpec, Planner};
 
     fn run_plan(p: Conv2dProblem, procs: usize, mem: usize) -> DistConvReport {
-        let plan = Planner::new(p, MachineSpec::new(procs, mem)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(procs, mem))
+            .plan()
+            .unwrap();
         DistConv::<f64>::new(plan).run_verified(5).unwrap()
     }
 
@@ -344,7 +348,9 @@ mod tests {
     #[test]
     fn peak_memory_within_eq11_when_no_spatial_split() {
         let p = Conv2dProblem::square(2, 8, 8, 4, 3);
-        let plan = Planner::new(p, MachineSpec::new(4, 1 << 20)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(4, 1 << 20))
+            .plan()
+            .unwrap();
         let r = DistConv::<f64>::new(plan).run_verified(7).unwrap();
         if plan_is_spatial_free(&r.plan) {
             assert!(
@@ -391,18 +397,21 @@ mod tests {
         // Build a valid plan, then lie about the machine memory and
         // enforce: the run must panic inside a rank (propagated).
         let p = Conv2dProblem::square(2, 8, 8, 4, 3);
-        let mut plan = Planner::new(p, MachineSpec::new(4, 1 << 20)).plan().unwrap();
+        let mut plan = Planner::new(p, MachineSpec::new(4, 1 << 20))
+            .plan()
+            .unwrap();
         plan.machine.mem = 8; // absurdly small
-        let result = std::panic::catch_unwind(|| {
-            DistConv::<f64>::new(plan).enforce_memory(true).run(1)
-        });
+        let result =
+            std::panic::catch_unwind(|| DistConv::<f64>::new(plan).enforce_memory(true).run(1));
         assert!(result.is_err(), "memory enforcement should have fired");
     }
 
     #[test]
     fn deterministic_across_runs() {
         let p = Conv2dProblem::square(2, 8, 8, 4, 3);
-        let plan = Planner::new(p, MachineSpec::new(4, 1 << 18)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(4, 1 << 18))
+            .plan()
+            .unwrap();
         let a = DistConv::<f64>::new(plan).run(9);
         let b = DistConv::<f64>::new(plan).run(9);
         assert_eq!(a.measured_volume(), b.measured_volume());

@@ -50,8 +50,7 @@ pub(crate) fn forward_tiles<T: Scalar>(ctx: &ForwardCtx<'_, '_, T>, out_slice: &
 
                         // In tile broadcast along the k fiber.
                         let in_owner = in_dist.owner(ct);
-                        let in_rng =
-                            conv_input_region(out_rng, gc, gc + 1, p.sw, p.sh, p.nr, p.ns);
+                        let in_rng = conv_input_region(out_rng, gc, gc + 1, p.sw, p.sh, p.nr, p.ns);
                         let mut in_buf = if ctx.ik == in_owner {
                             ctx.in_shard.pack_range(in_rng.relative_to(ctx.in_origin))
                         } else {
@@ -68,7 +67,8 @@ pub(crate) fn forward_tiles<T: Scalar>(ctx: &ForwardCtx<'_, '_, T>, out_slice: &
                             [out_rng.hi[1], gc + 1, p.nr, p.ns],
                         );
                         let mut ker_buf = if ctx.bhw_pos == ker_owner {
-                            ctx.ker_shard.pack_range(ker_rng.relative_to(ctx.ker_origin))
+                            ctx.ker_shard
+                                .pack_range(ker_rng.relative_to(ctx.ker_origin))
                         } else {
                             vec![T::zero(); ker_rng.len()]
                         };
@@ -99,10 +99,7 @@ pub(crate) fn tile_range(plan: &DistPlan, origin: [usize; 4], j: [usize; 4]) -> 
         origin[2] + j[3] * t.tw,
         origin[3] + j[2] * t.th,
     ];
-    Range4::new(
-        lo,
-        [lo[0] + t.tb, lo[1] + t.tk, lo[2] + t.tw, lo[3] + t.th],
-    )
+    Range4::new(lo, [lo[0] + t.tb, lo[1] + t.tk, lo[2] + t.tw, lo[3] + t.th])
 }
 
 /// Accumulate one tile directly into the resident `Out` slice

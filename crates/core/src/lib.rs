@@ -34,6 +34,13 @@
 
 #![warn(missing_docs)]
 
+/// The in-tree scoped worker pool (re-export of [`distconv_par::pool`]).
+///
+/// Lives in `distconv-par` so the leaf crates (`conv`, `distmm`) can
+/// share it without a dependency cycle; re-exported here because this
+/// crate is the workspace's front door for algorithm users.
+pub use distconv_par::pool;
+
 pub mod distribution;
 pub mod exec;
 pub(crate) mod fwd;

@@ -81,7 +81,8 @@ pub fn expected_volumes(plan: &DistPlan) -> ExpectedVolumes {
 pub fn eq10_aggregate(plan: &DistPlan) -> f64 {
     let procs = plan.grid.total();
     procs as f64
-        * (eq10_cost_i(&plan.problem, &plan.w, procs) + eq10_cost_c(&plan.problem, &plan.w, &plan.t))
+        * (eq10_cost_i(&plan.problem, &plan.w, procs)
+            + eq10_cost_c(&plan.problem, &plan.w, &plan.t))
 }
 
 /// Exact expected peak memory (elements) of rank `rank_id` during a
@@ -111,10 +112,9 @@ pub fn expected_peak_mem(plan: &DistPlan, rank_id: usize) -> u64 {
     let (kc_lo, kc_hi) = ker_c_dist(plan).range(bhw_pos);
     let ker_shard = (w.wk * (kc_hi - kc_lo) * p.nr * p.ns) as u64;
     // Transient tile buffers (exact halos), coexisting per step.
-    let in_tile = (t.tb
-        * t.tc
-        * conv_input_extent(t.tw, p.sw, p.nr)
-        * conv_input_extent(t.th, p.sh, p.ns)) as u64;
+    let in_tile =
+        (t.tb * t.tc * conv_input_extent(t.tw, p.sw, p.nr) * conv_input_extent(t.th, p.sh, p.ns))
+            as u64;
     let ker_tile = (t.tk * t.tc * p.nr * p.ns) as u64;
     out_slice + in_shard + ker_shard + in_tile + ker_tile
 }
@@ -133,7 +133,9 @@ mod tests {
     use distconv_cost::{Conv2dProblem, MachineSpec, Planner};
 
     fn plan(p: Conv2dProblem, procs: usize, mem: usize) -> DistPlan {
-        Planner::new(p, MachineSpec::new(procs, mem)).plan().unwrap()
+        Planner::new(p, MachineSpec::new(procs, mem))
+            .plan()
+            .unwrap()
     }
 
     #[test]
@@ -191,8 +193,7 @@ mod tests {
         if pl.grid.pk > 1 {
             let ev = expected_volumes(&pl);
             let b = distconv_cost::exact::eq3_cost(&pl.problem, &pl.w, &pl.t);
-            let model_in =
-                16.0 * b.inp * (pl.grid.pk as f64 - 1.0) / pl.grid.pk as f64;
+            let model_in = 16.0 * b.inp * (pl.grid.pk as f64 - 1.0) / pl.grid.pk as f64;
             assert!(
                 (ev.in_bcast as f64 - model_in).abs() < 1e-6,
                 "in_bcast {} vs model {model_in}",

@@ -65,7 +65,10 @@ impl NetworkPlan {
             .map(|(i, &p)| {
                 Planner::new(p, machine)
                     .plan()
-                    .map_err(|e| NetworkError::Plan { layer: i, source: e })
+                    .map_err(|e| NetworkError::Plan {
+                        layer: i,
+                        source: e,
+                    })
             })
             .collect::<Result<Vec<_>, _>>()?;
         let redist_volumes = layers
@@ -111,7 +114,11 @@ impl std::fmt::Display for NetworkError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetworkError::Empty => write!(f, "network has no layers"),
-            NetworkError::ShapeMismatch { layer, out, next_in } => write!(
+            NetworkError::ShapeMismatch {
+                layer,
+                out,
+                next_in,
+            } => write!(
                 f,
                 "layer {layer} output {out:?} does not match layer {} input {next_in:?}",
                 layer + 1
@@ -230,18 +237,14 @@ pub fn run_network<T: Scalar>(
     cfg: MachineConfig,
 ) -> Result<NetworkReport, CoreError> {
     let procs = plan.layers[0].grid.total();
-    let report = Machine::run::<T, _, _>(procs, cfg, |rank| {
-        network_rank_body::<T>(rank, plan, seed)
-    });
+    let report =
+        Machine::run::<T, _, _>(procs, cfg, |rank| network_rank_body::<T>(rank, plan, seed));
 
     // --- Sequential reference: chain the layers. ---
     let first = plan.layers[0].problem;
     let mut act = Tensor4::<T>::random(in_shape(&first), seed);
     for (i, lp) in plan.layers.iter().enumerate() {
-        let ker = Tensor4::<T>::random(
-            ker_shape(&lp.problem),
-            layer_ker_seed(seed, i),
-        );
+        let ker = Tensor4::<T>::random(ker_shape(&lp.problem), layer_ker_seed(seed, i));
         act = conv2d_direct_par(&lp.problem, &act, &ker);
         if i + 1 < plan.layers.len() {
             // Out [b,k,w,h] becomes In [b,c,x,y] unchanged.
@@ -256,7 +259,11 @@ pub fn run_network<T: Scalar>(
             .iter()
             .map(|l| l.problem.nc * l.problem.nr * l.problem.ns)
             .sum();
-        let eps = if std::mem::size_of::<T>() == 4 { 1e-5 } else { 1e-12 };
+        let eps = if std::mem::size_of::<T>() == 4 {
+            1e-5
+        } else {
+            1e-12
+        };
         eps * depth as f64 * 8.0
     };
     let mut worst = 0.0f64;
@@ -337,9 +344,9 @@ fn network_rank_body<T: Scalar>(rank: &Rank<T>, plan: &NetworkPlan, seed: u64) -
             Some(sh) => sh,
             None => seed_in_shard,
         };
-        let _lease = rank.mem().lease_or_panic(
-            (out_slice.len() + in_shard.len() + ker_shard.len()) as u64,
-        );
+        let _lease = rank
+            .mem()
+            .lease_or_panic((out_slice.len() + in_shard.len() + ker_shard.len()) as u64);
 
         let k_comm = grid.sub_comm(rank, rank.id(), &world, &[1]);
         let bhw_comm = grid.sub_comm(rank, rank.id(), &world, &[0, 3, 4]);
@@ -365,10 +372,7 @@ fn network_rank_body<T: Scalar>(rank: &Rank<T>, plan: &NetworkPlan, seed: u64) -
                 std::mem::replace(&mut out_slice, Tensor4::zeros(Shape4::new(1, 1, 1, 1)))
                     .into_vec();
             c_comm.reduce(0, &mut buf);
-            out_slice = Tensor4::from_vec(
-                Shape4::new(lp.w.wb, lp.w.wk, lp.w.ww, lp.w.wh),
-                buf,
-            );
+            out_slice = Tensor4::from_vec(Shape4::new(lp.w.wb, lp.w.wk, lp.w.ww, lp.w.wh), buf);
         }
 
         if li + 1 < plan.layers.len() {
@@ -430,7 +434,10 @@ mod tests {
         let mut bad = chain();
         bad[1] = Conv2dProblem::new(2, 8, 8, 5, 5, 3, 3, 1, 1);
         let err = NetworkPlan::plan(&bad, MachineSpec::new(4, 1 << 20)).unwrap_err();
-        assert!(matches!(err, NetworkError::ShapeMismatch { layer: 0, .. }), "{err}");
+        assert!(
+            matches!(err, NetworkError::ShapeMismatch { layer: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -123,7 +123,8 @@ pub fn run_training_step<T: Scalar>(
     cfg: MachineConfig,
 ) -> Result<TrainReport, CoreError> {
     let procs = plan.grid.total();
-    let report = Machine::run::<T, _, _>(procs, cfg, |rank| train_rank_body::<T>(rank, &plan, seed));
+    let report =
+        Machine::run::<T, _, _>(procs, cfg, |rank| train_rank_body::<T>(rank, &plan, seed));
 
     // --- Verification against sequential references. ---
     let p = plan.problem;
@@ -133,7 +134,11 @@ pub fn run_training_step<T: Scalar>(
     let reference_grad = grad_ker(&p, &input, &d_out);
     let tol = {
         let terms = (p.nc * p.nr * p.ns).max(p.nbhw()) as f64;
-        let eps = if std::mem::size_of::<T>() == 4 { 1e-6 } else { 1e-13 };
+        let eps = if std::mem::size_of::<T>() == 4 {
+            1e-6
+        } else {
+            1e-13
+        };
         eps * terms * 8.0
     };
 
@@ -154,7 +159,9 @@ pub fn run_training_step<T: Scalar>(
         }
     }
     if !forward_ok || !grad_ok {
-        return Err(CoreError::VerificationFailed { max_rel_err: f64::NAN });
+        return Err(CoreError::VerificationFailed {
+            max_rel_err: f64::NAN,
+        });
     }
 
     Ok(TrainReport {
@@ -205,9 +212,9 @@ fn train_rank_body<T: Scalar>(rank: &Rank<T>, plan: &DistPlan, seed: u64) -> Tra
         ker_c_range,
     } = distribute::<T>(plan, rank.id(), seed);
     let [_ib, ik, ic, _ih, _iw] = coords;
-    let _shard_lease = rank.mem().lease_or_panic(
-        (out_slice.len() + in_shard.len() + ker_shard.len()) as u64,
-    );
+    let _shard_lease = rank
+        .mem()
+        .lease_or_panic((out_slice.len() + in_shard.len() + ker_shard.len()) as u64);
 
     let k_comm = grid.sub_comm(rank, rank.id(), &world, &[1]);
     let bhw_comm = grid.sub_comm(rank, rank.id(), &world, &[0, 3, 4]);
@@ -308,10 +315,9 @@ fn train_rank_body<T: Scalar>(rank: &Rank<T>, plan: &DistPlan, seed: u64) -> Tra
     for i in 0..plan.grid.pbhw() {
         let (lo, hi) = ker_dist.range(i);
         if lo < hi {
-            flat.extend(grad_partial.pack_range(Range4::new(
-                [0, lo, 0, 0],
-                [w.wk, hi, p.nr, p.ns],
-            )));
+            flat.extend(
+                grad_partial.pack_range(Range4::new([0, lo, 0, 0], [w.wk, hi, p.nr, p.ns])),
+            );
         }
     }
     let mine = bhw_comm.reduce_scatter(&flat, &counts);
@@ -374,7 +380,9 @@ mod tests {
     use distconv_cost::{Conv2dProblem, MachineSpec, Planner};
 
     fn train(p: Conv2dProblem, procs: usize) -> TrainReport {
-        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 20)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 20))
+            .plan()
+            .unwrap();
         run_training_step::<f64>(plan, 77, MachineConfig::default()).expect("verified")
     }
 
@@ -410,7 +418,9 @@ mod tests {
         // The gradient pass broadcasts In once per (bhw-tile, c), the
         // forward once per (bhw-tile, k-tile, c).
         let p = Conv2dProblem::square(4, 16, 8, 4, 3);
-        let plan = Planner::new(p, MachineSpec::new(8, 1 << 20)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(8, 1 << 20))
+            .plan()
+            .unwrap();
         let fwd = crate::expected_volumes(&plan);
         let bwd = expected_backward_volumes(&plan);
         let k_steps = (plan.w.wk / plan.t.tk) as u128;
@@ -422,7 +432,9 @@ mod tests {
         // After the step, each rank's gradient range equals its Ker
         // shard range — no extra movement for the optimizer update.
         let p = Conv2dProblem::square(2, 8, 8, 4, 3);
-        let plan = Planner::new(p, MachineSpec::new(4, 1 << 20)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(4, 1 << 20))
+            .plan()
+            .unwrap();
         let procs = plan.grid.total();
         let report = Machine::run::<f64, _, _>(procs, MachineConfig::default(), |rank| {
             train_rank_body::<f64>(rank, &plan, 3)
@@ -432,7 +444,10 @@ mod tests {
             let grid = plan_grid(&plan);
             let id = grid.index_of(out.coords.as_ref());
             let rd = distribute::<f64>(&plan, id, 3);
-            assert_eq!(out.grad_range.lo, [rd.ker_origin[0], rd.ker_origin[1], 0, 0]);
+            assert_eq!(
+                out.grad_range.lo,
+                [rd.ker_origin[0], rd.ker_origin[1], 0, 0]
+            );
             assert_eq!(out.grad_shard.shape(), rd.ker_shard.shape());
         }
     }

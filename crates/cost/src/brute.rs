@@ -36,12 +36,7 @@ pub struct BruteEq4 {
 /// (matching the relaxation's treatment of `bhw` as one index).
 /// Returns `None` if no feasible point exists (`m_l` smaller than any
 /// unit tile footprint).
-pub fn brute_eq4(
-    p: &Conv2dProblem,
-    procs: usize,
-    m_l: f64,
-    family: InnerLoop,
-) -> Option<BruteEq4> {
+pub fn brute_eq4(p: &Conv2dProblem, procs: usize, m_l: f64, family: InnerLoop) -> Option<BruteEq4> {
     brute_eq4_impl(p, procs, m_l, family, false)
 }
 
@@ -205,8 +200,7 @@ pub fn brute_eq4_conforming(
     m_l: f64,
     family: InnerLoop,
 ) -> Option<BruteEq4> {
-    let unrestricted = brute_eq4_impl(p, procs, m_l, family, true);
-    unrestricted
+    brute_eq4_impl(p, procs, m_l, family, true)
 }
 
 fn conforming_filter(p: &Conv2dProblem, v: &SimplifiedVars) -> bool {

@@ -16,12 +16,11 @@
 
 use crate::problem::Conv2dProblem;
 use crate::simplified::{a_const, resident_slice, InnerLoop, SimplifiedVars};
-use serde::{Deserialize, Serialize};
 
 /// Which distributed-matmul analog the optimal solution corresponds to
 /// (paper Sec. 2.2, last paragraph of "Parameters for Multi-dimensional
 /// Processor Grid").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Regime {
     /// Case 1a (Eq. 6): memory-limited with `W_c = N_c`; analogous to 2D
     /// SUMMA. Tile footprint saturates `M_L`; no replication along `c`.
@@ -48,7 +47,7 @@ impl Regime {
 
 /// A closed-form solution: the regime, the paper's analytical optimal
 /// cost, and the real-valued optimizer variables achieving it.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClosedForm {
     /// Which Table-1 row / matmul analog applies.
     pub regime: Regime,

@@ -59,7 +59,8 @@ pub fn eq3_cost(p: &Conv2dProblem, w: &Partition, t: &Tiling) -> CostBreakdown {
     let out = (w.wb * w.wk * w.ww * w.wh) as f64;
     let ker = (w.wk * w.wc * p.nr * p.ns) as f64 * (w.wb * w.ww * w.wh) as f64
         / (t.tb * t.tw * t.th) as f64;
-    let inp = (w.wb * w.wc) as f64 * (halo_w(p, t.tw) * halo_h(p, t.th)) as f64
+    let inp = (w.wb * w.wc) as f64
+        * (halo_w(p, t.tw) * halo_h(p, t.th)) as f64
         * (w.ww * w.wh * w.wk) as f64
         / (t.tw * t.th * t.tk) as f64;
     CostBreakdown { out, ker, inp }
@@ -76,8 +77,7 @@ pub fn eq3_cost_int(p: &Conv2dProblem, w: &Partition, t: &Tiling) -> Option<u128
     let steps_c = div(w.wc, t.tc)?;
     let out = (w.wb * w.wk * w.ww * w.wh) as u128;
     // Ker tile = Tk·Tc·Nr·Ns loaded on every (bhw, k, c) tile step.
-    let ker =
-        steps_bhw * steps_k * steps_c * (t.tk * t.tc * p.nr * p.ns) as u128;
+    let ker = steps_bhw * steps_k * steps_c * (t.tk * t.tc * p.nr * p.ns) as u128;
     // In tile = Tb·Tc·halo_w·halo_h loaded on every tile step.
     let inp = steps_bhw
         * steps_k
@@ -233,10 +233,7 @@ mod tests {
             let w = Partition::new(2, 2, 4, 2, 2);
             let t = Tiling::new(1, 2, 1, 2, 2);
             let (lhs, rhs) = constant_gap(&p, &w, &t, procs);
-            assert!(
-                (lhs - rhs).abs() < 1e-9,
-                "P={procs}: gap {lhs} != {rhs}"
-            );
+            assert!((lhs - rhs).abs() < 1e-9, "P={procs}: gap {lhs} != {rhs}");
         }
     }
 

@@ -1,0 +1,315 @@
+//! Hand-rolled JSON emission for report types.
+//!
+//! The workspace is hermetic (no external crates), so instead of
+//! `serde` derives the handful of types that appear in machine-readable
+//! reports implement [`ToJson`] by hand. Emission-only on purpose:
+//! nothing in the workspace parses JSON — reports flow *out* (to
+//! `scripts/repro_check.sh` diffs, notebooks, dashboards), and plans
+//! are always recomputed from first principles rather than restored.
+//!
+//! Numbers are emitted with Rust's shortest-round-trip `f64` display,
+//! so `serde_json`-style consumers reconstruct bit-identical values;
+//! non-finite floats (never produced by a valid plan) become `null`.
+
+use crate::closed_form::{ClosedForm, Regime};
+use crate::planner::{DistPlan, GridShape, PredictedCost};
+use crate::problem::{Conv2dProblem, MachineSpec};
+use crate::simplified::{InnerLoop, SimplifiedVars};
+use crate::tiling::{Partition, Tiling, TwoLevel};
+use std::fmt::Write as _;
+
+/// Types that can emit themselves as a JSON value.
+pub trait ToJson {
+    /// Serialize to a compact JSON string (no trailing newline).
+    fn to_json(&self) -> String;
+}
+
+/// Incremental `{...}` builder: `field`-then-`finish`.
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{name}\":");
+    }
+
+    /// Add an unsigned integer field.
+    pub fn field_usize(mut self, name: &str, v: usize) -> Self {
+        self.key(name);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add an `f64` field (`null` if non-finite).
+    pub fn field_f64(mut self, name: &str, v: f64) -> Self {
+        self.key(name);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add a string field (callers pass only identifier-like strings;
+    /// escaping covers the JSON mandatories all the same).
+    pub fn field_str(mut self, name: &str, v: &str) -> Self {
+        self.key(name);
+        self.buf.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\t' => self.buf.push_str("\\t"),
+                '\r' => self.buf.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.buf, "\\u{:04x}", c as u32);
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+        self
+    }
+
+    /// Add a field whose value is already-serialized JSON.
+    pub fn field_json(mut self, name: &str, v: &impl ToJson) -> Self {
+        self.key(name);
+        self.buf.push_str(&v.to_json());
+        self
+    }
+
+    /// Close the object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl ToJson for Conv2dProblem {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_usize("nb", self.nb)
+            .field_usize("nk", self.nk)
+            .field_usize("nc", self.nc)
+            .field_usize("nh", self.nh)
+            .field_usize("nw", self.nw)
+            .field_usize("nr", self.nr)
+            .field_usize("ns", self.ns)
+            .field_usize("sw", self.sw)
+            .field_usize("sh", self.sh)
+            .finish()
+    }
+}
+
+impl ToJson for MachineSpec {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_usize("p", self.p)
+            .field_usize("mem", self.mem)
+            .finish()
+    }
+}
+
+impl ToJson for GridShape {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_usize("pb", self.pb)
+            .field_usize("pk", self.pk)
+            .field_usize("pc", self.pc)
+            .field_usize("ph", self.ph)
+            .field_usize("pw", self.pw)
+            .finish()
+    }
+}
+
+impl ToJson for Partition {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_usize("wb", self.wb)
+            .field_usize("wk", self.wk)
+            .field_usize("wc", self.wc)
+            .field_usize("wh", self.wh)
+            .field_usize("ww", self.ww)
+            .finish()
+    }
+}
+
+impl ToJson for Tiling {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_usize("tb", self.tb)
+            .field_usize("tk", self.tk)
+            .field_usize("tc", self.tc)
+            .field_usize("th", self.th)
+            .field_usize("tw", self.tw)
+            .finish()
+    }
+}
+
+impl ToJson for TwoLevel {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_json("w", &self.w)
+            .field_json("t", &self.t)
+            .finish()
+    }
+}
+
+impl ToJson for PredictedCost {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_f64("cost_i", self.cost_i)
+            .field_f64("cost_c", self.cost_c)
+            .field_f64("cost_d", self.cost_d)
+            .field_f64("cost_gvm", self.cost_gvm)
+            .field_f64("footprint_gd", self.footprint_gd)
+            .field_f64("footprint_g", self.footprint_g)
+            .finish()
+    }
+}
+
+impl ToJson for SimplifiedVars {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_f64("w_bhw", self.w_bhw)
+            .field_f64("w_k", self.w_k)
+            .field_f64("w_c", self.w_c)
+            .field_f64("t_bhw", self.t_bhw)
+            .field_f64("t_k", self.t_k)
+            .field_f64("t_c", self.t_c)
+            .finish()
+    }
+}
+
+impl ToJson for ClosedForm {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_str("regime", self.regime.name())
+            .field_str("family", &self.family.to_string())
+            .field_f64("cost", self.cost)
+            .field_json("vars", &self.vars)
+            .finish()
+    }
+}
+
+impl ToJson for DistPlan {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_json("problem", &self.problem)
+            .field_json("machine", &self.machine)
+            .field_str("regime", self.regime.name())
+            .field_json("grid", &self.grid)
+            .field_json("w", &self.w)
+            .field_json("t", &self.t)
+            .field_f64("m_l", self.m_l)
+            .field_f64("analytic_cost", self.analytic_cost)
+            .field_json("predicted", &self.predicted)
+            .finish()
+    }
+}
+
+impl std::fmt::Display for Regime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::fmt::Display for InnerLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InnerLoop::C => "C",
+            InnerLoop::K => "K",
+            InnerLoop::Bhw => "Bhw",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Planner;
+
+    #[test]
+    fn problem_json_shape() {
+        let p = Conv2dProblem::new(2, 8, 4, 8, 8, 3, 3, 1, 1);
+        assert_eq!(
+            p.to_json(),
+            r#"{"nb":2,"nk":8,"nc":4,"nh":8,"nw":8,"nr":3,"ns":3,"sw":1,"sh":1}"#
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        let j = JsonObject::new().field_str("s", "a\"b\\c\nd\u{1}").finish();
+        assert_eq!(j, r#"{"s":"a\"b\\c\nd\u0001"}"#);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let j = JsonObject::new()
+            .field_f64("x", f64::NAN)
+            .field_f64("y", 1.5)
+            .finish();
+        assert_eq!(j, r#"{"x":null,"y":1.5}"#);
+    }
+
+    #[test]
+    fn plan_json_is_wellformed_and_complete() {
+        let p = Conv2dProblem::new(2, 8, 8, 8, 8, 3, 3, 1, 1);
+        let plan = Planner::new(p, MachineSpec::new(4, 1 << 18))
+            .plan()
+            .expect("feasible");
+        let j = plan.to_json();
+        // Structural sanity: balanced braces, all top-level keys present.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced: {j}"
+        );
+        for key in [
+            "\"problem\"",
+            "\"machine\"",
+            "\"regime\"",
+            "\"grid\"",
+            "\"w\"",
+            "\"t\"",
+            "\"m_l\"",
+            "\"analytic_cost\"",
+            "\"predicted\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // f64 Display round-trips: parse one field back.
+        let tail = j.split("\"cost_d\":").nth(1).unwrap();
+        let num: f64 = tail.split(&[',', '}'][..]).next().unwrap().parse().unwrap();
+        assert_eq!(num, plan.predicted.cost_d);
+    }
+
+    #[test]
+    fn display_for_enums() {
+        assert_eq!(Regime::Summa2D.to_string(), "2D");
+        assert_eq!(InnerLoop::Bhw.to_string(), "Bhw");
+    }
+}

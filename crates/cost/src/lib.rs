@@ -37,6 +37,7 @@
 pub mod brute;
 pub mod closed_form;
 pub mod exact;
+pub mod json;
 pub mod planner;
 pub mod presets;
 pub mod problem;
@@ -45,6 +46,7 @@ pub mod tiling;
 
 pub use closed_form::{ml_deflate, solve_table1, solve_table2, ClosedForm, Regime};
 pub use exact::{eq10_cost_c, eq10_cost_i, eq11_footprint_gd, eq1_cost, eq3_cost, eq3_footprint_g};
+pub use json::ToJson;
 pub use planner::{DistPlan, PlanError, Planner};
 pub use problem::{Conv2dProblem, MachineSpec};
 pub use tiling::{Partition, Tiling};

@@ -23,11 +23,10 @@ use crate::exact::{
 };
 use crate::problem::{Conv2dProblem, MachineSpec};
 use crate::tiling::{divisors, factor_into_grid, Partition, Tiling};
-use serde::{Deserialize, Serialize};
 
 /// The logical processor grid `P_b × P_k × P_c × P_h × P_w`
 /// (`P_i = N_i / W_i`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GridShape {
     /// Extent along `b`.
     pub pb: usize,
@@ -61,7 +60,7 @@ impl GridShape {
 /// Predicted per-processor costs of a concrete plan, from the exact
 /// integer expressions (Eq. 10/11). These are the values the simulator
 /// measurements are compared against.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PredictedCost {
     /// Eq. 10 initialization cost (elements).
     pub cost_i: f64,
@@ -78,7 +77,7 @@ pub struct PredictedCost {
 }
 
 /// A complete distributed execution plan.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DistPlan {
     /// The layer being planned.
     pub problem: Conv2dProblem,
@@ -149,7 +148,10 @@ impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlanError::Unfactorable { p } => {
-                write!(f, "cannot factor P = {p} into a grid dividing the problem extents")
+                write!(
+                    f,
+                    "cannot factor P = {p} into a grid dividing the problem extents"
+                )
             }
             PlanError::InsufficientMemory { needed, available } => write!(
                 f,
@@ -234,7 +236,8 @@ impl Planner {
                     continue;
                 };
                 let (pb, ph, pw) = (g[0], g[1], g[2]);
-                if !p.nb.is_multiple_of(pb) || !p.nh.is_multiple_of(ph) || !p.nw.is_multiple_of(pw) {
+                if !p.nb.is_multiple_of(pb) || !p.nh.is_multiple_of(ph) || !p.nw.is_multiple_of(pw)
+                {
                     continue;
                 }
                 let grid = GridShape { pb, pk, pc, ph, pw };
@@ -468,8 +471,7 @@ mod tests {
             .plan()
             .unwrap();
         let gap = plan.predicted.cost_d - plan.predicted.cost_gvm;
-        let expected =
-            (plan.problem.size_in_paper() + plan.problem.size_ker()) as f64 / 16.0;
+        let expected = (plan.problem.size_in_paper() + plan.problem.size_ker()) as f64 / 16.0;
         assert!(
             (gap - expected).abs() < 1e-6,
             "gap {gap} vs (|In|+|Ker|)/P = {expected}"
@@ -487,9 +489,12 @@ mod tests {
     #[test]
     fn prime_processor_count_unfactorable() {
         // P = 97 shares no factors with any extent of this layer.
-        let err = Planner::new(Conv2dProblem::square(8, 64, 64, 16, 3), MachineSpec::new(97, 1 << 20))
-            .plan()
-            .unwrap_err();
+        let err = Planner::new(
+            Conv2dProblem::square(8, 64, 64, 16, 3),
+            MachineSpec::new(97, 1 << 20),
+        )
+        .plan()
+        .unwrap_err();
         assert_eq!(err, PlanError::Unfactorable { p: 97 });
     }
 

@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn presets_are_well_formed() {
-        for l in resnet50(32).iter().chain(vgg16(32).iter()).chain(simulator_scale().iter()) {
+        for l in resnet50(32)
+            .iter()
+            .chain(vgg16(32).iter())
+            .chain(simulator_scale().iter())
+        {
             assert!(l.problem.flops() > 0, "{} has zero work", l.name);
             assert!(!l.name.is_empty());
         }

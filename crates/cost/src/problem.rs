@@ -5,8 +5,6 @@
 //! `Out[b,k,w,h] += In[b,c,σw·w+r,σh·h+s] · Ker[k,c,r,s]`,
 //! and a [`MachineSpec`] carries the machine parameters `(P, M)`.
 
-use serde::{Deserialize, Serialize};
-
 /// A convolution layer: problem-size parameters of the paper's Listing 1.
 ///
 /// Extents use the paper's names: batch `N_b`, output features `N_k`,
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// strides `σ_w, σ_h`. `N_h`/`N_w` are *output* extents; the input
 /// spatial extents are the halo-widened `σ·N + (kernel−1)` values
 /// returned by [`Conv2dProblem::in_h`] / [`Conv2dProblem::in_w`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Conv2dProblem {
     /// Batch extent `N_b`.
     pub nb: usize,
@@ -154,7 +152,7 @@ impl Conv2dProblem {
 /// Machine parameters: `P` processors, each with `mem` words of local
 /// memory. "Words" are scalar elements — the paper counts data volume in
 /// elements, not bytes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MachineSpec {
     /// Number of processors `P`.
     pub p: usize,

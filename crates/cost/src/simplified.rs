@@ -18,10 +18,9 @@
 //! corresponding objective; `InnerLoop::C` is exactly Eq. 4.
 
 use crate::problem::Conv2dProblem;
-use serde::{Deserialize, Serialize};
 
 /// Which tile loop is innermost — equivalently, which tensor is resident.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum InnerLoop {
     /// `c` innermost → `Out[b,k,w,h]` resident (Eq. 4 / Table 1).
     C,
@@ -40,7 +39,7 @@ impl InnerLoop {
 /// work-partition sizes and tile sizes. (`W_c` has no tile because
 /// `T_c = 1` in the `C` family; the other families analogously fix the
 /// resident tensor's reload tile to 1 — see [`simplified_cost`].)
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimplifiedVars {
     /// Composite `W_bhw`.
     pub w_bhw: f64,
@@ -191,7 +190,10 @@ mod tests {
         let p = toy();
         assert_eq!(resident_slice(&p, 4, InnerLoop::C), 16.0 * 256.0 / 4.0);
         assert_eq!(resident_slice(&p, 4, InnerLoop::K), 16.0 * 256.0 / 4.0); // σ=1
-        assert_eq!(resident_slice(&p, 4, InnerLoop::Bhw), 9.0 * 16.0 * 16.0 / 4.0);
+        assert_eq!(
+            resident_slice(&p, 4, InnerLoop::Bhw),
+            9.0 * 16.0 * 16.0 / 4.0
+        );
     }
 
     #[test]

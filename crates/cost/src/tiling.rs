@@ -14,13 +14,12 @@
 //! brute-force reference optimizer.
 
 use crate::problem::Conv2dProblem;
-use serde::{Deserialize, Serialize};
 
 /// Dimension order used for all 5-tuples in this crate: `b, k, c, h, w`.
 pub const DIM_NAMES: [&str; 5] = ["b", "k", "c", "h", "w"];
 
 /// Tile sizes `T_i` for the five tiled loops, in `[b, k, c, h, w]` order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Tiling {
     /// `T_b`.
     pub tb: usize,
@@ -56,7 +55,7 @@ impl Tiling {
 }
 
 /// Work-partition sizes `W_i`, in `[b, k, c, h, w]` order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Partition {
     /// `W_b`.
     pub wb: usize,
@@ -95,10 +94,12 @@ impl Partition {
     /// integral).
     pub fn validates_eq2(&self, problem: &Conv2dProblem, p: usize) -> bool {
         let w = self.as_array();
-        let n = [
-            problem.nb, problem.nk, problem.nc, problem.nh, problem.nw,
-        ];
-        if !w.iter().zip(n.iter()).all(|(&wi, &ni)| wi <= ni && ni % wi == 0) {
+        let n = [problem.nb, problem.nk, problem.nc, problem.nh, problem.nw];
+        if !w
+            .iter()
+            .zip(n.iter())
+            .all(|(&wi, &ni)| wi <= ni && ni % wi == 0)
+        {
             return false;
         }
         let grid: usize = w.iter().zip(n.iter()).map(|(&wi, &ni)| ni / wi).product();
@@ -109,9 +110,7 @@ impl Partition {
     /// order. Requires divisibility (checked).
     pub fn grid(&self, problem: &Conv2dProblem) -> [usize; 5] {
         let w = self.as_array();
-        let n = [
-            problem.nb, problem.nk, problem.nc, problem.nh, problem.nw,
-        ];
+        let n = [problem.nb, problem.nk, problem.nc, problem.nh, problem.nw];
         let mut g = [0usize; 5];
         for i in 0..5 {
             assert!(
@@ -129,7 +128,7 @@ impl Partition {
 }
 
 /// A combined `(W, T)` candidate with `T_i ≤ W_i` enforced.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TwoLevel {
     /// Work partition.
     pub w: Partition,
@@ -179,9 +178,7 @@ pub fn nearest_divisor(n: usize, x: f64) -> usize {
         .min_by(|&&a, &&b| {
             let da = (a as f64 - x).abs();
             let db = (b as f64 - x).abs();
-            da.partial_cmp(&db)
-                .unwrap()
-                .then_with(|| a.cmp(&b))
+            da.partial_cmp(&db).unwrap().then_with(|| a.cmp(&b))
         })
         .expect("n > 0 has divisors")
 }
@@ -309,7 +306,7 @@ mod tests {
     #[test]
     fn eq2_validation() {
         let p = toy(); // Nb=4 Nk=8 Nc=8 Nh=8 Nw=8 → ∏N = 16384
-        // W = (2,4,8,4,4): grid = (2,2,1,2,2) → P=16.
+                       // W = (2,4,8,4,4): grid = (2,2,1,2,2) → P=16.
         let w = Partition::new(2, 4, 8, 4, 4);
         assert!(w.validates_eq2(&p, 16));
         assert!(!w.validates_eq2(&p, 8));

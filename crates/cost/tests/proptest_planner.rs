@@ -1,141 +1,141 @@
 //! Property-based tests for the planner and the analytical model:
 //! every emitted plan must be internally consistent, feasible, and
-//! theorem-conformant, for randomized layers and machines.
+//! theorem-conformant, for randomized layers and machines. Runs on the
+//! in-tree `distconv_par::proptest_mini` harness.
 
 use distconv_cost::closed_form::{ml_deflate, solve_table1, solve_table2};
 use distconv_cost::exact::{constant_gap, eq3_cost, eq3_footprint_g};
 use distconv_cost::{Conv2dProblem, MachineSpec, PlanError, Planner};
-use proptest::prelude::*;
+use distconv_par::proptest_mini::{check, Config, Gen};
 
-fn arb_problem() -> impl Strategy<Value = Conv2dProblem> {
-    (
-        1usize..=8,
-        1usize..=16,
-        1usize..=16,
-        1usize..=12,
-        1usize..=12,
-        1usize..=4,
-        1usize..=4,
-        1usize..=2,
-        1usize..=2,
+fn arb_problem(g: &mut Gen) -> Conv2dProblem {
+    Conv2dProblem::new(
+        g.usize_in(1, 8),
+        g.usize_in(1, 16),
+        g.usize_in(1, 16),
+        g.usize_in(1, 12),
+        g.usize_in(1, 12),
+        g.usize_in(1, 4),
+        g.usize_in(1, 4),
+        g.usize_in(1, 2),
+        g.usize_in(1, 2),
     )
-        .prop_map(|(nb, nk, nc, nh, nw, nr, ns, sw, sh)| {
-            Conv2dProblem::new(nb, nk, nc, nh, nw, nr, ns, sw, sh)
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn emitted_plans_are_consistent() {
+    check(
+        "emitted_plans_are_consistent",
+        Config::with_cases(128),
+        |g| {
+            let p = arb_problem(g);
+            let procs = 1usize << g.u32_in(0, 5);
+            let mem = 1usize << g.u32_in(10, 22);
+            match Planner::new(p, MachineSpec::new(procs, mem)).plan() {
+                Ok(plan) => {
+                    // Grid reconstructs P and divides the extents.
+                    assert_eq!(plan.grid.total(), procs);
+                    assert!(plan.w.validates_eq2(&p, procs));
+                    // Tiles divide the work partition, T_c = 1.
+                    assert_eq!(plan.w.wb % plan.t.tb, 0);
+                    assert_eq!(plan.w.wk % plan.t.tk, 0);
+                    assert_eq!(plan.w.wh % plan.t.th, 0);
+                    assert_eq!(plan.w.ww % plan.t.tw, 0);
+                    assert_eq!(plan.t.tc, 1);
+                    // Feasible under Eq. 11 and positive predicted costs.
+                    assert!(plan.predicted.footprint_gd <= mem as f64);
+                    assert!(plan.predicted.cost_d > 0.0);
+                    // cost decomposition consistent.
+                    assert!(
+                        (plan.predicted.cost_d - plan.predicted.cost_i - plan.predicted.cost_c)
+                            .abs()
+                            < 1e-9
+                    );
+                    // Constant-gap theorem.
+                    let (lhs, rhs) = constant_gap(&p, &plan.w, &plan.t, procs);
+                    assert!((lhs - rhs).abs() < 1e-6);
+                    // The tile footprint is within the memory left after
+                    // the initial distribution (g consistent with g_D).
+                    let gf = eq3_footprint_g(&p, &plan.t) as f64;
+                    assert!(gf <= mem as f64);
+                    // Eq. 3 evaluation agrees with the recorded prediction.
+                    let direct = eq3_cost(&p, &plan.w, &plan.t).total();
+                    assert!((direct - plan.predicted.cost_gvm).abs() < 1e-9);
+                }
+                Err(PlanError::Unfactorable { .. }) => {
+                    // Legitimate when P shares no divisors with the extents.
+                }
+                Err(PlanError::InsufficientMemory { needed, available }) => {
+                    assert!(needed > available);
+                }
+            }
+        },
+    );
+}
 
-    #[test]
-    fn emitted_plans_are_consistent(
-        p in arb_problem(),
-        procs_exp in 0u32..=5,
-        mem_exp in 10u32..=22,
-    ) {
-        let procs = 1usize << procs_exp;
-        let mem = 1usize << mem_exp;
-        match Planner::new(p, MachineSpec::new(procs, mem)).plan() {
-            Ok(plan) => {
-                // Grid reconstructs P and divides the extents.
-                prop_assert_eq!(plan.grid.total(), procs);
-                prop_assert!(plan.w.validates_eq2(&p, procs));
-                // Tiles divide the work partition, T_c = 1.
-                prop_assert_eq!(plan.w.wb % plan.t.tb, 0);
-                prop_assert_eq!(plan.w.wk % plan.t.tk, 0);
-                prop_assert_eq!(plan.w.wh % plan.t.th, 0);
-                prop_assert_eq!(plan.w.ww % plan.t.tw, 0);
-                prop_assert_eq!(plan.t.tc, 1);
-                // Feasible under Eq. 11 and positive predicted costs.
-                prop_assert!(plan.predicted.footprint_gd <= mem as f64);
-                prop_assert!(plan.predicted.cost_d > 0.0);
-                // cost decomposition consistent.
-                prop_assert!(
-                    (plan.predicted.cost_d
-                        - plan.predicted.cost_i
-                        - plan.predicted.cost_c)
-                        .abs()
-                        < 1e-9
-                );
-                // Constant-gap theorem.
-                let (lhs, rhs) = constant_gap(&p, &plan.w, &plan.t, procs);
-                prop_assert!((lhs - rhs).abs() < 1e-6);
-                // The tile footprint is within the memory left after
-                // the initial distribution (g consistent with g_D).
-                let g = eq3_footprint_g(&p, &plan.t) as f64;
-                prop_assert!(g <= mem as f64);
-                // Eq. 3 evaluation agrees with the recorded prediction.
-                let direct = eq3_cost(&p, &plan.w, &plan.t).total();
-                prop_assert!((direct - plan.predicted.cost_gvm).abs() < 1e-9);
-            }
-            Err(PlanError::Unfactorable { .. }) => {
-                // Legitimate when P shares no divisors with the extents.
-            }
-            Err(PlanError::InsufficientMemory { needed, available }) => {
-                prop_assert!(needed > available);
-            }
-        }
-    }
-
-    #[test]
-    fn table_solvers_total_order(
-        p in arb_problem(),
-        procs_exp in 0u32..=6,
-        mem_exp in 4u32..=24,
-    ) {
-        let procs = 1usize << procs_exp;
-        let m_l = (1u64 << mem_exp) as f64;
+#[test]
+fn table_solvers_total_order() {
+    check("table_solvers_total_order", Config::with_cases(128), |g| {
+        let p = arb_problem(g);
+        let procs = 1usize << g.u32_in(0, 6);
+        let m_l = (1u64 << g.u32_in(4, 24)) as f64;
         let t1 = solve_table1(&p, procs, m_l);
         let t2 = solve_table2(&p, procs, m_l);
         // More permutations can only help.
-        prop_assert!(t2.cost <= t1.cost + 1e-9);
+        assert!(t2.cost <= t1.cost + 1e-9);
         // Costs decrease (weakly) in memory.
         let t1_more = solve_table1(&p, procs, m_l * 2.0);
-        prop_assert!(t1_more.cost <= t1.cost + 1e-9);
+        assert!(t1_more.cost <= t1.cost + 1e-9);
         // Costs decrease (weakly) in processors, per-processor.
         if procs >= 2 {
             let t1_half = solve_table1(&p, procs / 2, m_l);
-            prop_assert!(t1.cost <= t1_half.cost + 1e-9);
+            assert!(t1.cost <= t1_half.cost + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn ml_deflation_sandwich(p in arb_problem(), mem_exp in 4u32..=26) {
-        let m = (1u64 << mem_exp) as f64;
+#[test]
+fn ml_deflation_sandwich() {
+    check("ml_deflation_sandwich", Config::with_cases(128), |g| {
+        let p = arb_problem(g);
+        let m = (1u64 << g.u32_in(4, 26)) as f64;
         let m_l = ml_deflate(m, &p);
-        prop_assert!(1.0 <= m_l && m_l <= m);
+        assert!(1.0 <= m_l && m_l <= m);
         // Deflation is monotone in M.
         let m_l2 = ml_deflate(2.0 * m, &p);
-        prop_assert!(m_l2 >= m_l);
+        assert!(m_l2 >= m_l);
         // And deflating costs something bounded by the K-term:
         // M − M_L = 3K·√M_L.
         let k = p.k_const();
-        prop_assert!((m - m_l) - 3.0 * k * m_l.sqrt() < 1e-6 * m + 1e-6);
-    }
+        assert!((m - m_l) - 3.0 * k * m_l.sqrt() < 1e-6 * m + 1e-6);
+    });
+}
 
-    #[test]
-    fn forced_pc_never_beats_free_planner(
-        p in arb_problem(),
-        procs_exp in 1u32..=4,
-        mem_exp in 12u32..=22,
-    ) {
-        let procs = 1usize << procs_exp;
-        let mem = 1usize << mem_exp;
-        let Ok(free) = Planner::new(p, MachineSpec::new(procs, mem)).plan() else {
-            return Ok(());
-        };
-        for pc in [1usize, 2, 4] {
-            if let Ok(forced) = Planner::new(p, MachineSpec::new(procs, mem))
-                .with_forced_pc(pc)
-                .plan()
-            {
-                prop_assert!(
-                    free.predicted.cost_d <= forced.predicted.cost_d + 1e-9,
-                    "free {} beaten by forced pc={pc} {}",
-                    free.predicted.cost_d,
-                    forced.predicted.cost_d
-                );
+#[test]
+fn forced_pc_never_beats_free_planner() {
+    check(
+        "forced_pc_never_beats_free_planner",
+        Config::with_cases(128),
+        |g| {
+            let p = arb_problem(g);
+            let procs = 1usize << g.u32_in(1, 4);
+            let mem = 1usize << g.u32_in(12, 22);
+            let Ok(free) = Planner::new(p, MachineSpec::new(procs, mem)).plan() else {
+                return;
+            };
+            for pc in [1usize, 2, 4] {
+                if let Ok(forced) = Planner::new(p, MachineSpec::new(procs, mem))
+                    .with_forced_pc(pc)
+                    .plan()
+                {
+                    assert!(
+                        free.predicted.cost_d <= forced.predicted.cost_d + 1e-9,
+                        "free {} beaten by forced pc={pc} {}",
+                        free.predicted.cost_d,
+                        forced.predicted.cost_d
+                    );
+                }
             }
-        }
-    }
+        },
+    );
 }

@@ -56,7 +56,9 @@ pub fn cannon_rank_body<T: Scalar + distconv_simnet::Msg>(
     // Track which k-block each buffer currently holds (for shapes).
     let mut a_kblk = j;
     let mut b_kblk = i;
-    let _la = rank.mem().lease_or_panic((a_block.len() + b_block.len()) as u64);
+    let _la = rank
+        .mem()
+        .lease_or_panic((a_block.len() + b_block.len()) as u64);
 
     // --- Skew: row i rotates A left by i; column j rotates B up by j. ---
     // A left-shift by s: my new block is the one s to my right.
@@ -134,9 +136,7 @@ pub fn cannon_analytic_volume(d: &MatmulDims, q: usize) -> u128 {
 
 /// Drive a Cannon run on `q²` ranks; verify all blocks.
 pub fn run_cannon(d: MatmulDims, q: usize, cfg: MachineConfig) -> MmReport {
-    let report = Machine::run::<f64, _, _>(q * q, cfg, |rank| {
-        cannon_rank_body::<f64>(rank, &d, q)
-    });
+    let report = Machine::run::<f64, _, _>(q * q, cfg, |rank| cannon_rank_body::<f64>(rank, &d, q));
     let verified = verify_blocks(&d, q, q, &report.results);
     MmReport {
         dims: d,
@@ -201,7 +201,10 @@ mod tests {
         // a latency-heavy profile.
         use distconv_simnet::CostParams;
         let cfg = MachineConfig {
-            cost: CostParams { alpha: 1e-4, beta: 1e-10 },
+            cost: CostParams {
+                alpha: 1e-4,
+                beta: 1e-10,
+            },
             ..MachineConfig::default()
         };
         let d = MatmulDims::square(32);

@@ -58,12 +58,24 @@ pub fn full_b<T: Scalar>(d: &MatmulDims) -> Matrix<T> {
 }
 
 /// Materialize a window of the global `A` (a rank's shard).
-pub fn shard_a<T: Scalar>(d: &MatmulDims, r0: usize, rows: usize, c0: usize, cols: usize) -> Matrix<T> {
+pub fn shard_a<T: Scalar>(
+    d: &MatmulDims,
+    r0: usize,
+    rows: usize,
+    c0: usize,
+    cols: usize,
+) -> Matrix<T> {
     Matrix::random_window(rows, cols, SEED_A, r0, c0, d.k)
 }
 
 /// Materialize a window of the global `B`.
-pub fn shard_b<T: Scalar>(d: &MatmulDims, r0: usize, rows: usize, c0: usize, cols: usize) -> Matrix<T> {
+pub fn shard_b<T: Scalar>(
+    d: &MatmulDims,
+    r0: usize,
+    rows: usize,
+    c0: usize,
+    cols: usize,
+) -> Matrix<T> {
     Matrix::random_window(rows, cols, SEED_B, r0, c0, d.n)
 }
 

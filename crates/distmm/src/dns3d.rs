@@ -121,10 +121,7 @@ mod tests {
         let r = run_dns3d(d, 2, MachineConfig::default());
         assert!(r.verified);
         assert_eq!(r.stats.total_elems() as u128, r.analytic_volume);
-        assert_eq!(
-            r.analytic_volume,
-            (24 * 30 + 30 * 18 + 24 * 18) as u128
-        );
+        assert_eq!(r.analytic_volume, (24 * 30 + 30 * 18 + 24 * 18) as u128);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Local (single-node) matmul kernels: the blocked cache-tiled kernel
-//! and its rayon-parallel version, used by every distributed algorithm
+//! and its thread-parallel version, used by every distributed algorithm
 //! for its per-rank block products.
 
+use distconv_par::pool;
 use distconv_tensor::{Matrix, Scalar};
-use rayon::prelude::*;
 
 /// Cache-blocking tile edge. 64×64 f32 tiles are 16 KiB — comfortably
 /// L1-resident alongside the B panel.
@@ -24,28 +24,26 @@ pub fn matmul_blocked<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>
     }
 }
 
-/// `C += A · B`, rows of `C` parallelized with rayon. Deterministic:
-/// each output row is accumulated by exactly one task in a fixed order.
+/// `C += A · B`, rows of `C` parallelized over the worker pool.
+/// Deterministic: each output row is accumulated by exactly one task in
+/// a fixed order.
 pub fn matmul_blocked_par<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     let (m, k, n) = check_dims(c, a, b);
     let b_slice = b.as_slice();
     let a_slice = a.as_slice();
-    c.as_mut_slice()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, crow)| {
-            debug_assert!(i < m);
-            for l0 in (0..k).step_by(BLK) {
-                let l1 = (l0 + BLK).min(k);
-                for l in l0..l1 {
-                    let av = a_slice[i * k + l];
-                    let brow = &b_slice[l * n..(l + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                        *cv += av * bv;
-                    }
+    pool::par_chunks_mut(c.as_mut_slice(), n, |i, crow| {
+        debug_assert!(i < m);
+        for l0 in (0..k).step_by(BLK) {
+            let l1 = (l0 + BLK).min(k);
+            for l in l0..l1 {
+                let av = a_slice[i * k + l];
+                let brow = &b_slice[l * n..(l + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *cv += av * bv;
                 }
             }
-        });
+        }
+    });
 }
 
 fn check_dims<T: Scalar>(c: &Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) -> (usize, usize, usize) {
@@ -87,8 +85,8 @@ fn block_ikj<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distconv_tensor::matrix::matmul_acc;
     use distconv_tensor::assert_close;
+    use distconv_tensor::matrix::matmul_acc;
 
     fn reference(m: usize, k: usize, n: usize) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
         let a = Matrix::random(m, k, 1);
@@ -100,7 +98,13 @@ mod tests {
 
     #[test]
     fn blocked_matches_reference_various_shapes() {
-        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (64, 64, 64), (65, 130, 67), (128, 1, 128)] {
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (64, 64, 64),
+            (65, 130, 67),
+            (128, 1, 128),
+        ] {
             let (a, b, c_ref) = reference(m, k, n);
             let mut c = Matrix::zeros(m, n);
             matmul_blocked(&mut c, &a, &b);

@@ -187,9 +187,7 @@ pub fn s25d_analytic_volume(d: &MatmulDims, p1: usize, c: usize) -> u128 {
     let shipped: u128 = (1..c)
         .map(|l| slabs.len(l) as u128 * (d.m as u128 + d.n as u128))
         .sum();
-    shipped
-        + (p1 as u128 - 1) * (d.size_a() + d.size_b())
-        + (c as u128 - 1) * d.size_c()
+    shipped + (p1 as u128 - 1) * (d.size_a() + d.size_b()) + (c as u128 - 1) * d.size_c()
 }
 
 /// Drive a 2.5D run on `c·p₁²` ranks; verify layer-0 blocks.
@@ -237,7 +235,10 @@ mod tests {
         let r2 = run_summa(d, 2, 2, MachineConfig::default());
         assert!(r25.verified && r2.verified);
         assert_eq!(r25.stats.total_elems(), r2.stats.total_elems());
-        assert_eq!(s25d_analytic_volume(&d, 2, 1), summa_analytic_volume(&d, 2, 2));
+        assert_eq!(
+            s25d_analytic_volume(&d, 2, 1),
+            summa_analytic_volume(&d, 2, 2)
+        );
     }
 
     #[test]

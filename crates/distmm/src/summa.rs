@@ -16,8 +16,8 @@ use crate::common::{full_a, full_b, shard_a, shard_b, MatmulDims, MmReport};
 use crate::local::matmul_blocked;
 use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank};
 use distconv_tensor::matrix::matmul_acc;
-use distconv_tensor::{Matrix, Scalar};
 use distconv_tensor::shape::BlockDist;
+use distconv_tensor::{Matrix, Scalar};
 
 /// Panel boundaries along `k`: the union of `A`'s column-block and
 /// `B`'s row-block boundaries, so every panel has a single owner in
@@ -65,9 +65,9 @@ pub fn summa_rank_body<T: Scalar + distconv_simnet::Msg>(
     let a_block = shard_a::<T>(d, mi_lo, mi_hi - mi_lo, ka_lo, ka_hi - ka_lo);
     let b_block = shard_b::<T>(d, kb_lo, kb_hi - kb_lo, nj_lo, nj_hi - nj_lo);
     let mut c_block = Matrix::<T>::zeros(mi_hi - mi_lo, nj_hi - nj_lo);
-    let _lease = rank.mem().lease_or_panic(
-        (a_block.len() + b_block.len() + c_block.len()) as u64,
-    );
+    let _lease = rank
+        .mem()
+        .lease_or_panic((a_block.len() + b_block.len() + c_block.len()) as u64);
 
     let cuts = panel_bounds(d.k, pr, pc);
     for w in cuts.windows(2) {
@@ -128,12 +128,7 @@ pub fn run_summa(d: MatmulDims, pr: usize, pc: usize, cfg: MachineConfig) -> MmR
 }
 
 /// Check every rank's `C` block against the sequential product.
-pub(crate) fn verify_blocks(
-    d: &MatmulDims,
-    pr: usize,
-    pc: usize,
-    blocks: &[Matrix<f64>],
-) -> bool {
+pub(crate) fn verify_blocks(d: &MatmulDims, pr: usize, pc: usize, blocks: &[Matrix<f64>]) -> bool {
     let a = full_a::<f64>(d);
     let b = full_b::<f64>(d);
     let mut c_ref = Matrix::zeros(d.m, d.n);
@@ -201,8 +196,12 @@ mod tests {
     fn summa_volume_scales_with_grid_width() {
         // Doubling pc roughly doubles the A broadcast term.
         let d = MatmulDims::square(32);
-        let v2 = run_summa(d, 2, 2, MachineConfig::default()).stats.total_elems();
-        let v4 = run_summa(d, 2, 4, MachineConfig::default()).stats.total_elems();
+        let v2 = run_summa(d, 2, 2, MachineConfig::default())
+            .stats
+            .total_elems();
+        let v4 = run_summa(d, 2, 4, MachineConfig::default())
+            .stats
+            .total_elems();
         assert!(v4 > v2, "wider grid must move more A data: {v4} vs {v2}");
     }
 

@@ -1,0 +1,274 @@
+//! A std-`thread` scoped worker pool: the in-tree replacement for the
+//! two `rayon::prelude` parallel loops the workspace used to contain.
+//!
+//! Design notes:
+//!
+//! * Workers are spawned inside [`std::thread::scope`], so closures may
+//!   borrow from the caller's stack (the whole point: the conv kernel
+//!   parallelizes over `&mut` output planes) and worker panics are
+//!   re-raised on the caller when the scope joins — the same panic
+//!   propagation contract rayon gave us.
+//! * Scheduling is *static and deterministic*: chunk `i` is always
+//!   processed by worker `i / per_worker`, so runs are reproducible and
+//!   the output is bitwise-identical across thread counts (each chunk
+//!   is an independent disjoint write, accumulated in a fixed order).
+//!   Both call sites distribute uniform work, so dynamic stealing would
+//!   buy nothing and cost determinism.
+//! * Nested use is safe by construction: a scope spawned from inside a
+//!   worker is just another scope; there is no global executor to
+//!   deadlock against.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-count override, read once per call (cheap: one env probe).
+/// `DISTCONV_THREADS=1` forces sequential execution — handy for
+/// debugging and for bitwise-determinism checks in CI.
+const THREADS_ENV: &str = "DISTCONV_THREADS";
+
+/// Number of workers a parallel call will use: `DISTCONV_THREADS` if
+/// set and nonzero, else the machine's available parallelism (1 if
+/// that cannot be determined).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A sized worker pool. [`Pool::new`] pins the worker count;
+/// [`Pool::default`] follows [`num_threads`]. The pool owns no threads
+/// between calls — each parallel call runs inside its own
+/// [`std::thread::scope`], which is what makes borrowing and nesting
+/// sound without `unsafe`.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool {
+            threads: num_threads(),
+        }
+    }
+}
+
+impl Pool {
+    /// A pool that will use exactly `threads` workers (`threads ≥ 1`).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "pool needs at least one worker");
+        Pool { threads }
+    }
+
+    /// This pool's worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Split `data` into `chunk`-sized pieces and run
+    /// `f(chunk_index, chunk)` on each, in parallel. The final chunk
+    /// may be shorter. Equivalent to rayon's
+    /// `data.par_chunks_mut(chunk).enumerate().for_each(...)`.
+    ///
+    /// Chunks are assigned to workers in contiguous runs, so for any
+    /// fixed input the work assignment is deterministic. If a worker
+    /// panics, the panic is re-raised here after all workers stop.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        let n_chunks = data.len().div_ceil(chunk);
+        if n_chunks <= 1 || self.threads == 1 {
+            for (i, c) in data.chunks_mut(chunk).enumerate() {
+                f(i, c);
+            }
+            return;
+        }
+        let workers = self.threads.min(n_chunks);
+        let per_worker = n_chunks.div_ceil(workers);
+        let mut chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk).enumerate().collect();
+        let f = &f;
+        std::thread::scope(|s| {
+            for group in chunks.chunks_mut(per_worker) {
+                s.spawn(move || {
+                    for (i, c) in group.iter_mut() {
+                        f(*i, c);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Run `f(i)` for every `i in 0..n`, in parallel, with dynamic
+    /// (atomic-counter) scheduling — right for irregular per-index
+    /// work. `f` must tolerate any execution order.
+    pub fn par_iter_indexed<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n <= 1 || self.threads == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        let (next, f) = (&next, &f);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    f(i);
+                });
+            }
+        });
+    }
+}
+
+/// [`Pool::par_chunks_mut`] on a default-sized pool.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    Pool::default().par_chunks_mut(data, chunk, f)
+}
+
+/// [`Pool::par_iter_indexed`] on a default-sized pool.
+pub fn par_iter_indexed<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    Pool::default().par_iter_indexed(n, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn chunks_cover_every_element_exactly_once() {
+        let mut data = vec![0u64; 1003]; // deliberately not a multiple of chunk
+        Pool::new(4).par_chunks_mut(&mut data, 64, |i, c| {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v += (i * 64 + j) as u64 + 1;
+            }
+        });
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, k as u64 + 1, "element {k} touched wrong number of times");
+        }
+    }
+
+    #[test]
+    fn chunk_indices_are_global_and_complete() {
+        let mut data = vec![0u8; 130];
+        let seen = Mutex::new(Vec::new());
+        Pool::new(3).par_chunks_mut(&mut data, 32, |i, c| {
+            seen.lock().unwrap().push((i, c.len()));
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 32), (1, 32), (2, 32), (3, 32), (4, 2)]);
+    }
+
+    #[test]
+    fn distribution_uses_multiple_workers() {
+        // With 4 workers and 8 equal chunks, at least 2 distinct threads
+        // must participate (each worker gets a contiguous run of 2).
+        let mut data = vec![0u8; 8];
+        let ids = Mutex::new(std::collections::HashSet::new());
+        Pool::new(4).par_chunks_mut(&mut data, 1, |_, _| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(ids.into_inner().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn par_iter_indexed_visits_each_index_once() {
+        let n = 500;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        Pool::new(8).par_iter_indexed(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let mut data = vec![0u8; 16];
+            Pool::new(4).par_chunks_mut(&mut data, 2, |i, _| {
+                if i == 3 {
+                    panic!("deliberate worker panic");
+                }
+            });
+        });
+        assert!(result.is_err(), "caller must observe the worker panic");
+    }
+
+    #[test]
+    fn nested_parallel_calls_are_safe() {
+        let outer = 4;
+        let inner = 100;
+        let total = AtomicUsize::new(0);
+        Pool::new(2).par_iter_indexed(outer, |_| {
+            Pool::new(2).par_iter_indexed(inner, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), outer * inner);
+    }
+
+    #[test]
+    fn single_thread_pool_is_sequential_and_ordered() {
+        let mut data = vec![0usize; 10];
+        let order = Mutex::new(Vec::new());
+        Pool::new(1).par_chunks_mut(&mut data, 3, |i, _| order.lock().unwrap().push(i));
+        assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn result_independent_of_thread_count() {
+        let run = |threads: usize| {
+            let mut data = vec![0.0f64; 257];
+            Pool::new(threads).par_chunks_mut(&mut data, 16, |i, c| {
+                for (j, v) in c.iter_mut().enumerate() {
+                    *v = (i * 31 + j) as f64 * 0.5;
+                }
+            });
+            data
+        };
+        let a = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(a, run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let mut empty: Vec<u8> = vec![];
+        par_chunks_mut(&mut empty, 4, |_, _| panic!("no chunks expected"));
+        par_iter_indexed(0, |_| panic!("no indices expected"));
+        let mut one = vec![7u8];
+        par_chunks_mut(&mut one, 4, |i, c| {
+            assert_eq!((i, c.len()), (0, 1));
+            c[0] = 9;
+        });
+        assert_eq!(one, vec![9]);
+    }
+}

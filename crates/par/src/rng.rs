@@ -1,0 +1,155 @@
+//! SplitMix64: the workspace's only pseudo-random number generator.
+//!
+//! Chosen because it is 5 lines, passes BigCrush, and — critically for
+//! a reproduction whose every claim rests on determinism — each output
+//! is a pure function of `(seed, step)`. This is the same generator
+//! family the tensor crate's `fill_random` hashing already relied on;
+//! this module is the seekable/streaming form used for case generation
+//! in [`crate::proptest_mini`] and anywhere `rand` would have appeared.
+
+/// A SplitMix64 stream. `Copy` on purpose: forking the state is how
+/// callers derive independent substreams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// One stateless SplitMix64 output step: the finalizing hash applied to
+/// `x + GOLDEN_GAMMA`. Public so callers can hash coordinates directly.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive). Uses rejection-free modulo
+    /// reduction — bias is ≤ 2⁻⁵⁰ for the tiny ranges this workspace
+    /// draws, which is far below what any test can observe.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_u64() % (span + 1)
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fork an independent substream (hash of the current state). The
+    /// parent stream advances by one step.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(splitmix64(self.next_u64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn reference_vector() {
+        // First outputs of splitmix64 with seed 1234567, from the
+        // public-domain reference implementation (Vigna).
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+        assert_eq!(r.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = SplitMix64::new(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut buckets = [0u32; 10];
+        for _ in 0..n {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            buckets[(x * 10.0) as usize] += 1;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        for (i, &b) in buckets.iter().enumerate() {
+            // Expected 2000 per bucket; allow ±10%.
+            assert!((1800..=2200).contains(&b), "bucket {i}: {b}");
+        }
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_cover() {
+        let mut r = SplitMix64::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.usize_in(3, 7);
+            assert!((3..=7).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 3..=7 should appear");
+        assert_eq!(r.usize_in(9, 9), 9, "degenerate range");
+    }
+
+    #[test]
+    fn fork_streams_are_decorrelated() {
+        let mut parent = SplitMix64::new(99);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut r = SplitMix64::new(5);
+        let trues = (0..10_000).filter(|_| r.bool()).count();
+        assert!((4700..=5300).contains(&trues), "trues {trues}");
+    }
+}

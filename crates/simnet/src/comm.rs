@@ -77,7 +77,11 @@ impl<'a, T: Msg> Communicator<'a, T> {
                 )
             });
         debug_assert!(
-            members.iter().collect::<std::collections::BTreeSet<_>>().len() == members.len(),
+            members
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                == members.len(),
             "duplicate members in communicator: {members:?}"
         );
         Communicator {
@@ -143,7 +147,7 @@ impl<'a, T: Msg> Communicator<'a, T> {
         }
         let tag = self.next_tag(Op::Bcast);
         let v = (self.me + n - root) % n; // virtual rank, root = 0
-        // Receive once (non-roots), from the partner that covers us.
+                                          // Receive once (non-roots), from the partner that covers us.
         if v != 0 {
             // The highest set bit of v identifies the sender: v − msb(v).
             let msb = 1usize << (usize::BITS - 1 - v.leading_zeros());
@@ -236,7 +240,11 @@ impl<'a, T: Msg> Communicator<'a, T> {
     pub fn reduce_scatter(&self, buf: &[T], counts: &[usize]) -> Vec<T> {
         let n = self.size();
         assert_eq!(counts.len(), n, "counts per member");
-        assert_eq!(counts.iter().sum::<usize>(), buf.len(), "counts must sum to len");
+        assert_eq!(
+            counts.iter().sum::<usize>(),
+            buf.len(),
+            "counts must sum to len"
+        );
         let tag = self.next_tag(Op::ReduceScatter);
         let offsets = prefix_sums(counts);
         let my_off = offsets[self.me];
@@ -560,9 +568,8 @@ mod tests {
     fn alltoall_transposes() {
         let p = 4;
         let r = run_world(p, |comm| {
-            let outgoing: Vec<Vec<f64>> = (0..p)
-                .map(|j| vec![(comm.me() * 10 + j) as f64])
-                .collect();
+            let outgoing: Vec<Vec<f64>> =
+                (0..p).map(|j| vec![(comm.me() * 10 + j) as f64]).collect();
             comm.alltoall(&outgoing)
         });
         for (i, res) in r.results.iter().enumerate() {

@@ -22,7 +22,10 @@ pub struct CartGrid {
 impl CartGrid {
     /// A grid with the given extents (all positive).
     pub fn new(dims: Vec<usize>) -> Self {
-        assert!(!dims.is_empty() && dims.iter().all(|&d| d > 0), "bad grid {dims:?}");
+        assert!(
+            !dims.is_empty() && dims.iter().all(|&d| d > 0),
+            "bad grid {dims:?}"
+        );
         CartGrid { dims }
     }
 
@@ -201,7 +204,10 @@ mod tests {
         let c_row1 = g.fiber_ctx(&[1, 1], &[1]);
         assert_ne!(c_row0, c_row1, "different rows must get different ctx");
         let c_same = g.fiber_ctx(&[0, 3], &[1]);
-        assert_eq!(c_row0, c_same, "same fiber, same ctx regardless of vary coord");
+        assert_eq!(
+            c_row0, c_same,
+            "same fiber, same ctx regardless of vary coord"
+        );
     }
 
     #[test]

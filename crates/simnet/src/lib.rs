@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod comm;
 pub mod grid;
 pub mod machine;

@@ -1,10 +1,10 @@
 //! The machine: spawn `P` rank threads, run a closure on each, collect
 //! results, statistics and peak memory.
 
+use crate::channel::unbounded;
 use crate::memory::MemoryTracker;
 use crate::rank::{Msg, Packet, Rank};
 use crate::stats::{CostParams, Stats, StatsSnapshot};
-use crossbeam::channel::unbounded;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -85,8 +85,9 @@ impl Machine {
             .collect();
 
         let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
-        let clocks: Vec<std::sync::atomic::AtomicU64> =
-            (0..p).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+        let clocks: Vec<std::sync::atomic::AtomicU64> = (0..p)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect();
         let panics: std::sync::Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> =
             std::sync::Mutex::new(Vec::new());
 
@@ -138,7 +139,10 @@ impl Machine {
             .map(|c| f64::from_bits(c.load(std::sync::atomic::Ordering::Relaxed)))
             .fold(0.0, f64::max);
         RunReport {
-            results: results.into_iter().map(|r| r.expect("rank completed")).collect(),
+            results: results
+                .into_iter()
+                .map(|r| r.expect("rank completed"))
+                .collect(),
             peak_mem: trackers.iter().map(|t| t.peak()).collect(),
             stats: snapshot,
             sim_time,
@@ -212,7 +216,11 @@ mod tests {
             }
         });
         let expect = cfg.cost.alpha + cfg.cost.beta * n as f64;
-        assert!((r.makespan - expect).abs() < 1e-15, "{} vs {expect}", r.makespan);
+        assert!(
+            (r.makespan - expect).abs() < 1e-15,
+            "{} vs {expect}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -257,7 +265,12 @@ mod tests {
         // Root sends its 3 children serially; the last child's subtree
         // is shallow — classic binomial: makespan = 3 hops (depth) and
         // at most ~(log2 P + small) hops, never the 7 hops of volume.
-        assert!(r.makespan >= 3.0 * hop * 0.99, "{} vs {}", r.makespan, 3.0 * hop);
+        assert!(
+            r.makespan >= 3.0 * hop * 0.99,
+            "{} vs {}",
+            r.makespan,
+            3.0 * hop
+        );
         assert!(r.makespan <= 4.0 * hop, "{} vs {}", r.makespan, 4.0 * hop);
     }
 

@@ -148,7 +148,10 @@ impl MemLease {
 
 impl Drop for MemLease {
     fn drop(&mut self) {
-        self.tracker.inner.live.fetch_sub(self.elems, Ordering::Relaxed);
+        self.tracker
+            .inner
+            .live
+            .fetch_sub(self.elems, Ordering::Relaxed);
     }
 }
 

@@ -12,9 +12,9 @@
 //! collective or a wrong schedule therefore fails loudly instead of
 //! hanging the test suite.
 
+use crate::channel::{Receiver, RecvTimeoutError, Sender};
 use crate::memory::MemoryTracker;
 use crate::stats::{CostParams, Stats};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -117,9 +117,8 @@ impl<T: Msg> Rank<T> {
         // Advance the logical clock by this message's α–β cost
         // (self-sends are local copies: free).
         if dst != self.id {
-            self.clock.set(
-                self.clock.get() + self.cost.alpha + self.cost.beta * data.len() as f64,
-            );
+            self.clock
+                .set(self.clock.get() + self.cost.alpha + self.cost.beta * data.len() as f64);
         }
         let pkt = Packet {
             src: self.id,
@@ -129,9 +128,12 @@ impl<T: Msg> Rank<T> {
         };
         // Unbounded channel: send only fails if the receiver is gone,
         // which means that rank's thread already panicked; propagate a
-        // clear diagnostic instead of unwinding inside crossbeam.
+        // clear diagnostic instead of a bare unwrap.
         if self.senders[dst].send(pkt).is_err() {
-            panic!("rank {}: send to rank {dst} failed (receiver gone)", self.id);
+            panic!(
+                "rank {}: send to rank {dst} failed (receiver gone)",
+                self.id
+            );
         }
     }
 

@@ -1,74 +1,82 @@
 //! Property-based tests for the simulator's collectives: randomized
 //! rank counts, roots and payload sizes, always checked against a
-//! sequential model — plus exact volume laws.
+//! sequential model — plus exact volume laws. Runs on the in-tree
+//! `distconv_par::proptest_mini` harness.
 
+use distconv_par::proptest_mini::{check, Config};
 use distconv_simnet::{Communicator, Machine, MachineConfig};
-use proptest::prelude::*;
 
-proptest! {
-    // Each case spawns threads; keep counts moderate.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+// Each case spawns threads; keep counts moderate.
+const CASES: u32 = 24;
 
-    #[test]
-    fn bcast_delivers_and_counts(
-        p in 1usize..10,
-        root_sel in any::<u64>(),
-        len in 0usize..200,
-    ) {
-        let root = (root_sel as usize) % p;
-        let report = Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
-            let comm = Communicator::world(rank);
-            let mut buf = if comm.me() == root {
-                (0..len).map(|i| i as f64).collect()
-            } else {
-                vec![0.0; len]
-            };
-            comm.bcast(root, &mut buf);
-            buf
-        });
-        let expect: Vec<f64> = (0..len).map(|i| i as f64).collect();
-        for r in &report.results {
-            prop_assert_eq!(r, &expect);
-        }
-        prop_assert_eq!(report.stats.total_elems(), (len * (p - 1)) as u64);
-        prop_assert_eq!(report.stats.total_msgs(), (p - 1) as u64);
-    }
-
-    #[test]
-    fn allreduce_equals_sequential_sum(
-        p in 1usize..9,
-        len in 1usize..300,
-        seed in any::<u64>(),
-    ) {
-        let report = Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
-            let mut buf: Vec<f64> = (0..len)
-                .map(|i| ((seed ^ (rank.id() as u64 * 31 + i as u64)) % 100) as f64)
-                .collect();
-            let comm = Communicator::world(rank);
-            comm.allreduce(&mut buf);
-            buf
-        });
-        // Sequential model.
-        let mut expect = vec![0.0f64; len];
-        for r in 0..p {
-            for (i, e) in expect.iter_mut().enumerate() {
-                *e += ((seed ^ (r as u64 * 31 + i as u64)) % 100) as f64;
+#[test]
+fn bcast_delivers_and_counts() {
+    check(
+        "bcast_delivers_and_counts",
+        Config::with_cases(CASES),
+        |g| {
+            let p = g.usize_in(1, 9);
+            let root = g.usize_in(0, p - 1);
+            let len = g.usize_in(0, 199);
+            let report = Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
+                let comm = Communicator::world(rank);
+                let mut buf = if comm.me() == root {
+                    (0..len).map(|i| i as f64).collect()
+                } else {
+                    vec![0.0; len]
+                };
+                comm.bcast(root, &mut buf);
+                buf
+            });
+            let expect: Vec<f64> = (0..len).map(|i| i as f64).collect();
+            for r in &report.results {
+                assert_eq!(r, &expect);
             }
-        }
-        for res in &report.results {
-            prop_assert_eq!(res, &expect);
-        }
-    }
+            assert_eq!(report.stats.total_elems(), (len * (p - 1)) as u64);
+            assert_eq!(report.stats.total_msgs(), (p - 1) as u64);
+        },
+    );
+}
 
-    #[test]
-    fn gather_scatter_inverse(
-        p in 1usize..8,
-        root_sel in any::<u64>(),
-        base_len in 1usize..20,
-    ) {
+#[test]
+fn allreduce_equals_sequential_sum() {
+    check(
+        "allreduce_equals_sequential_sum",
+        Config::with_cases(CASES),
+        |g| {
+            let p = g.usize_in(1, 8);
+            let len = g.usize_in(1, 299);
+            let seed = g.u64();
+            let report = Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
+                let mut buf: Vec<f64> = (0..len)
+                    .map(|i| ((seed ^ (rank.id() as u64 * 31 + i as u64)) % 100) as f64)
+                    .collect();
+                let comm = Communicator::world(rank);
+                comm.allreduce(&mut buf);
+                buf
+            });
+            // Sequential model.
+            let mut expect = vec![0.0f64; len];
+            for r in 0..p {
+                for (i, e) in expect.iter_mut().enumerate() {
+                    *e += ((seed ^ (r as u64 * 31 + i as u64)) % 100) as f64;
+                }
+            }
+            for res in &report.results {
+                assert_eq!(res, &expect);
+            }
+        },
+    );
+}
+
+#[test]
+fn gather_scatter_inverse() {
+    check("gather_scatter_inverse", Config::with_cases(CASES), |g| {
         // scatter(gather(x)) == x for varying chunk sizes.
-        let root = (root_sel as usize) % p;
-        let report = Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
+        let p = g.usize_in(1, 7);
+        let root = g.usize_in(0, p - 1);
+        let base_len = g.usize_in(1, 19);
+        Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
             let comm = Communicator::world(rank);
             let mine: Vec<f64> = (0..base_len + comm.me())
                 .map(|i| (comm.me() * 1000 + i) as f64)
@@ -77,41 +85,46 @@ proptest! {
             let back = if comm.me() == root {
                 comm.scatter(root, Some(&gathered.unwrap()))
             } else {
-                prop_assert!(gathered.is_none());
+                assert!(gathered.is_none());
                 comm.scatter(root, None)
             };
-            prop_assert_eq!(back, mine);
-            Ok(())
+            assert_eq!(back, mine);
         });
-        for r in report.results {
-            r?;
-        }
-    }
+    });
+}
 
-    #[test]
-    fn reduce_scatter_chunks_sum(
-        p in 1usize..7,
-        chunk in 1usize..10,
-    ) {
-        let len = chunk * p;
-        let report = Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
-            let comm = Communicator::world(rank);
-            let buf: Vec<f64> = (0..len).map(|i| (rank.id() + i) as f64).collect();
-            let counts = vec![chunk; p];
-            comm.reduce_scatter(&buf, &counts)
-        });
-        // Element j of chunk i is Σ_r (r + i·chunk + j).
-        let rank_sum: f64 = (0..p).map(|r| r as f64).sum();
-        for (i, res) in report.results.iter().enumerate() {
-            for (j, &v) in res.iter().enumerate() {
-                let expect = rank_sum + (p * (i * chunk + j)) as f64;
-                prop_assert_eq!(v, expect, "member {} elem {}", i, j);
+#[test]
+fn reduce_scatter_chunks_sum() {
+    check(
+        "reduce_scatter_chunks_sum",
+        Config::with_cases(CASES),
+        |g| {
+            let p = g.usize_in(1, 6);
+            let chunk = g.usize_in(1, 9);
+            let len = chunk * p;
+            let report = Machine::run::<f64, _, _>(p, MachineConfig::default(), move |rank| {
+                let comm = Communicator::world(rank);
+                let buf: Vec<f64> = (0..len).map(|i| (rank.id() + i) as f64).collect();
+                let counts = vec![chunk; p];
+                comm.reduce_scatter(&buf, &counts)
+            });
+            // Element j of chunk i is Σ_r (r + i·chunk + j).
+            let rank_sum: f64 = (0..p).map(|r| r as f64).sum();
+            for (i, res) in report.results.iter().enumerate() {
+                for (j, &v) in res.iter().enumerate() {
+                    let expect = rank_sum + (p * (i * chunk + j)) as f64;
+                    assert_eq!(v, expect, "member {i} elem {j}");
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn alltoall_is_transpose(p in 1usize..7, len in 0usize..8) {
+#[test]
+fn alltoall_is_transpose() {
+    check("alltoall_is_transpose", Config::with_cases(CASES), |g| {
+        let p = g.usize_in(1, 6);
+        let len = g.usize_in(0, 7);
         let report = Machine::run::<u64, _, _>(p, MachineConfig::default(), move |rank| {
             let comm = Communicator::world(rank);
             let outgoing: Vec<Vec<u64>> = (0..p)
@@ -121,10 +134,10 @@ proptest! {
         });
         for (i, res) in report.results.iter().enumerate() {
             for (j, chunk) in res.iter().enumerate() {
-                prop_assert_eq!(chunk, &vec![(j * 100 + i) as u64; len]);
+                assert_eq!(chunk, &vec![(j * 100 + i) as u64; len]);
             }
         }
-    }
+    });
 }
 
 #[test]
@@ -141,7 +154,11 @@ fn concurrent_disjoint_groups_do_not_interfere() {
                 buf[0]
             }
             1 => {
-                let mut buf = if comm.me() == 0 { vec![42.0] } else { vec![0.0] };
+                let mut buf = if comm.me() == 0 {
+                    vec![42.0]
+                } else {
+                    vec![0.0]
+                };
                 comm.bcast(0, &mut buf);
                 buf[0]
             }

@@ -333,10 +333,7 @@ mod tests {
     #[test]
     fn block_dist_evenness() {
         let d = BlockDist::new(10, 3);
-        assert_eq!(
-            (0..3).map(|i| d.len(i)).collect::<Vec<_>>(),
-            vec![4, 3, 3]
-        );
+        assert_eq!((0..3).map(|i| d.len(i)).collect::<Vec<_>>(), vec![4, 3, 3]);
         assert_eq!(d.max_len(), 4);
     }
 

@@ -1,132 +1,145 @@
 //! Property-based tests for the tensor substrate: pack/unpack
 //! round-trips, block distributions, and halo-region tightness under
-//! randomized shapes and ranges.
+//! randomized shapes and ranges. Runs on the in-tree
+//! `distconv_par::proptest_mini` harness (replay a failure with
+//! `DISTCONV_PROPTEST_SEED=<seed from the failure report>`).
 
+use distconv_par::proptest_mini::{check, Config, Gen};
 use distconv_tensor::shape::{BlockDist, Range4, Shape4};
 use distconv_tensor::{conv_input_extent, conv_input_region, Tensor4};
-use proptest::prelude::*;
 
 /// A random shape with extents 1..=6 (keeps the O(n⁴) walks cheap).
-fn arb_shape() -> impl Strategy<Value = Shape4> {
-    (1usize..=6, 1usize..=6, 1usize..=6, 1usize..=6)
-        .prop_map(|(a, b, c, d)| Shape4::new(a, b, c, d))
-}
-
-/// A random shape together with a non-empty sub-range of it.
-fn arb_shape_and_range() -> impl Strategy<Value = (Shape4, Range4)> {
-    arb_shape().prop_flat_map(|s| arb_range(s).prop_map(move |r| (s, r)))
+fn gen_shape(g: &mut Gen) -> Shape4 {
+    Shape4::new(
+        g.usize_in(1, 6),
+        g.usize_in(1, 6),
+        g.usize_in(1, 6),
+        g.usize_in(1, 6),
+    )
 }
 
 /// A random non-empty sub-range of `shape`.
-fn arb_range(shape: Shape4) -> impl Strategy<Value = Range4> {
+fn gen_range(g: &mut Gen, shape: Shape4) -> Range4 {
     let d = shape.0;
-    (
-        0..d[0],
-        0..d[1],
-        0..d[2],
-        0..d[3],
-    )
-        .prop_flat_map(move |(l0, l1, l2, l3)| {
-            (
-                Just([l0, l1, l2, l3]),
-                (l0 + 1..=d[0]),
-                (l1 + 1..=d[1]),
-                (l2 + 1..=d[2]),
-                (l3 + 1..=d[3]),
-            )
-        })
-        .prop_map(|(lo, h0, h1, h2, h3)| Range4::new(lo, [h0, h1, h2, h3]))
+    let lo = [
+        g.usize_in(0, d[0] - 1),
+        g.usize_in(0, d[1] - 1),
+        g.usize_in(0, d[2] - 1),
+        g.usize_in(0, d[3] - 1),
+    ];
+    let hi = [
+        g.usize_in(lo[0] + 1, d[0]),
+        g.usize_in(lo[1] + 1, d[1]),
+        g.usize_in(lo[2] + 1, d[2]),
+        g.usize_in(lo[3] + 1, d[3]),
+    ];
+    Range4::new(lo, hi)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn pack_unpack_roundtrip(
-        (shape, range) in arb_shape_and_range(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn pack_unpack_roundtrip() {
+    check("pack_unpack_roundtrip", Config::with_cases(64), |g| {
+        let shape = gen_shape(g);
+        let range = gen_range(g, shape);
+        let seed = g.u64();
         let t = Tensor4::<f64>::random(shape, seed);
         let packed = t.pack_range(range);
-        prop_assert_eq!(packed.len(), range.len());
+        assert_eq!(packed.len(), range.len());
         let mut u = Tensor4::<f64>::zeros(shape);
         u.unpack_range(range, &packed);
         for idx in shape.full_range().iter() {
             let expect = if range.contains(idx) { t[idx] } else { 0.0 };
-            prop_assert_eq!(u[idx], expect);
+            assert_eq!(u[idx], expect);
         }
-    }
+    });
+}
 
-    #[test]
-    fn slice_then_index_matches(
-        (shape, range) in arb_shape_and_range(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn slice_then_index_matches() {
+    check("slice_then_index_matches", Config::with_cases(64), |g| {
+        let shape = gen_shape(g);
+        let range = gen_range(g, shape);
+        let seed = g.u64();
         let t = Tensor4::<f32>::random(shape, seed);
         let s = t.slice(range);
-        prop_assert_eq!(s.shape(), range.shape());
+        assert_eq!(s.shape(), range.shape());
         for idx in range.shape().full_range().iter() {
-            let g = [
+            let g4 = [
                 range.lo[0] + idx[0],
                 range.lo[1] + idx[1],
                 range.lo[2] + idx[2],
                 range.lo[3] + idx[3],
             ];
-            prop_assert_eq!(s[idx], t[g]);
+            assert_eq!(s[idx], t[g4]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn random_window_is_restriction(
-        (shape, range) in arb_shape_and_range(),
-        seed in any::<u64>(),
-    ) {
-        // Any window of the global random tensor equals the directly
-        // materialized shard — the invariant distributed ranks rely on.
-        let full = Tensor4::<f64>::random(shape, seed);
-        let shard = Tensor4::<f64>::random_window(range.shape(), seed, range.lo, shape);
-        for idx in range.shape().full_range().iter() {
-            let g = [
-                range.lo[0] + idx[0],
-                range.lo[1] + idx[1],
-                range.lo[2] + idx[2],
-                range.lo[3] + idx[3],
-            ];
-            prop_assert_eq!(shard[idx], full[g]);
-        }
-    }
-
-    #[test]
-    fn block_dist_partitions_exactly(n in 0usize..200, parts in 1usize..20) {
-        let d = BlockDist::new(n, parts);
-        let mut total = 0;
-        let mut prev_hi = 0;
-        for i in 0..parts {
-            let (lo, hi) = d.range(i);
-            prop_assert_eq!(lo, prev_hi, "chunks must be contiguous");
-            prop_assert!(hi - lo <= d.max_len());
-            // Even-ness: no chunk more than 1 longer than another.
-            prop_assert!(d.len(i) + 1 >= d.len(parts - 1));
-            total += hi - lo;
-            prev_hi = hi;
-            for x in lo..hi {
-                prop_assert_eq!(d.owner(x), i);
+#[test]
+fn random_window_is_restriction() {
+    check(
+        "random_window_is_restriction",
+        Config::with_cases(64),
+        |g| {
+            // Any window of the global random tensor equals the directly
+            // materialized shard — the invariant distributed ranks rely on.
+            let shape = gen_shape(g);
+            let range = gen_range(g, shape);
+            let seed = g.u64();
+            let full = Tensor4::<f64>::random(shape, seed);
+            let shard = Tensor4::<f64>::random_window(range.shape(), seed, range.lo, shape);
+            for idx in range.shape().full_range().iter() {
+                let g4 = [
+                    range.lo[0] + idx[0],
+                    range.lo[1] + idx[1],
+                    range.lo[2] + idx[2],
+                    range.lo[3] + idx[3],
+                ];
+                assert_eq!(shard[idx], full[g4]);
             }
-        }
-        prop_assert_eq!(total, n);
-    }
+        },
+    );
+}
 
-    #[test]
-    fn conv_region_is_tight(
-        tw in 1usize..6,
-        th in 1usize..6,
-        sw in 1usize..3,
-        sh in 1usize..3,
-        nr in 1usize..4,
-        ns in 1usize..4,
-    ) {
+#[test]
+fn block_dist_partitions_exactly() {
+    check(
+        "block_dist_partitions_exactly",
+        Config::with_cases(64),
+        |g| {
+            let n = g.usize_in(0, 199);
+            let parts = g.usize_in(1, 19);
+            let d = BlockDist::new(n, parts);
+            let mut total = 0;
+            let mut prev_hi = 0;
+            for i in 0..parts {
+                let (lo, hi) = d.range(i);
+                assert_eq!(lo, prev_hi, "chunks must be contiguous");
+                assert!(hi - lo <= d.max_len());
+                // Even-ness: no chunk more than 1 longer than another.
+                assert!(d.len(i) + 1 >= d.len(parts - 1));
+                total += hi - lo;
+                prev_hi = hi;
+                for x in lo..hi {
+                    assert_eq!(d.owner(x), i);
+                }
+            }
+            assert_eq!(total, n);
+        },
+    );
+}
+
+#[test]
+fn conv_region_is_tight() {
+    check("conv_region_is_tight", Config::with_cases(64), |g| {
         // The computed region contains exactly the read inputs: both
         // bounds attained, nothing beyond.
+        let tw = g.usize_in(1, 5);
+        let th = g.usize_in(1, 5);
+        let sw = g.usize_in(1, 2);
+        let sh = g.usize_in(1, 2);
+        let nr = g.usize_in(1, 3);
+        let ns = g.usize_in(1, 3);
         let out = Range4::new([0, 0, 0, 0], [1, 1, tw, th]);
         let reg = conv_input_region(out, 0, 1, sw, sh, nr, ns);
         let mut max_x = 0;
@@ -136,22 +149,26 @@ proptest! {
                 for r in 0..nr {
                     for s in 0..ns {
                         let (x, y) = (sw * w + r, sh * h + s);
-                        prop_assert!(reg.contains([0, 0, x, y]));
+                        assert!(reg.contains([0, 0, x, y]));
                         max_x = max_x.max(x);
                         max_y = max_y.max(y);
                     }
                 }
             }
         }
-        prop_assert_eq!(reg.hi[2], max_x + 1);
-        prop_assert_eq!(reg.hi[3], max_y + 1);
-        prop_assert_eq!(reg.extents()[2], conv_input_extent(tw, sw, nr));
-        prop_assert_eq!(reg.extents()[3], conv_input_extent(th, sh, ns));
-    }
+        assert_eq!(reg.hi[2], max_x + 1);
+        assert_eq!(reg.hi[3], max_y + 1);
+        assert_eq!(reg.extents()[2], conv_input_extent(tw, sw, nr));
+        assert_eq!(reg.extents()[3], conv_input_extent(th, sh, ns));
+    });
+}
 
-    #[test]
-    fn add_unpack_is_linear(shape in arb_shape(), seed in any::<u64>()) {
+#[test]
+fn add_unpack_is_linear() {
+    check("add_unpack_is_linear", Config::with_cases(64), |g| {
         // unpack(x) then add_unpack(y) == unpack of (x + y).
+        let shape = gen_shape(g);
+        let seed = g.u64();
         let full = shape.full_range();
         let x = Tensor4::<f64>::random(shape, seed);
         let y = Tensor4::<f64>::random(shape, seed ^ 0xFFFF);
@@ -159,7 +176,7 @@ proptest! {
         a.unpack_range(full, x.as_slice());
         a.add_unpack_range(full, y.as_slice());
         for idx in full.iter() {
-            prop_assert_eq!(a[idx], x[idx] + y[idx]);
+            assert_eq!(a[idx], x[idx] + y[idx]);
         }
-    }
+    });
 }

@@ -22,7 +22,10 @@ fn main() {
         "1×1 conv ≡ matmul: C[{}×{}] = A[{}×{}] · B[{}×{}]\n",
         dims.m, dims.n, dims.m, dims.k, dims.k, dims.n
     );
-    println!("{:<44} {:>6} {:>12} {:>9}", "algorithm", "P", "volume", "verified");
+    println!(
+        "{:<44} {:>6} {:>12} {:>9}",
+        "algorithm", "P", "volume", "verified"
+    );
 
     for (label, forced_pc) in [
         ("distconv, planner's grid", None),

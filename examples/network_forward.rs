@@ -27,8 +27,8 @@ fn main() {
         Conv2dProblem::new(2, 16, 32, 10, 10, 3, 3, 1, 1),
     ];
 
-    let plan = NetworkPlan::plan(&layers, MachineSpec::new(procs, 1 << 22))
-        .expect("network plannable");
+    let plan =
+        NetworkPlan::plan(&layers, MachineSpec::new(procs, 1 << 22)).expect("network plannable");
     println!("P = {procs}\n");
     println!(
         "{:<8} {:>24} {:>8} {:>14} {:>14}",

@@ -20,14 +20,20 @@ fn main() {
     let frontier = planner.pareto_frontier();
 
     println!("layer {p:?}, P = {procs}");
-    println!("{} feasible grids, {} on the Pareto frontier\n", planner.enumerate().len(), frontier.len());
+    println!(
+        "{} feasible grids, {} on the Pareto frontier\n",
+        planner.enumerate().len(),
+        frontier.len()
+    );
     println!(
         "{:>18} {:>4} {:>8} {:>12} {:>12} {:>12} {:>9}",
         "grid (b,k,c,h,w)", "Pc", "regime", "memory g_D", "pred cost_D", "measured", "verified"
     );
     for plan in &frontier {
         let g = plan.grid;
-        let r = DistConv::<f32>::new(*plan).run_verified(3).expect("verified");
+        let r = DistConv::<f32>::new(*plan)
+            .run_verified(3)
+            .expect("verified");
         println!(
             "{:>18} {:>4} {:>8} {:>12.0} {:>12.0} {:>12} {:>9}",
             format!("{}x{}x{}x{}x{}", g.pb, g.pk, g.pc, g.ph, g.pw),

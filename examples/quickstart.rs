@@ -17,7 +17,9 @@ fn main() {
 
     // Step 1+2 (paper Sec. 2.1): solve the two-level tile-size
     // optimization and pick the processor grid.
-    let plan = Planner::new(problem, machine).plan().expect("feasible plan");
+    let plan = Planner::new(problem, machine)
+        .plan()
+        .expect("feasible plan");
     println!("layer            : {problem:?}");
     println!(
         "grid  Pb,Pk,Pc,Ph,Pw : {}x{}x{}x{}x{}  (regime: {})",

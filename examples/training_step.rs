@@ -28,7 +28,10 @@ fn main() {
         "layer", "dp fwd+grad", "distconv fwd", "distconv fwd+grad", "verified"
     );
     for (name, p) in [
-        ("wide image (16², 16ch)", Conv2dProblem::square(4, 16, 16, 16, 3)),
+        (
+            "wide image (16², 16ch)",
+            Conv2dProblem::square(4, 16, 16, 16, 3),
+        ),
         ("mid (8², 32ch)", Conv2dProblem::square(4, 32, 32, 8, 3)),
         ("deep (4², 64ch)", Conv2dProblem::square(4, 64, 64, 4, 3)),
     ] {

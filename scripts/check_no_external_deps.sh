@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Hermeticity guard: the workspace must not declare any external
+# (registry) dependency. Two independent checks:
+#
+#   1. No manifest may name one of the crates we replaced in-tree
+#      (rand/rayon/crossbeam/parking_lot/serde/proptest/criterion).
+#   2. Cargo.lock must contain no `source =` entry at all — every
+#      package is a local path dependency.
+#
+# Run from the repository root. Exits non-zero on any violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+banned='^(rand|rayon|crossbeam|parking_lot|serde|proptest|criterion)'
+if grep -rEn "$banned" --include=Cargo.toml crates Cargo.toml; then
+    echo "error: banned external dependency declared in a manifest" >&2
+    status=1
+fi
+
+if [ ! -f Cargo.lock ]; then
+    echo "error: Cargo.lock is missing (must be committed)" >&2
+    status=1
+elif grep -n '^source = ' Cargo.lock; then
+    echo "error: Cargo.lock references a non-path (registry/git) source" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "ok: workspace is hermetic (path-only dependencies)"
+fi
+exit "$status"

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Reproducibility gate: the analytical tables (Tables 1 and 2 of the
+# paper) must be bit-identical to the checked-in goldens. These tables
+# are pure closed-form/brute-force arithmetic — no timing, no thread
+# scheduling — so any diff is a real behavior change in the cost model,
+# never noise. Regenerate the goldens deliberately with:
+#
+#   scripts/repro_check.sh --bless
+#
+# and include the diff in review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN_DIR=tests/goldens
+BINS=(repro_table1 repro_table2)
+GOLDENS=(table1.txt table2.txt)
+
+cargo build --release --offline --workspace -q
+
+if [ "${1:-}" = "--bless" ]; then
+    mkdir -p "$GOLDEN_DIR"
+    for i in "${!BINS[@]}"; do
+        "target/release/${BINS[$i]}" > "$GOLDEN_DIR/${GOLDENS[$i]}"
+        echo "blessed $GOLDEN_DIR/${GOLDENS[$i]}"
+    done
+    exit 0
+fi
+
+status=0
+for i in "${!BINS[@]}"; do
+    golden="$GOLDEN_DIR/${GOLDENS[$i]}"
+    if [ ! -f "$golden" ]; then
+        echo "error: missing golden $golden (run with --bless)" >&2
+        status=1
+        continue
+    fi
+    if ! "target/release/${BINS[$i]}" | diff -u "$golden" -; then
+        echo "error: ${BINS[$i]} output diverged from $golden" >&2
+        status=1
+    else
+        echo "ok: ${BINS[$i]} matches $golden"
+    fi
+done
+exit "$status"

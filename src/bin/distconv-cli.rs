@@ -90,7 +90,9 @@ fn print_plan(plan: &distconv::cost::DistPlan) {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: distconv-cli <plan|run|sweep|pareto|layers> [flags]  (see source header)");
+        eprintln!(
+            "usage: distconv-cli <plan|run|sweep|pareto|layers> [flags]  (see source header)"
+        );
         return ExitCode::FAILURE;
     };
     let flags = parse_flags(&args[1..]);
@@ -126,10 +128,15 @@ fn main() -> ExitCode {
             if flags.contains_key("train") {
                 match run_training_step::<f32>(plan, seed, MachineConfig::default()) {
                     Ok(r) => {
-                        println!("  training step : measured {} elems (expected {})",
-                            r.measured_volume(), r.expected_total());
-                        println!("  verified      : forward {} / gradient {}",
-                            r.forward_verified, r.grad_verified);
+                        println!(
+                            "  training step : measured {} elems (expected {})",
+                            r.measured_volume(),
+                            r.expected_total()
+                        );
+                        println!(
+                            "  verified      : forward {} / gradient {}",
+                            r.forward_verified, r.grad_verified
+                        );
                         ExitCode::SUCCESS
                     }
                     Err(e) => {
@@ -165,7 +172,10 @@ fn main() -> ExitCode {
             let p = problem_from(&flags);
             let procs = get(&flags, "p", 16);
             println!("layer: {p:?}, P = {procs}");
-            println!("{:>10} {:>18} {:>8} {:>14} {:>14}", "M_D", "grid", "regime", "cost_D", "g_D");
+            println!(
+                "{:>10} {:>18} {:>8} {:>14} {:>14}",
+                "M_D", "grid", "regime", "cost_D", "g_D"
+            );
             for shift in 10..=24usize {
                 let mem = 1usize << shift;
                 match Planner::new(p, MachineSpec::new(procs, mem)).plan() {
@@ -211,7 +221,10 @@ fn main() -> ExitCode {
         "layers" => {
             let batch = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(32);
             let procs = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
-            println!("{:<24} {:>9} {:>14} {:>14}", "layer", "regime", "cost_C/rank", "cost_D/rank");
+            println!(
+                "{:<24} {:>9} {:>14} {:>14}",
+                "layer", "regime", "cost_C/rank", "cost_D/rank"
+            );
             for l in resnet50(batch).into_iter().chain(vgg16(batch)) {
                 match Planner::new(l.problem, MachineSpec::new(procs, 1 << 30)).plan() {
                     Ok(plan) => println!(

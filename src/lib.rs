@@ -47,5 +47,6 @@ pub use distconv_conv as conv;
 pub use distconv_core as core;
 pub use distconv_cost as cost;
 pub use distconv_distmm as distmm;
+pub use distconv_par as par;
 pub use distconv_simnet as simnet;
 pub use distconv_tensor as tensor;

@@ -17,7 +17,9 @@ fn all_schemes_agree_on_the_same_layer() {
     let p = Conv2dProblem::square(4, 8, 8, 8, 3);
     let cfg = MachineConfig::default();
     let procs = 4;
-    let plan = Planner::new(p, MachineSpec::new(procs, 1 << 20)).plan().unwrap();
+    let plan = Planner::new(p, MachineSpec::new(procs, 1 << 20))
+        .plan()
+        .unwrap();
     let dc = DistConv::<f64>::new(plan).run_verified(77).unwrap();
     assert!(dc.verified);
     assert!(run_data_parallel(p, procs, 77, true, cfg).verified);
@@ -37,11 +39,15 @@ fn filter_parallel_recurring_grows_linearly_distconv_sublinearly() {
     assert_eq!(f16 / f4, 5, "(16−1)/(4−1) = 5x input replication");
 
     let v4 = {
-        let plan = Planner::new(p, MachineSpec::new(4, 1 << 20)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(4, 1 << 20))
+            .plan()
+            .unwrap();
         DistConv::<f64>::new(plan).run(1).measured_volume()
     };
     let v16 = {
-        let plan = Planner::new(p, MachineSpec::new(16, 1 << 20)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(16, 1 << 20))
+            .plan()
+            .unwrap();
         DistConv::<f64>::new(plan).run(1).measured_volume()
     };
     assert!(
@@ -62,7 +68,9 @@ fn matmul_analogy_one_by_one_conv() {
     assert!(run_dns3d(dims, 2, cfg).verified);
 
     // The CNN algorithm on the same computation.
-    let plan = Planner::new(p, MachineSpec::new(8, 1 << 20)).plan().unwrap();
+    let plan = Planner::new(p, MachineSpec::new(8, 1 << 20))
+        .plan()
+        .unwrap();
     let r = DistConv::<f64>::new(plan).run_verified(9).unwrap();
     assert!(r.verified);
 }
@@ -74,7 +82,9 @@ fn regime_analogy_tracks_matmul_tradeoff() {
     // allows; both costs drop relative to their 2D variants.
     let p = Conv2dProblem::new(2, 16, 64, 4, 4, 1, 1, 1, 1);
     let procs = 16;
-    let free = Planner::new(p, MachineSpec::new(procs, 1 << 24)).plan().unwrap();
+    let free = Planner::new(p, MachineSpec::new(procs, 1 << 24))
+        .plan()
+        .unwrap();
     let forced2d = Planner::new(p, MachineSpec::new(procs, 1 << 24))
         .with_forced_pc(1)
         .plan()
@@ -111,7 +121,9 @@ fn distconv_advantage_grows_from_early_to_late_layers() {
         let dp = run_data_parallel(p, procs, 3, true, cfg);
         assert!(dp.verified);
         let dp_grad = 2.0 * (procs as f64 - 1.0) * p.size_ker() as f64;
-        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 22)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 22))
+            .plan()
+            .unwrap();
         let dc = DistConv::<f64>::new(plan).run(3);
         dc.measured_volume() as f64 / dp_grad
     };

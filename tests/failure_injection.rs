@@ -28,10 +28,7 @@ fn mismatched_collective_trips_deadlock_trap() {
         })
     });
     let err = result.expect_err("must panic");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("deadlock trap"), "got: {msg}");
 }
 
@@ -72,7 +69,9 @@ fn gvm_memory_violation_is_an_error_not_a_panic() {
 #[test]
 fn distconv_memory_enforcement_fires_on_a_lying_plan() {
     let p = Conv2dProblem::square(2, 8, 8, 4, 3);
-    let mut plan = Planner::new(p, MachineSpec::new(4, 1 << 20)).plan().unwrap();
+    let mut plan = Planner::new(p, MachineSpec::new(4, 1 << 20))
+        .plan()
+        .unwrap();
     plan.machine.mem = 16; // claim 16 words of memory per rank
     let result =
         std::panic::catch_unwind(|| DistConv::<f32>::new(plan).enforce_memory(true).run(1));
@@ -84,7 +83,9 @@ fn honest_plan_fits_under_enforcement() {
     // A plan the planner itself produced, run with the capacity it was
     // planned for plus the documented spatial-halo slack, must fit.
     let p = Conv2dProblem::square(2, 8, 8, 4, 3);
-    let plan = Planner::new(p, MachineSpec::new(4, 1 << 20)).plan().unwrap();
+    let plan = Planner::new(p, MachineSpec::new(4, 1 << 20))
+        .plan()
+        .unwrap();
     let r = DistConv::<f32>::new(plan)
         .enforce_memory(true)
         .run_verified(1)

@@ -12,7 +12,9 @@ fn full_pipeline_across_processor_counts() {
             .plan()
             .unwrap_or_else(|e| panic!("P={procs}: {e}"));
         assert_eq!(plan.grid.total(), procs);
-        let r = DistConv::<f64>::new(plan).run_verified(99).expect("verified");
+        let r = DistConv::<f64>::new(plan)
+            .run_verified(99)
+            .expect("verified");
         assert_eq!(
             r.measured_volume() as u128,
             expected_volumes(&plan).total(),
@@ -24,7 +26,9 @@ fn full_pipeline_across_processor_counts() {
 #[test]
 fn both_dtypes_agree_on_volume() {
     let p = Conv2dProblem::square(2, 8, 8, 8, 3);
-    let plan = Planner::new(p, MachineSpec::new(8, 1 << 18)).plan().unwrap();
+    let plan = Planner::new(p, MachineSpec::new(8, 1 << 18))
+        .plan()
+        .unwrap();
     let r32 = DistConv::<f32>::new(plan).run_verified(5).unwrap();
     let r64 = DistConv::<f64>::new(plan).run_verified(5).unwrap();
     // Identical schedule → identical element counts, regardless of dtype.
@@ -43,7 +47,9 @@ fn forced_grid_families_all_verify() {
             continue;
         };
         assert_eq!(plan.grid.pc, pc);
-        let r = DistConv::<f64>::new(plan).run_verified(17).expect("verified");
+        let r = DistConv::<f64>::new(plan)
+            .run_verified(17)
+            .expect("verified");
         assert_eq!(r.measured_volume() as u128, r.expected.total(), "pc={pc}");
     }
 }
@@ -56,7 +62,9 @@ fn constant_gap_theorem_every_plan() {
         (Conv2dProblem::new(2, 8, 8, 6, 4, 3, 5, 1, 1), 4),
         (Conv2dProblem::new(4, 16, 16, 8, 8, 3, 3, 2, 2), 16),
     ] {
-        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 22)).plan().unwrap();
+        let plan = Planner::new(p, MachineSpec::new(procs, 1 << 22))
+            .plan()
+            .unwrap();
         let gap = plan.predicted.cost_d - plan.predicted.cost_gvm;
         let theorem = (p.size_in_paper() + p.size_ker()) as f64 / procs as f64;
         assert!(
@@ -84,7 +92,10 @@ fn volume_decreases_with_memory() {
         );
         prev = r.measured_volume();
     }
-    assert!(prev < u64::MAX, "at least one memory level must be feasible");
+    assert!(
+        prev < u64::MAX,
+        "at least one memory level must be feasible"
+    );
 }
 
 #[test]
@@ -107,7 +118,9 @@ fn planner_failure_modes_are_typed() {
 #[test]
 fn seeds_change_data_not_volume() {
     let p = Conv2dProblem::square(2, 8, 8, 4, 3);
-    let plan = Planner::new(p, MachineSpec::new(4, 1 << 18)).plan().unwrap();
+    let plan = Planner::new(p, MachineSpec::new(4, 1 << 18))
+        .plan()
+        .unwrap();
     let a = DistConv::<f64>::new(plan).run_verified(1).unwrap();
     let b = DistConv::<f64>::new(plan).run_verified(2).unwrap();
     assert_eq!(a.measured_volume(), b.measured_volume());
@@ -121,7 +134,9 @@ fn non_power_of_two_extents() {
         let Ok(plan) = Planner::new(p, MachineSpec::new(procs, 1 << 20)).plan() else {
             panic!("P={procs} should be plannable for 6/12 extents");
         };
-        let r = DistConv::<f64>::new(plan).run_verified(7).expect("verified");
+        let r = DistConv::<f64>::new(plan)
+            .run_verified(7)
+            .expect("verified");
         assert_eq!(r.measured_volume() as u128, r.expected.total(), "P={procs}");
     }
 }

@@ -12,8 +12,12 @@ use distconv::simnet::{Communicator, Machine, MachineConfig};
 #[ignore = "stress: 64 rank threads"]
 fn stress_64_ranks_verified() {
     let p = Conv2dProblem::square(8, 32, 32, 8, 3);
-    let plan = Planner::new(p, MachineSpec::new(64, 1 << 22)).plan().unwrap();
-    let r = DistConv::<f32>::new(plan).run_verified(1).expect("verified");
+    let plan = Planner::new(p, MachineSpec::new(64, 1 << 22))
+        .plan()
+        .unwrap();
+    let r = DistConv::<f32>::new(plan)
+        .run_verified(1)
+        .expect("verified");
     assert!(r.verified);
     assert_eq!(r.measured_volume() as u128, r.expected.total());
 }
@@ -67,7 +71,9 @@ fn stress_deep_network() {
 #[ignore = "stress: training at 32 ranks"]
 fn stress_training_32_ranks() {
     let p = Conv2dProblem::square(4, 16, 16, 8, 3);
-    let plan = Planner::new(p, MachineSpec::new(32, 1 << 22)).plan().unwrap();
+    let plan = Planner::new(p, MachineSpec::new(32, 1 << 22))
+        .plan()
+        .unwrap();
     let r = run_training_step::<f64>(plan, 5, MachineConfig::default()).expect("verified");
     assert!(r.forward_verified && r.grad_verified);
     assert_eq!(r.measured_volume() as u128, r.expected_total());
