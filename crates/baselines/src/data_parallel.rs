@@ -19,7 +19,7 @@ use distconv_conv::kernels::{
     conv2d_direct, conv2d_direct_par, grad_ker, in_shape, ker_shape, out_shape, workload,
 };
 use distconv_cost::Conv2dProblem;
-use distconv_simnet::{Communicator, Machine, MachineConfig};
+use distconv_simnet::{Communicator, Machine, MachineConfig, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{max_rel_err, Shape4, Tensor4};
 
@@ -37,6 +37,18 @@ pub fn run_data_parallel(
     train: bool,
     cfg: MachineConfig,
 ) -> BaselineReport {
+    try_run_data_parallel(p, procs, seed, train, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_data_parallel`]: surfaces rank failures (injected
+/// crashes, deadlocks, OOM) as a [`RunError`] instead of panicking.
+pub fn try_run_data_parallel(
+    p: Conv2dProblem,
+    procs: usize,
+    seed: u64,
+    train: bool,
+    cfg: MachineConfig,
+) -> Result<BaselineReport, RunError> {
     assert!(
         procs <= p.nb,
         "data parallelism cannot use more ranks ({procs}) than batch items ({})",
@@ -44,7 +56,7 @@ pub fn run_data_parallel(
     );
     let dist = BlockDist::new(p.nb, procs);
 
-    let report = Machine::run::<f64, _, _>(procs, cfg, |rank| {
+    let report = Machine::try_run::<f64, _, _>(procs, cfg, |rank| {
         let comm = Communicator::world(rank);
         let me = rank.id();
         let (b_lo, b_hi) = dist.range(me);
@@ -101,7 +113,7 @@ pub fn run_data_parallel(
             None
         };
         (b_lo, out, d_ker)
-    });
+    })?;
 
     // --- Verification. ---
     let (input, ker) = workload::<f64>(&p, seed);
@@ -139,7 +151,7 @@ pub fn run_data_parallel(
     } else {
         0
     };
-    BaselineReport {
+    Ok(BaselineReport {
         kind: BaselineKind::DataParallel,
         problem: p,
         procs,
@@ -150,7 +162,7 @@ pub fn run_data_parallel(
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -159,6 +171,19 @@ mod tests {
 
     fn toy() -> Conv2dProblem {
         Conv2dProblem::square(8, 4, 4, 4, 3)
+    }
+
+    #[test]
+    fn try_run_surfaces_injected_crash() {
+        use distconv_simnet::FaultPlan;
+        let cfg = MachineConfig {
+            recv_timeout: std::time::Duration::from_millis(300),
+            faults: FaultPlan::default().with_crash(1, 1),
+            ..MachineConfig::default()
+        };
+        let err = try_run_data_parallel(toy(), 4, 3, false, cfg).expect_err("crash must fail");
+        assert!(err.has_injected_crash());
+        assert!(err.failed_ranks().contains(&1));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::common::{BaselineKind, BaselineReport};
 use distconv_conv::kernels::{conv2d_direct, conv2d_direct_par, in_shape, ker_shape, workload};
 use distconv_cost::Conv2dProblem;
-use distconv_simnet::{Communicator, Machine, MachineConfig};
+use distconv_simnet::{Communicator, Machine, MachineConfig, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{max_rel_err, Range4, Shape4, Tensor4};
 
@@ -30,6 +30,17 @@ pub fn run_filter_parallel(
     seed: u64,
     cfg: MachineConfig,
 ) -> BaselineReport {
+    try_run_filter_parallel(p, procs, seed, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_filter_parallel`]: surfaces rank failures (injected
+/// crashes, deadlocks, OOM) as a [`RunError`] instead of panicking.
+pub fn try_run_filter_parallel(
+    p: Conv2dProblem,
+    procs: usize,
+    seed: u64,
+    cfg: MachineConfig,
+) -> Result<BaselineReport, RunError> {
     assert!(
         procs <= p.nk,
         "filter parallelism cannot use more ranks ({procs}) than output features ({})",
@@ -37,7 +48,7 @@ pub fn run_filter_parallel(
     );
     let dist = BlockDist::new(p.nk, procs);
 
-    let report = Machine::run::<f64, _, _>(procs, cfg, |rank| {
+    let report = Machine::try_run::<f64, _, _>(procs, cfg, |rank| {
         let comm = Communicator::world(rank);
         let me = rank.id();
         let (k_lo, k_hi) = dist.range(me);
@@ -75,7 +86,7 @@ pub fn run_filter_parallel(
         let sub = Conv2dProblem::new(p.nb, my_nk, p.nc, p.nh, p.nw, p.nr, p.ns, p.sw, p.sh);
         let out = conv2d_direct(&sub, &input, &ker_shard);
         (k_lo, out)
-    });
+    })?;
 
     // --- Verification. ---
     let (input, ker) = workload::<f64>(&p, seed);
@@ -94,7 +105,7 @@ pub fn run_filter_parallel(
     let per_k = (p.nc * p.nr * p.ns) as u128;
     let placement: u128 = (1..procs).map(|i| dist.len(i) as u128 * per_k).sum();
     let recurring = (procs as u128 - 1) * p.size_in();
-    BaselineReport {
+    Ok(BaselineReport {
         kind: BaselineKind::FilterParallel,
         problem: p,
         procs,
@@ -105,7 +116,7 @@ pub fn run_filter_parallel(
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -42,6 +42,6 @@ pub use common::{BaselineKind, BaselineReport};
 /// `distconv_conv::kernels::workload` so baseline runs and references
 /// see identical weights).
 pub const KER_SEED_XOR: u64 = 0xABCD_EF01_2345_6789;
-pub use data_parallel::run_data_parallel;
-pub use filter_parallel::run_filter_parallel;
-pub use spatial_parallel::{run_spatial_parallel, spatial_feasible};
+pub use data_parallel::{run_data_parallel, try_run_data_parallel};
+pub use filter_parallel::{run_filter_parallel, try_run_filter_parallel};
+pub use spatial_parallel::{run_spatial_parallel, spatial_feasible, try_run_spatial_parallel};

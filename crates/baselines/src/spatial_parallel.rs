@@ -17,7 +17,7 @@
 use crate::common::{BaselineKind, BaselineReport};
 use distconv_conv::kernels::{conv2d_direct, conv2d_direct_par, ker_shape, workload};
 use distconv_cost::Conv2dProblem;
-use distconv_simnet::{Communicator, Machine, MachineConfig};
+use distconv_simnet::{Communicator, Machine, MachineConfig, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{max_rel_err, Range4, Tensor4};
 
@@ -46,6 +46,17 @@ pub fn run_spatial_parallel(
     seed: u64,
     cfg: MachineConfig,
 ) -> BaselineReport {
+    try_run_spatial_parallel(p, procs, seed, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_spatial_parallel`]: surfaces rank failures (injected
+/// crashes, deadlocks, OOM) as a [`RunError`] instead of panicking.
+pub fn try_run_spatial_parallel(
+    p: Conv2dProblem,
+    procs: usize,
+    seed: u64,
+    cfg: MachineConfig,
+) -> Result<BaselineReport, RunError> {
     assert!(
         procs <= p.nw,
         "spatial parallelism cannot use more ranks ({procs}) than output columns ({})",
@@ -61,7 +72,7 @@ pub fn run_spatial_parallel(
         );
     }
 
-    let report = Machine::run::<f64, _, _>(procs, cfg, |rank| {
+    let report = Machine::try_run::<f64, _, _>(procs, cfg, |rank| {
         let comm = Communicator::world(rank);
         let me = rank.id();
         let (w_lo, w_hi) = dist.range(me);
@@ -161,7 +172,7 @@ pub fn run_spatial_parallel(
         ));
         let out = conv2d_direct(&sub, &trimmed, &ker);
         (w_lo, out)
-    });
+    })?;
 
     // --- Verification. ---
     let (input, ker) = workload::<f64>(&p, seed);
@@ -199,7 +210,7 @@ pub fn run_spatial_parallel(
             need as u128 * plane
         })
         .sum();
-    BaselineReport {
+    Ok(BaselineReport {
         kind: BaselineKind::SpatialParallel,
         problem: p,
         procs,
@@ -210,7 +221,7 @@ pub fn run_spatial_parallel(
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,4 @@
+//! Chaos reproduction: the fault-sweep table (E13).
+fn main() {
+    println!("{}", distconv_bench::e13_fault_sweep());
+}

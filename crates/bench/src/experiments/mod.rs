@@ -1,9 +1,11 @@
 //! Experiment drivers, one `eN_*` function per DESIGN.md §4 entry.
 
 pub mod analytic;
+pub mod faults;
 pub mod simulated;
 
 pub use analytic::{e1_table1, e2_table2, e4_property5, e5_ml_deflation, e8_regime_sweep};
+pub use faults::{e13_fault_sweep, E13_FAULT_SEED};
 pub use simulated::{
     e10_scaling, e11_alpha_beta, e12_network, e3_gvm_exactness, e6_distributed, e7_matmul_analogy,
     e9_baselines, e9_baselines_analytic,

@@ -6,8 +6,11 @@ use crate::distribution::{self, distribute, plan_grid, RankData};
 use crate::model::{expected_volumes, ExpectedVolumes};
 use distconv_conv::kernels::{conv2d_direct_par, workload};
 use distconv_cost::DistPlan;
-use distconv_simnet::{Machine, MachineConfig, Rank, StatsSnapshot};
+use distconv_simnet::{Machine, MachineConfig, Rank, RunError, StatsSnapshot};
 use distconv_tensor::{Scalar, Shape4, Tensor4};
+
+/// Maximum checkpoint/restart attempts for a crash-injected step.
+pub const MAX_STEP_RETRIES: u32 = 3;
 
 /// Errors from the distributed driver.
 #[derive(Clone, Debug, PartialEq)]
@@ -24,6 +27,9 @@ pub enum CoreError {
         /// Worst relative error observed.
         max_rel_err: f64,
     },
+    /// The simulated machine failed: one or more ranks crashed,
+    /// deadlocked or over-committed memory (all enumerated inside).
+    Machine(RunError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -38,11 +44,18 @@ impl std::fmt::Display for CoreError {
                     "distributed result mismatch: max rel err {max_rel_err:.3e}"
                 )
             }
+            CoreError::Machine(e) => write!(f, "machine run failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for CoreError {}
+
+impl From<RunError> for CoreError {
+    fn from(e: RunError) -> Self {
+        CoreError::Machine(e)
+    }
+}
 
 /// Everything a distributed run reports.
 #[derive(Clone, Debug)]
@@ -65,6 +78,14 @@ pub struct DistConvReport {
     pub sim_time: f64,
     /// Lamport communication makespan (dependency-aware).
     pub makespan: f64,
+    /// Whether a crashed attempt was detected and the step re-run
+    /// (only [`DistConv::run_recovering`] can set this).
+    pub recovered: bool,
+    /// Number of aborted attempts before this report's successful run.
+    pub retries: u32,
+    /// Elements moved by the aborted attempts — the retry cost, kept
+    /// out of `stats` so volume tables still match the fault-free run.
+    pub retry_elems: u64,
 }
 
 impl DistConvReport {
@@ -117,26 +138,70 @@ impl<T: Scalar> DistConv<T> {
         self
     }
 
-    /// Execute the plan with workload `seed`; no verification.
+    /// Execute the plan with workload `seed`; no verification. Panics
+    /// if the machine fails (see [`DistConv::run_verified`] /
+    /// [`DistConv::run_recovering`] for the non-panicking forms).
     pub fn run(&self, seed: u64) -> DistConvReport {
-        self.run_inner(seed, false)
-            .expect("unverified run cannot fail")
+        self.run_inner(self.machine_cfg(), seed, false)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Execute and verify every output element against the sequential
-    /// reference ([`conv2d_direct_par`]).
+    /// reference ([`conv2d_direct_par`]). Machine failures (rank crash,
+    /// deadlock, memory over-commit) surface as [`CoreError::Machine`]
+    /// with every failed rank enumerated.
     pub fn run_verified(&self, seed: u64) -> Result<DistConvReport, CoreError> {
-        self.run_inner(seed, true)
+        self.run_inner(self.machine_cfg(), seed, true)
     }
 
-    fn run_inner(&self, seed: u64, verify: bool) -> Result<DistConvReport, CoreError> {
-        let plan = self.plan;
-        let procs = plan.grid.total();
+    /// Execute with verification and step-level checkpoint/restart: on
+    /// a detected fault-injected rank crash, restart from the last
+    /// consistent state (the step input, regenerable from `seed`) with
+    /// transient rank faults cleared — modelling a replaced process on
+    /// the same faulty network — and report `recovered: true` with the
+    /// aborted attempts' traffic in `retry_elems`.
+    pub fn run_recovering(&self, seed: u64) -> Result<DistConvReport, CoreError> {
+        let mut cfg = self.machine_cfg();
+        let mut retries = 0u32;
+        let mut wasted = 0u64;
+        loop {
+            match self.run_inner(cfg, seed, true) {
+                Err(CoreError::Machine(e))
+                    if e.has_injected_crash() && retries < MAX_STEP_RETRIES =>
+                {
+                    retries += 1;
+                    wasted += e.wasted_elems;
+                    cfg.faults = cfg.faults.without_rank_faults();
+                }
+                Err(e) => return Err(e),
+                Ok(mut r) => {
+                    r.recovered = retries > 0;
+                    r.retries = retries;
+                    r.retry_elems = wasted;
+                    return Ok(r);
+                }
+            }
+        }
+    }
+
+    fn machine_cfg(&self) -> MachineConfig {
         let mut cfg = self.cfg;
         if self.enforce_memory {
-            cfg.mem_capacity = Some(plan.machine.mem as u64);
+            cfg.mem_capacity = Some(self.plan.machine.mem as u64);
         }
-        let report = Machine::run::<T, _, _>(procs, cfg, |rank| rank_body::<T>(rank, &plan, seed));
+        cfg
+    }
+
+    fn run_inner(
+        &self,
+        cfg: MachineConfig,
+        seed: u64,
+        verify: bool,
+    ) -> Result<DistConvReport, CoreError> {
+        let plan = self.plan;
+        let procs = plan.grid.total();
+        let report =
+            Machine::try_run::<T, _, _>(procs, cfg, |rank| rank_body::<T>(rank, &plan, seed))?;
 
         let (verified, max_rel_err) = if verify {
             let worst = verify_results::<T>(&plan, seed, &report.results);
@@ -158,6 +223,9 @@ impl<T: Scalar> DistConv<T> {
             sim_time: report.sim_time,
             makespan: report.makespan,
             stats: report.stats,
+            recovered: false,
+            retries: 0,
+            retry_elems: 0,
         })
     }
 }
@@ -404,6 +472,56 @@ mod tests {
         let result =
             std::panic::catch_unwind(|| DistConv::<f64>::new(plan).enforce_memory(true).run(1));
         assert!(result.is_err(), "memory enforcement should have fired");
+    }
+
+    #[test]
+    fn machine_failure_surfaces_as_core_error() {
+        use distconv_simnet::FaultPlan;
+        let p = Conv2dProblem::square(4, 8, 8, 8, 3);
+        let plan = Planner::new(p, MachineSpec::new(4, 1 << 18))
+            .plan()
+            .unwrap();
+        let cfg = MachineConfig {
+            recv_timeout: std::time::Duration::from_millis(300),
+            faults: FaultPlan::default().with_crash(0, 2),
+            ..MachineConfig::default()
+        };
+        let err = DistConv::<f64>::new(plan)
+            .with_config(cfg)
+            .run_verified(5)
+            .expect_err("crash must fail the run");
+        let CoreError::Machine(e) = err else {
+            panic!("expected Machine error, got {err:?}");
+        };
+        assert!(e.has_injected_crash());
+        assert!(e.failed_ranks().contains(&0));
+    }
+
+    #[test]
+    fn crash_injected_run_recovers_to_fault_free_result() {
+        use distconv_simnet::FaultPlan;
+        let p = Conv2dProblem::square(4, 8, 8, 8, 3);
+        let plan = Planner::new(p, MachineSpec::new(4, 1 << 18))
+            .plan()
+            .unwrap();
+        let clean = DistConv::<f64>::new(plan).run_verified(5).unwrap();
+        assert!(!clean.recovered && clean.retries == 0 && clean.retry_elems == 0);
+        let cfg = MachineConfig {
+            recv_timeout: std::time::Duration::from_millis(300),
+            faults: FaultPlan::default().with_crash(0, 2),
+            ..MachineConfig::default()
+        };
+        let r = DistConv::<f64>::new(plan)
+            .with_config(cfg)
+            .run_recovering(5)
+            .expect("must recover");
+        assert!(r.recovered, "crash must have been detected");
+        assert_eq!(r.retries, 1);
+        assert!(r.verified);
+        // The recovered step's algorithmic volume equals the fault-free
+        // run's; the aborted attempt's traffic is reported separately.
+        assert_eq!(r.measured_volume(), clean.measured_volume());
+        assert!(r.retry_elems > 0, "the aborted attempt moved data");
     }
 
     #[test]

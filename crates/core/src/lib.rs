@@ -48,7 +48,10 @@ pub mod model;
 pub mod network;
 pub mod train;
 
-pub use exec::{CoreError, DistConv, DistConvReport};
+pub use exec::{CoreError, DistConv, DistConvReport, MAX_STEP_RETRIES};
 pub use model::{expected_volumes, ExpectedVolumes};
 pub use network::{run_network, NetworkError, NetworkPlan, NetworkReport};
-pub use train::{expected_backward_volumes, run_training_step, BackwardVolumes, TrainReport};
+pub use train::{
+    expected_backward_volumes, run_training_step, run_training_step_recovering, BackwardVolumes,
+    TrainReport,
+};

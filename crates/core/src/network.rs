@@ -238,7 +238,7 @@ pub fn run_network<T: Scalar>(
 ) -> Result<NetworkReport, CoreError> {
     let procs = plan.layers[0].grid.total();
     let report =
-        Machine::run::<T, _, _>(procs, cfg, |rank| network_rank_body::<T>(rank, plan, seed));
+        Machine::try_run::<T, _, _>(procs, cfg, |rank| network_rank_body::<T>(rank, plan, seed))?;
 
     // --- Sequential reference: chain the layers. ---
     let first = plan.layers[0].problem;

@@ -97,6 +97,14 @@ pub struct TrainReport {
     pub sim_time: f64,
     /// Lamport communication makespan.
     pub makespan: f64,
+    /// Whether a crashed attempt was detected and the step re-run
+    /// (only [`run_training_step_recovering`] can set this).
+    pub recovered: bool,
+    /// Number of aborted attempts before the successful one.
+    pub retries: u32,
+    /// Elements moved by the aborted attempts (retry cost, kept out of
+    /// `stats` so the volume tables still match the fault-free run).
+    pub retry_elems: u64,
 }
 
 impl TrainReport {
@@ -124,7 +132,7 @@ pub fn run_training_step<T: Scalar>(
 ) -> Result<TrainReport, CoreError> {
     let procs = plan.grid.total();
     let report =
-        Machine::run::<T, _, _>(procs, cfg, |rank| train_rank_body::<T>(rank, &plan, seed));
+        Machine::try_run::<T, _, _>(procs, cfg, |rank| train_rank_body::<T>(rank, &plan, seed))?;
 
     // --- Verification against sequential references. ---
     let p = plan.problem;
@@ -174,7 +182,47 @@ pub fn run_training_step<T: Scalar>(
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
+        recovered: false,
+        retries: 0,
+        retry_elems: 0,
     })
+}
+
+/// [`run_training_step`] with step-level checkpoint/restart: on a
+/// detected fault-injected rank crash, re-run the step from the last
+/// consistent state (the step inputs — weights, activations and
+/// upstream gradient are all regenerable from `seed`, exactly the
+/// checkpointed state a real trainer restores) with transient rank
+/// faults cleared, and report `recovered: true` plus the aborted
+/// attempts' traffic in `retry_elems`. Link faults and stragglers
+/// persist across the restart — the network stays faulty, only the
+/// crashed process is replaced.
+pub fn run_training_step_recovering<T: Scalar>(
+    plan: DistPlan,
+    seed: u64,
+    cfg: MachineConfig,
+) -> Result<TrainReport, CoreError> {
+    let mut cfg = cfg;
+    let mut retries = 0u32;
+    let mut wasted = 0u64;
+    loop {
+        match run_training_step::<T>(plan, seed, cfg) {
+            Err(CoreError::Machine(e))
+                if e.has_injected_crash() && retries < crate::exec::MAX_STEP_RETRIES =>
+            {
+                retries += 1;
+                wasted += e.wasted_elems;
+                cfg.faults = cfg.faults.without_rank_faults();
+            }
+            Err(e) => return Err(e),
+            Ok(mut r) => {
+                r.recovered = retries > 0;
+                r.retries = retries;
+                r.retry_elems = wasted;
+                return Ok(r);
+            }
+        }
+    }
 }
 
 fn worst_err<T: Scalar>(a: &[T], b: &[T]) -> f64 {
@@ -450,6 +498,27 @@ mod tests {
             );
             assert_eq!(out.grad_shard.shape(), rd.ker_shard.shape());
         }
+    }
+
+    #[test]
+    fn training_step_recovers_from_injected_crash() {
+        use distconv_simnet::FaultPlan;
+        let p = Conv2dProblem::square(4, 8, 8, 4, 3);
+        let plan = Planner::new(p, MachineSpec::new(4, 1 << 20))
+            .plan()
+            .unwrap();
+        let clean = run_training_step::<f64>(plan, 77, MachineConfig::default()).unwrap();
+        let cfg = MachineConfig {
+            recv_timeout: std::time::Duration::from_millis(300),
+            faults: FaultPlan::default().with_crash(1, 4),
+            ..MachineConfig::default()
+        };
+        let r = run_training_step_recovering::<f64>(plan, 77, cfg).expect("must recover");
+        assert!(r.recovered);
+        assert_eq!(r.retries, 1);
+        assert!(r.forward_verified && r.grad_verified);
+        assert_eq!(r.measured_volume(), clean.measured_volume());
+        assert!(r.retry_elems > 0);
     }
 
     #[test]

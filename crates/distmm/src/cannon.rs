@@ -17,7 +17,7 @@
 use crate::common::{shard_a, shard_b, MatmulDims, MmReport};
 use crate::local::matmul_blocked;
 use crate::summa::verify_blocks;
-use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank};
+use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{Matrix, Scalar};
 
@@ -136,9 +136,16 @@ pub fn cannon_analytic_volume(d: &MatmulDims, q: usize) -> u128 {
 
 /// Drive a Cannon run on `q²` ranks; verify all blocks.
 pub fn run_cannon(d: MatmulDims, q: usize, cfg: MachineConfig) -> MmReport {
-    let report = Machine::run::<f64, _, _>(q * q, cfg, |rank| cannon_rank_body::<f64>(rank, &d, q));
+    try_run_cannon(d, q, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_cannon`]: surfaces rank failures as a [`RunError`]
+/// instead of panicking.
+pub fn try_run_cannon(d: MatmulDims, q: usize, cfg: MachineConfig) -> Result<MmReport, RunError> {
+    let report =
+        Machine::try_run::<f64, _, _>(q * q, cfg, |rank| cannon_rank_body::<f64>(rank, &d, q))?;
     let verified = verify_blocks(&d, q, q, &report.results);
-    MmReport {
+    Ok(MmReport {
         dims: d,
         procs: q * q,
         analytic_volume: cannon_analytic_volume(&d, q),
@@ -147,7 +154,7 @@ pub fn run_cannon(d: MatmulDims, q: usize, cfg: MachineConfig) -> MmReport {
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
-    }
+    })
 }
 
 #[cfg(test)]

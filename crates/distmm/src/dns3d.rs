@@ -17,7 +17,7 @@
 use crate::common::{shard_a, shard_b, MatmulDims, MmReport};
 use crate::local::matmul_blocked;
 use crate::summa::verify_blocks;
-use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank};
+use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{Matrix, Scalar};
 
@@ -86,9 +86,15 @@ pub fn dns3d_analytic_volume(d: &MatmulDims, p1: usize) -> u128 {
 
 /// Drive a 3D run on `p₁³` ranks; verify the `l = 0` face blocks.
 pub fn run_dns3d(d: MatmulDims, p1: usize, cfg: MachineConfig) -> MmReport {
-    let report = Machine::run::<f64, _, _>(p1 * p1 * p1, cfg, |rank| {
+    try_run_dns3d(d, p1, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_dns3d`]: surfaces rank failures as a [`RunError`]
+/// instead of panicking.
+pub fn try_run_dns3d(d: MatmulDims, p1: usize, cfg: MachineConfig) -> Result<MmReport, RunError> {
+    let report = Machine::try_run::<f64, _, _>(p1 * p1 * p1, cfg, |rank| {
         dns3d_rank_body::<f64>(rank, &d, p1)
-    });
+    })?;
     // Collect the l = 0 face in (i, j) row-major order for verification.
     let grid = CartGrid::new(vec![p1, p1, p1]);
     let mut face = Vec::with_capacity(p1 * p1);
@@ -98,7 +104,7 @@ pub fn run_dns3d(d: MatmulDims, p1: usize, cfg: MachineConfig) -> MmReport {
         }
     }
     let verified = verify_blocks(&d, p1, p1, &face);
-    MmReport {
+    Ok(MmReport {
         dims: d,
         procs: p1 * p1 * p1,
         analytic_volume: dns3d_analytic_volume(&d, p1),
@@ -107,7 +113,7 @@ pub fn run_dns3d(d: MatmulDims, p1: usize, cfg: MachineConfig) -> MmReport {
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
-    }
+    })
 }
 
 #[cfg(test)]

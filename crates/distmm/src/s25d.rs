@@ -30,7 +30,7 @@
 use crate::common::{shard_a, shard_b, MatmulDims, MmReport};
 use crate::local::matmul_blocked;
 use crate::summa::verify_blocks;
-use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank};
+use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{Matrix, Scalar};
 
@@ -192,9 +192,20 @@ pub fn s25d_analytic_volume(d: &MatmulDims, p1: usize, c: usize) -> u128 {
 
 /// Drive a 2.5D run on `c·p₁²` ranks; verify layer-0 blocks.
 pub fn run_25d(d: MatmulDims, p1: usize, c: usize, cfg: MachineConfig) -> MmReport {
-    let report = Machine::run::<f64, _, _>(c * p1 * p1, cfg, |rank| {
+    try_run_25d(d, p1, c, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_25d`]: surfaces rank failures as a [`RunError`]
+/// instead of panicking.
+pub fn try_run_25d(
+    d: MatmulDims,
+    p1: usize,
+    c: usize,
+    cfg: MachineConfig,
+) -> Result<MmReport, RunError> {
+    let report = Machine::try_run::<f64, _, _>(c * p1 * p1, cfg, |rank| {
         s25d_rank_body::<f64>(rank, &d, p1, c)
-    });
+    })?;
     let grid = CartGrid::new(vec![c, p1, p1]);
     let mut face = Vec::with_capacity(p1 * p1);
     for i in 0..p1 {
@@ -203,7 +214,7 @@ pub fn run_25d(d: MatmulDims, p1: usize, c: usize, cfg: MachineConfig) -> MmRepo
         }
     }
     let verified = verify_blocks(&d, p1, p1, &face);
-    MmReport {
+    Ok(MmReport {
         dims: d,
         procs: c * p1 * p1,
         analytic_volume: s25d_analytic_volume(&d, p1, c),
@@ -212,7 +223,7 @@ pub fn run_25d(d: MatmulDims, p1: usize, c: usize, cfg: MachineConfig) -> MmRepo
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
-    }
+    })
 }
 
 #[cfg(test)]

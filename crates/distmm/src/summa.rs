@@ -14,7 +14,7 @@
 
 use crate::common::{full_a, full_b, shard_a, shard_b, MatmulDims, MmReport};
 use crate::local::matmul_blocked;
-use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank};
+use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::matrix::matmul_acc;
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{Matrix, Scalar};
@@ -111,11 +111,22 @@ pub fn summa_analytic_volume(d: &MatmulDims, pr: usize, pc: usize) -> u128 {
 /// Drive a full SUMMA run: execute, verify every block against the
 /// sequential reference, report measured vs analytic volumes.
 pub fn run_summa(d: MatmulDims, pr: usize, pc: usize, cfg: MachineConfig) -> MmReport {
-    let report = Machine::run::<f64, _, _>(pr * pc, cfg, |rank| {
+    try_run_summa(d, pr, pc, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_summa`]: surfaces rank failures (injected crashes,
+/// deadlocks, OOM) as a [`RunError`] instead of panicking.
+pub fn try_run_summa(
+    d: MatmulDims,
+    pr: usize,
+    pc: usize,
+    cfg: MachineConfig,
+) -> Result<MmReport, RunError> {
+    let report = Machine::try_run::<f64, _, _>(pr * pc, cfg, |rank| {
         summa_rank_body::<f64>(rank, &d, pr, pc)
-    });
+    })?;
     let verified = verify_blocks(&d, pr, pc, &report.results);
-    MmReport {
+    Ok(MmReport {
         dims: d,
         procs: pr * pc,
         analytic_volume: summa_analytic_volume(&d, pr, pc),
@@ -124,7 +135,7 @@ pub fn run_summa(d: MatmulDims, pr: usize, pc: usize, cfg: MachineConfig) -> MmR
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
-    }
+    })
 }
 
 /// Check every rank's `C` block against the sequential product.
@@ -160,6 +171,23 @@ pub(crate) fn verify_blocks(d: &MatmulDims, pr: usize, pc: usize, blocks: &[Matr
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_run_surfaces_injected_crash() {
+        use distconv_simnet::{FailureKind, FaultPlan};
+        let d = MatmulDims::new(16, 16, 16);
+        let cfg = MachineConfig {
+            recv_timeout: std::time::Duration::from_millis(300),
+            faults: FaultPlan::default().with_crash(0, 1),
+            ..MachineConfig::default()
+        };
+        let err = try_run_summa(d, 2, 2, cfg).expect_err("crash must fail the run");
+        assert!(err.has_injected_crash());
+        assert!(err
+            .failures
+            .iter()
+            .any(|f| f.rank == 0 && f.kind == FailureKind::Crash));
+    }
 
     #[test]
     fn summa_square_grid_exact_volume() {

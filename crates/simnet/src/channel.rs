@@ -121,7 +121,30 @@ impl<T> Drop for Receiver<T> {
     }
 }
 
+/// Error from [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message is currently queued.
+    Empty,
+    /// All senders dropped and the queue is empty.
+    Disconnected,
+}
+
 impl<T> Receiver<T> {
+    /// Dequeue the next message if one is already queued, without
+    /// blocking. The reliable transport uses this to drain acknowledged
+    /// traffic opportunistically between sends.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.state.lock().expect("channel poisoned");
+        if let Some(msg) = st.queue.pop_front() {
+            return Ok(msg);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
     /// Dequeue the next message, waiting up to `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
@@ -194,6 +217,17 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(9u8), Err(SendError(9)));
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(3u8).unwrap();
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
     #[test]

@@ -27,6 +27,18 @@
 //! * An α–β time model ([`CostParams`]) converts per-rank message/volume
 //!   counters into simulated seconds for who-wins comparisons.
 //!
+//! ## Fault injection
+//!
+//! A seeded [`FaultPlan`] attached to [`MachineConfig`] deterministically
+//! drops, duplicates, delays or reorders messages, crashes a rank at its
+//! Nth send, or slows one rank by a straggler factor — all decided by a
+//! SplitMix64 hash of the seed, so every chaos run replays exactly. An
+//! ARQ reliable-delivery mode makes collectives survive link faults
+//! bit-identically, with retransmit/ack traffic accounted separately
+//! ([`FaultTraffic`]) from the algorithmic counters. [`Machine::try_run`]
+//! aggregates every rank failure into a [`RunError`] for recovery
+//! machinery upstream. See DESIGN.md §6 ("Fault model").
+//!
 //! ## Topology
 //!
 //! [`CartGrid`] gives the logical multi-dimensional processor view of
@@ -39,15 +51,17 @@
 
 pub mod channel;
 pub mod comm;
+pub mod fault;
 pub mod grid;
 pub mod machine;
 pub mod memory;
 pub mod rank;
 pub mod stats;
 
-pub use comm::Communicator;
+pub use comm::{CommError, Communicator};
+pub use fault::{CrashAt, FaultPlan, Straggler, CRASH_MARKER, MAX_SEND_ATTEMPTS};
 pub use grid::CartGrid;
-pub use machine::{Machine, MachineConfig, RunReport};
+pub use machine::{FailureKind, Machine, MachineConfig, RankFailure, RunError, RunReport};
 pub use memory::{MemLease, MemoryError, MemoryTracker};
 pub use rank::{Msg, Rank, RankId, Tag};
-pub use stats::{CostParams, Stats, StatsSnapshot};
+pub use stats::{CostParams, FaultTraffic, Stats, StatsSnapshot};

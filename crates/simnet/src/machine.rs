@@ -1,9 +1,19 @@
 //! The machine: spawn `P` rank threads, run a closure on each, collect
 //! results, statistics and peak memory.
+//!
+//! [`Machine::try_run`] is the non-panicking entry point: it aggregates
+//! *every* rank failure (fault-injected crash, deadlock trap, memory
+//! over-commit, user panic) into one [`RunError`] carrying rank ids and
+//! the fault seed, so callers can implement recovery (see
+//! checkpoint/restart in `distconv-core`). [`Machine::run`] is the
+//! panicking convenience wrapper; its panic message enumerates every
+//! failed rank, since multi-rank failures are the common case under
+//! collectives.
 
 use crate::channel::unbounded;
+use crate::fault::{FaultPlan, CRASH_MARKER};
 use crate::memory::MemoryTracker;
-use crate::rank::{Msg, Packet, Rank};
+use crate::rank::{Msg, Packet, Rank, RankId};
 use crate::stats::{CostParams, Stats, StatsSnapshot};
 use std::sync::Arc;
 use std::time::Duration;
@@ -17,6 +27,9 @@ pub struct MachineConfig {
     pub recv_timeout: Duration,
     /// α–β parameters for simulated-time reporting.
     pub cost: CostParams,
+    /// Deterministic fault-injection plan (default: all-zero no-op —
+    /// the transport takes the exact fault-free code path).
+    pub faults: FaultPlan,
 }
 
 impl Default for MachineConfig {
@@ -25,6 +38,7 @@ impl Default for MachineConfig {
             mem_capacity: None,
             recv_timeout: Duration::from_secs(30),
             cost: CostParams::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -55,21 +69,117 @@ impl<R> RunReport<R> {
     }
 }
 
+/// How a rank died, classified from its panic payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A fault-injected crash (see [`crate::fault::CrashAt`]).
+    Crash,
+    /// The deadlock trap fired: a receive starved past the timeout.
+    Deadlock,
+    /// Memory capacity exceeded.
+    OutOfMemory,
+    /// Any other panic out of the rank body.
+    Other,
+}
+
+/// One rank's failure: id, classification and the original panic text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankFailure {
+    /// The rank that failed.
+    pub rank: RankId,
+    /// Failure classification (from the panic message).
+    pub kind: FailureKind,
+    /// The original panic payload, verbatim.
+    pub message: String,
+}
+
+/// Aggregate of every rank failure in one run, with the fault seed for
+/// replay. `Display` lists all of them — no failure is swallowed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunError {
+    /// Every failed rank, sorted by rank id.
+    pub failures: Vec<RankFailure>,
+    /// The fault seed the machine ran with (replay handle).
+    pub fault_seed: u64,
+    /// Messages recorded before the run died — the wasted (retry) cost
+    /// a checkpoint/restart layer must account for.
+    pub wasted_msgs: u64,
+    /// Elements recorded before the run died.
+    pub wasted_elems: u64,
+}
+
+impl RunError {
+    /// True iff at least one failure is a fault-injected crash — the
+    /// transient kind that checkpoint/restart recovery can retry.
+    pub fn has_injected_crash(&self) -> bool {
+        self.failures.iter().any(|f| f.kind == FailureKind::Crash)
+    }
+
+    /// Ids of all failed ranks.
+    pub fn failed_ranks(&self) -> Vec<RankId> {
+        self.failures.iter().map(|f| f.rank).collect()
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rank(s) failed (fault seed {:#x}):",
+            self.failures.len(),
+            self.fault_seed
+        )?;
+        for fail in &self.failures {
+            write!(
+                f,
+                "\n  rank {} [{:?}]: {}",
+                fail.rank, fail.kind, fail.message
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Render a panic payload for aggregation (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn classify(message: &str) -> FailureKind {
+    if message.contains(CRASH_MARKER) {
+        FailureKind::Crash
+    } else if message.contains("deadlock trap") || message.contains("mailbox disconnected") {
+        FailureKind::Deadlock
+    } else if message.contains("out of memory") {
+        FailureKind::OutOfMemory
+    } else {
+        FailureKind::Other
+    }
+}
+
 /// The simulated distributed-memory machine.
 pub struct Machine;
 
 impl Machine {
     /// Run `body` on `p` ranks (one OS thread each) and collect results.
     ///
-    /// Rank threads communicate only through their [`Rank`] handles. If
-    /// any rank panics, the panic is re-raised on the caller thread
-    /// (after all threads have stopped) with the rank id attached;
-    /// remaining ranks blocked on receives are released by the deadlock
-    /// trap.
+    /// Rank threads communicate only through their [`Rank`] handles.
+    /// Every rank failure is collected — a failed run returns a
+    /// [`RunError`] enumerating all of them (ranks blocked on a dead
+    /// peer are released by the deadlock trap and reported too).
     ///
     /// Type parameters: `T` — message element type; `R` — per-rank
     /// result.
-    pub fn run<T, R, F>(p: usize, cfg: MachineConfig, body: F) -> RunReport<R>
+    pub fn try_run<T, R, F>(p: usize, cfg: MachineConfig, body: F) -> Result<RunReport<R>, RunError>
     where
         T: Msg,
         R: Send,
@@ -101,8 +211,7 @@ impl Machine {
                     rx,
                     Arc::clone(&stats),
                     trackers[id].clone(),
-                    cfg.recv_timeout,
-                    cfg.cost,
+                    &cfg,
                 );
                 let body = &body;
                 let panics = &panics;
@@ -110,6 +219,9 @@ impl Machine {
                 handles.push(scope.spawn(move || {
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&rank))) {
                         Ok(r) => {
+                            // Release any reorder-held packets before the
+                            // rank retires (a crashed rank's are lost).
+                            rank.flush_holdbacks();
                             *slot = Some(r);
                             clock_slot.store(
                                 rank.clock().to_bits(),
@@ -126,10 +238,27 @@ impl Machine {
             }
         });
 
-        let mut panics = panics.into_inner().unwrap();
-        if let Some((id, payload)) = panics.drain(..).next() {
-            eprintln!("simnet: rank {id} panicked; re-raising");
-            std::panic::resume_unwind(payload);
+        let panics = panics.into_inner().unwrap();
+        if !panics.is_empty() {
+            let mut failures: Vec<RankFailure> = panics
+                .iter()
+                .map(|(id, payload)| {
+                    let message = payload_text(payload.as_ref());
+                    RankFailure {
+                        rank: *id,
+                        kind: classify(&message),
+                        message,
+                    }
+                })
+                .collect();
+            failures.sort_by_key(|f| f.rank);
+            let partial = stats.snapshot();
+            return Err(RunError {
+                failures,
+                fault_seed: cfg.faults.seed,
+                wasted_msgs: partial.total_msgs(),
+                wasted_elems: partial.total_elems(),
+            });
         }
 
         let snapshot = stats.snapshot();
@@ -138,7 +267,7 @@ impl Machine {
             .iter()
             .map(|c| f64::from_bits(c.load(std::sync::atomic::Ordering::Relaxed)))
             .fold(0.0, f64::max);
-        RunReport {
+        Ok(RunReport {
             results: results
                 .into_iter()
                 .map(|r| r.expect("rank completed"))
@@ -147,6 +276,21 @@ impl Machine {
             stats: snapshot,
             sim_time,
             makespan,
+        })
+    }
+
+    /// Panicking convenience wrapper over [`Machine::try_run`]: on
+    /// failure, panics with a message enumerating *every* failed rank
+    /// (id, classification, original panic text).
+    pub fn run<T, R, F>(p: usize, cfg: MachineConfig, body: F) -> RunReport<R>
+    where
+        T: Msg,
+        R: Send,
+        F: Fn(&Rank<T>) -> R + Send + Sync,
+    {
+        match Self::try_run(p, cfg, body) {
+            Ok(report) => report,
+            Err(err) => panic!("{err}"),
         }
     }
 }
@@ -201,6 +345,56 @@ mod tests {
                 panic!("boom from rank {}", rank.id());
             }
         });
+    }
+
+    #[test]
+    fn run_panic_enumerates_every_failed_rank() {
+        let result = std::panic::catch_unwind(|| {
+            Machine::run::<f32, _, _>(4, MachineConfig::default(), |rank| {
+                if rank.id() % 2 == 1 {
+                    panic!("boom from rank {}", rank.id());
+                }
+            })
+        });
+        let err = result.expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("2 rank(s) failed"), "got: {msg}");
+        assert!(msg.contains("boom from rank 1"), "got: {msg}");
+        assert!(msg.contains("boom from rank 3"), "got: {msg}");
+    }
+
+    #[test]
+    fn try_run_aggregates_and_classifies() {
+        let cfg = MachineConfig {
+            recv_timeout: Duration::from_millis(100),
+            faults: FaultPlan::default().with_crash(1, 1),
+            ..MachineConfig::default()
+        };
+        let err = Machine::try_run::<u64, _, _>(3, cfg, |rank| {
+            if rank.id() == 1 {
+                rank.send(2, 5, &[1]);
+            }
+            if rank.id() == 2 {
+                let _ = rank.recv(1, 5); // starves: rank 1 died first
+            }
+        })
+        .expect_err("crash must fail the run");
+        assert_eq!(err.fault_seed, 0);
+        assert!(err.has_injected_crash());
+        assert_eq!(err.failed_ranks(), vec![1, 2]);
+        assert_eq!(err.failures[0].kind, FailureKind::Crash);
+        assert_eq!(err.failures[1].kind, FailureKind::Deadlock);
+        // Display carries every original message.
+        let text = err.to_string();
+        assert!(text.contains("fault-injected crash"), "got: {text}");
+        assert!(text.contains("deadlock trap"), "got: {text}");
+    }
+
+    #[test]
+    fn try_run_ok_on_clean_run() {
+        let r = Machine::try_run::<f32, _, _>(2, MachineConfig::default(), |rank| rank.id())
+            .expect("clean run");
+        assert_eq!(r.results, vec![0, 1]);
     }
 
     #[test]

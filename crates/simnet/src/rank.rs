@@ -11,12 +11,41 @@
 //! panics with a diagnostic — the simulator's deadlock trap. A mismatched
 //! collective or a wrong schedule therefore fails loudly instead of
 //! hanging the test suite.
+//!
+//! ## Fault-aware transport
+//!
+//! When the machine's [`FaultPlan`] is not a no-op, sends route through a
+//! fault layer (see [`crate::fault`] for the model):
+//!
+//! * link faults (drop / duplicate / delay / reorder) are decided by a
+//!   deterministic hash of `(seed, src, dst, wire-sequence)`;
+//! * under [`FaultPlan::reliable`], every logical message carries a
+//!   per-`(pair, tag)` sequence number and is pushed through an ARQ:
+//!   dropped copies are retransmitted with exponential backoff in
+//!   simulated time, receivers acknowledge every delivered copy and
+//!   suppress duplicates, and `recv` re-assembles FIFO order from the
+//!   sequence numbers — so collectives survive any link-fault plan
+//!   bit-identically;
+//! * without `reliable`, faults hit the raw transport: a dropped message
+//!   surfaces as a deadlock trap, a duplicate or reorder as silent
+//!   corruption downstream — the failure modes the chaos suite exists to
+//!   demonstrate.
+//!
+//! Retransmit/ack/duplicate traffic is recorded in
+//! [`crate::stats::FaultTraffic`], never in the algorithmic counters:
+//! the logical (attempt-0) send is what `record_send` sees, so volume
+//! tables match the fault-free run even under heavy fault plans.
+//! Loopback (self-)sends never fault: they model a local copy, not the
+//! network. With an all-zero plan the transport takes the exact
+//! pre-fault code path.
 
 use crate::channel::{Receiver, RecvTimeoutError, Sender};
+use crate::fault::{FaultPlan, CRASH_MARKER, MAX_SEND_ATTEMPTS};
+use crate::machine::MachineConfig;
 use crate::memory::MemoryTracker;
 use crate::stats::{CostParams, Stats};
-use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,16 +62,36 @@ pub type Tag = u64;
 pub trait Msg: Copy + Send + Default + std::ops::AddAssign + 'static {}
 impl<T: Copy + Send + Default + std::ops::AddAssign + 'static> Msg for T {}
 
+/// What a physical packet is carrying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PacketKind {
+    /// A payload-bearing message.
+    Data,
+    /// An (empty) acknowledgement under the reliable transport. Pure
+    /// traffic: the ARQ's control decisions are computed analytically on
+    /// both sides from the shared fault hash, so receivers of an ack
+    /// discard it on sight.
+    Ack,
+}
+
 /// A message in flight. Carries the sender's logical clock at
 /// transmission time (after the α–β cost of this send), implementing a
 /// Lamport-style communication makespan: the receiver's clock advances
 /// to at least the arrival time.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct Packet<T> {
     pub src: RankId,
     pub tag: Tag,
     pub data: Vec<T>,
     pub sent_at: f64,
+    pub kind: PacketKind,
+    /// Per-`(src → dst, tag)` sequence number: FIFO reassembly and
+    /// duplicate suppression under the reliable transport.
+    pub seq: u64,
+    /// Per-`(src → dst)` wire sequence: the key of every fault decision.
+    pub wire: u64,
+    /// ARQ attempt index this physical copy was transmitted on.
+    pub attempt: u32,
 }
 
 /// One simulated processor's execution context.
@@ -56,14 +105,28 @@ pub struct Rank<T: Msg> {
     mem: MemoryTracker,
     timeout: Duration,
     cost: CostParams,
+    faults: FaultPlan,
+    /// Cached straggler clock multiplier for this rank (1.0 normally).
+    straggle: f64,
+    /// Cached crash trigger: this rank dies at its Nth send (1-based).
+    crash_at: Option<u64>,
+    /// Logical sends issued so far (crash-trigger counter).
+    send_count: Cell<u64>,
+    /// Next outgoing sequence number per `(dst, tag)`.
+    send_seq: RefCell<HashMap<(RankId, Tag), u64>>,
+    /// Next expected incoming sequence number per `(src, tag)`.
+    recv_next: RefCell<HashMap<(RankId, Tag), u64>>,
+    /// Next wire sequence per destination (fault-decision key).
+    wire_seq: RefCell<HashMap<RankId, u64>>,
+    /// Held-back (reorder-faulted) physical packets per destination.
+    holdback: RefCell<HashMap<RankId, Vec<Packet<T>>>>,
     /// Logical communication clock (seconds of simulated network time
     /// this rank has accumulated). Advanced by α+β·n per send, and to
     /// the arrival time on each receive — a Lamport makespan clock.
-    clock: std::cell::Cell<f64>,
+    clock: Cell<f64>,
 }
 
 impl<T: Msg> Rank<T> {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: RankId,
         size: usize,
@@ -71,8 +134,7 @@ impl<T: Msg> Rank<T> {
         rx: Receiver<Packet<T>>,
         stats: Arc<Stats>,
         mem: MemoryTracker,
-        timeout: Duration,
-        cost: CostParams,
+        cfg: &MachineConfig,
     ) -> Self {
         Rank {
             id,
@@ -82,9 +144,17 @@ impl<T: Msg> Rank<T> {
             pending: RefCell::new(VecDeque::new()),
             stats,
             mem,
-            timeout,
-            cost,
-            clock: std::cell::Cell::new(0.0),
+            timeout: cfg.recv_timeout,
+            cost: cfg.cost,
+            faults: cfg.faults,
+            straggle: cfg.faults.straggle_factor(id),
+            crash_at: cfg.faults.crashes_at(id),
+            send_count: Cell::new(0),
+            send_seq: RefCell::new(HashMap::new()),
+            recv_next: RefCell::new(HashMap::new()),
+            wire_seq: RefCell::new(HashMap::new()),
+            holdback: RefCell::new(HashMap::new()),
+            clock: Cell::new(0.0),
         }
     }
 
@@ -112,23 +182,199 @@ impl<T: Msg> Rank<T> {
     /// Send `data` to `dst` with `tag`, consuming the buffer (no copy).
     pub fn send_vec(&self, dst: RankId, tag: Tag, data: Vec<T>) {
         assert!(dst < self.size, "send to nonexistent rank {dst}");
+        if let Some(at) = self.crash_at {
+            let this_send = self.send_count.get() + 1;
+            if this_send >= at {
+                panic!(
+                    "rank {}: {CRASH_MARKER} at send {this_send} (fault seed {:#x})",
+                    self.id, self.faults.seed
+                );
+            }
+        }
+        self.send_count.set(self.send_count.get() + 1);
         self.stats
             .record_send(self.id, data.len() as u64, dst == self.id);
-        // Advance the logical clock by this message's α–β cost
-        // (self-sends are local copies: free).
+        // Advance the logical clock by this message's α–β cost, scaled
+        // by the straggler factor (self-sends are local copies: free).
         if dst != self.id {
-            self.clock
-                .set(self.clock.get() + self.cost.alpha + self.cost.beta * data.len() as f64);
+            self.clock.set(
+                self.clock.get()
+                    + self.straggle * (self.cost.alpha + self.cost.beta * data.len() as f64),
+            );
         }
-        let pkt = Packet {
+        if self.faults.is_noop() {
+            // Fault-free fast path: exactly the pre-fault transport.
+            let pkt = Packet {
+                src: self.id,
+                tag,
+                data,
+                sent_at: self.clock.get(),
+                kind: PacketKind::Data,
+                seq: 0,
+                wire: 0,
+                attempt: 0,
+            };
+            self.transmit(dst, pkt);
+            return;
+        }
+        self.send_faulty(dst, tag, data);
+    }
+
+    /// Send a copy of `data` to `dst` with `tag`.
+    pub fn send(&self, dst: RankId, tag: Tag, data: &[T]) {
+        self.send_vec(dst, tag, data.to_vec());
+    }
+
+    /// The fault-layer send path: sequence numbering, link faults, and
+    /// (when enabled) the ARQ reliable transport.
+    fn send_faulty(&self, dst: RankId, tag: Tag, data: Vec<T>) {
+        let f = self.faults;
+        let seq = {
+            let mut m = self.send_seq.borrow_mut();
+            let c = m.entry((dst, tag)).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        if dst == self.id {
+            // Loopback is a local copy: never faulted, never ARQ'd.
+            let pkt = self.data_packet(tag, data, seq, 0, 0, self.clock.get());
+            self.transmit(dst, pkt);
+            return;
+        }
+        let wire = {
+            let mut m = self.wire_seq.borrow_mut();
+            let c = m.entry(dst).or_insert(0);
+            let w = *c;
+            *c += 1;
+            w
+        };
+        if f.reliable {
+            // Keep ack traffic from piling up in our mailbox.
+            self.drain_mailbox();
+        }
+        let n = data.len() as u64;
+        let delayed = f.delays(self.id, dst, wire);
+        if delayed {
+            self.stats.record_delay();
+        }
+        let skew = if delayed { f.delay_skew } else { 0.0 };
+
+        // Physical copies that reach the destination mailbox.
+        let mut copies: Vec<Packet<T>> = Vec::new();
+        if !f.reliable {
+            // Raw transport: one shot, faults land where they land.
+            if f.drops_data(self.id, dst, wire, 0) {
+                self.stats.record_drop(n);
+            } else {
+                copies.push(self.data_packet(tag, data, seq, wire, 0, self.clock.get() + skew));
+            }
+        } else {
+            // Sender-side ARQ. Fault decisions are pure functions of
+            // (seed, src, dst, wire, attempt), so the sender models the
+            // whole stop-and-wait exchange analytically — no blocking on
+            // real acks (which arrive as traffic and are discarded) and
+            // therefore no new deadlock modes.
+            let mut attempt = 0u32;
+            loop {
+                if attempt > 0 {
+                    self.stats.record_retransmit(n);
+                    // Exponential backoff in simulated time before the
+                    // retransmit, plus the retransmit's own α–β cost.
+                    let backoff = self.cost.alpha * (1u64 << attempt.min(20)) as f64;
+                    self.clock.set(
+                        self.clock.get()
+                            + self.straggle
+                                * (backoff + self.cost.alpha + self.cost.beta * n as f64),
+                    );
+                }
+                if f.drops_data(self.id, dst, wire, attempt) {
+                    self.stats.record_drop(n);
+                } else {
+                    copies.push(self.data_packet(
+                        tag,
+                        data.clone(),
+                        seq,
+                        wire,
+                        attempt,
+                        self.clock.get() + skew,
+                    ));
+                    if !f.drops_ack(self.id, dst, wire, attempt) {
+                        break; // delivered and acknowledged
+                    }
+                    // Data arrived but the ack was lost: retransmit; the
+                    // receiver will suppress the duplicate.
+                }
+                attempt += 1;
+                assert!(
+                    attempt < MAX_SEND_ATTEMPTS,
+                    "rank {}: reliable delivery to rank {dst} exhausted {MAX_SEND_ATTEMPTS} \
+                     attempts (tag {tag:#x}, fault seed {:#x})",
+                    self.id,
+                    f.seed
+                );
+            }
+        }
+        if f.duplicates(self.id, dst, wire) {
+            if let Some(last) = copies.last() {
+                self.stats.record_dup_injected();
+                copies.push(last.clone());
+            }
+        }
+        if f.reliable {
+            // Every delivered copy gets acknowledged by the receiver;
+            // count them analytically here — the receiver's side would
+            // race with its own body exit for late extra copies.
+            for _ in &copies {
+                self.stats.record_ack();
+            }
+        }
+        if !copies.is_empty()
+            && f.reorders(self.id, dst, wire)
+            && !self.holdback.borrow().contains_key(&dst)
+        {
+            self.stats.record_reorder();
+            self.holdback.borrow_mut().insert(dst, copies);
+            return; // flushed behind the next send to dst, before our
+                    // next blocking receive, or at rank-body exit
+        }
+        // Physical copies are best-effort: under the ARQ a retransmit or
+        // injected duplicate of an already-delivered message can race
+        // with the receiver finishing its body and dropping its mailbox.
+        // The logical delivery guarantee lives in the analytic ARQ, not
+        // in any individual copy landing.
+        for pkt in copies {
+            self.transmit_lossy(dst, pkt);
+        }
+        // This send overtakes any message held back for the same
+        // destination: release it now (the reorder).
+        self.flush_holdback_to(dst);
+    }
+
+    fn data_packet(
+        &self,
+        tag: Tag,
+        data: Vec<T>,
+        seq: u64,
+        wire: u64,
+        attempt: u32,
+        sent_at: f64,
+    ) -> Packet<T> {
+        Packet {
             src: self.id,
             tag,
             data,
-            sent_at: self.clock.get(),
-        };
-        // Unbounded channel: send only fails if the receiver is gone,
-        // which means that rank's thread already panicked; propagate a
-        // clear diagnostic instead of a bare unwrap.
+            sent_at,
+            kind: PacketKind::Data,
+            seq,
+            wire,
+            attempt,
+        }
+    }
+
+    /// Enqueue into `dst`'s mailbox; a gone receiver is a hard error
+    /// (that rank's thread already panicked — fail loudly here too).
+    fn transmit(&self, dst: RankId, pkt: Packet<T>) {
         if self.senders[dst].send(pkt).is_err() {
             panic!(
                 "rank {}: send to rank {dst} failed (receiver gone)",
@@ -137,15 +383,90 @@ impl<T: Msg> Rank<T> {
         }
     }
 
-    /// Send a copy of `data` to `dst` with `tag`.
-    pub fn send(&self, dst: RankId, tag: Tag, data: &[T]) {
-        self.send_vec(dst, tag, data.to_vec());
+    /// Best-effort enqueue for fire-and-forget traffic (acks, holdback
+    /// flushes): if the destination is gone it already failed on its
+    /// own; losing this packet is the realistic outcome, not a new
+    /// failure.
+    fn transmit_lossy(&self, dst: RankId, pkt: Packet<T>) {
+        let _ = self.senders[dst].send(pkt);
+    }
+
+    /// Transmit every held-back (reorder-faulted) packet. Called before
+    /// this rank blocks in a receive and by the machine when the rank
+    /// body returns, so a held message can never deadlock a
+    /// well-terminating run. (A *crashed* rank's held packets are lost —
+    /// exactly like a real process dying with data in its TX queue.)
+    pub(crate) fn flush_holdbacks(&self) {
+        let held: Vec<(RankId, Vec<Packet<T>>)> = self.holdback.borrow_mut().drain().collect();
+        for (dst, pkts) in held {
+            for pkt in pkts {
+                self.transmit_lossy(dst, pkt);
+            }
+        }
+    }
+
+    fn flush_holdback_to(&self, dst: RankId) {
+        let held = self.holdback.borrow_mut().remove(&dst);
+        if let Some(pkts) = held {
+            for pkt in pkts {
+                self.transmit_lossy(dst, pkt);
+            }
+        }
+    }
+
+    /// Move every already-arrived packet into the pending queue without
+    /// blocking (acks are processed and discarded on the way).
+    fn drain_mailbox(&self) {
+        while let Ok(pkt) = self.rx.try_recv() {
+            if let Some(pkt) = self.ingest(pkt) {
+                self.pending.borrow_mut().push_back(pkt);
+            }
+        }
+    }
+
+    /// First touch of every packet pulled from the mailbox. Acks are
+    /// discarded (their effect on the ARQ is computed analytically at
+    /// the sender). Under the reliable transport every data packet from
+    /// a peer is acknowledged here; whether that ack survives the link
+    /// is decided by the same deterministic hash both sides share. The
+    /// ack *counter* is recorded by the sender (which knows analytically
+    /// how many copies get delivered) — counting here would race with
+    /// rank-body exit when an extra copy arrives late.
+    fn ingest(&self, pkt: Packet<T>) -> Option<Packet<T>> {
+        if pkt.kind == PacketKind::Ack {
+            return None;
+        }
+        if self.faults.reliable
+            && pkt.src != self.id
+            && !self
+                .faults
+                .drops_ack(pkt.src, self.id, pkt.wire, pkt.attempt)
+        {
+            let ack = Packet {
+                src: self.id,
+                tag: pkt.tag,
+                data: Vec::new(),
+                sent_at: self.clock.get(),
+                kind: PacketKind::Ack,
+                seq: pkt.seq,
+                wire: pkt.wire,
+                attempt: pkt.attempt,
+            };
+            self.transmit_lossy(pkt.src, ack);
+        }
+        Some(pkt)
     }
 
     /// Blocking receive of the next message from `src` with `tag`
     /// (FIFO per `(src, tag)` pair). Panics after the machine's receive
     /// timeout — the deadlock trap.
     pub fn recv(&self, src: RankId, tag: Tag) -> Vec<T> {
+        if !self.faults.is_noop() {
+            self.flush_holdbacks();
+            if self.faults.reliable {
+                return self.recv_seq(src, tag);
+            }
+        }
         // First, check the unexpected-message queue.
         {
             let mut pending = self.pending.borrow_mut();
@@ -159,11 +480,60 @@ impl<T: Msg> Rank<T> {
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             match self.rx.recv_timeout(remaining) {
-                Ok(pkt) if pkt.src == src && pkt.tag == tag => {
-                    self.observe_arrival(pkt.src, pkt.sent_at);
-                    return pkt.data;
+                Ok(pkt) => {
+                    let Some(pkt) = self.ingest(pkt) else {
+                        continue;
+                    };
+                    if pkt.src == src && pkt.tag == tag {
+                        self.observe_arrival(pkt.src, pkt.sent_at);
+                        return pkt.data;
+                    }
+                    self.pending.borrow_mut().push_back(pkt);
                 }
-                Ok(pkt) => self.pending.borrow_mut().push_back(pkt),
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {}: deadlock trap — no message from rank {src} with tag {tag:#x} \
+                     within {:?} ({} unexpected messages parked)",
+                    self.id,
+                    self.timeout,
+                    self.pending.borrow().len()
+                ),
+                Err(RecvTimeoutError::Disconnected) => panic!(
+                    "rank {}: mailbox disconnected while waiting for rank {src} tag {tag:#x}",
+                    self.id
+                ),
+            }
+        }
+    }
+
+    /// Sequence-numbered receive (reliable transport): deliver exactly
+    /// the next expected sequence for `(src, tag)`, suppressing
+    /// duplicates and re-assembling FIFO order.
+    fn recv_seq(&self, src: RankId, tag: Tag) -> Vec<T> {
+        let expected = self.expected(src, tag);
+        if let Some(pkt) = self.take_pending(src, tag, expected) {
+            return self.deliver(pkt);
+        }
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(pkt) => {
+                    let Some(pkt) = self.ingest(pkt) else {
+                        continue;
+                    };
+                    if pkt.src == src && pkt.tag == tag {
+                        if pkt.seq == expected {
+                            return self.deliver(pkt);
+                        }
+                        if pkt.seq < expected {
+                            self.stats.record_dup_suppressed();
+                            continue;
+                        }
+                        // A future sequence (retransmit overtook the
+                        // stream): park until we catch up.
+                    }
+                    self.pending.borrow_mut().push_back(pkt);
+                }
                 Err(RecvTimeoutError::Timeout) => panic!(
                     "rank {}: deadlock trap — no message from rank {src} with tag {tag:#x} \
                      within {:?} ({} unexpected messages parked)",
@@ -182,6 +552,12 @@ impl<T: Msg> Rank<T> {
     /// Blocking receive of the next message with `tag` from *any* rank.
     /// Returns `(source, data)`.
     pub fn recv_any(&self, tag: Tag) -> (RankId, Vec<T>) {
+        if !self.faults.is_noop() {
+            self.flush_holdbacks();
+            if self.faults.reliable {
+                return self.recv_any_seq(tag);
+            }
+        }
         {
             let mut pending = self.pending.borrow_mut();
             if let Some(pos) = pending.iter().position(|p| p.tag == tag) {
@@ -194,11 +570,16 @@ impl<T: Msg> Rank<T> {
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             match self.rx.recv_timeout(remaining) {
-                Ok(pkt) if pkt.tag == tag => {
-                    self.observe_arrival(pkt.src, pkt.sent_at);
-                    return (pkt.src, pkt.data);
+                Ok(pkt) => {
+                    let Some(pkt) = self.ingest(pkt) else {
+                        continue;
+                    };
+                    if pkt.tag == tag {
+                        self.observe_arrival(pkt.src, pkt.sent_at);
+                        return (pkt.src, pkt.data);
+                    }
+                    self.pending.borrow_mut().push_back(pkt);
                 }
-                Ok(pkt) => self.pending.borrow_mut().push_back(pkt),
                 Err(RecvTimeoutError::Timeout) => panic!(
                     "rank {}: deadlock trap — no message with tag {tag:#x} within {:?}",
                     self.id, self.timeout
@@ -208,6 +589,106 @@ impl<T: Msg> Rank<T> {
                 }
             }
         }
+    }
+
+    /// Sequence-numbered any-source receive (reliable transport).
+    fn recv_any_seq(&self, tag: Tag) -> (RankId, Vec<T>) {
+        if let Some(pkt) = self.take_pending_any(tag) {
+            let src = pkt.src;
+            return (src, self.deliver(pkt));
+        }
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(pkt) => {
+                    let Some(pkt) = self.ingest(pkt) else {
+                        continue;
+                    };
+                    if pkt.tag == tag {
+                        let expected = self.expected(pkt.src, tag);
+                        if pkt.seq == expected {
+                            let src = pkt.src;
+                            return (src, self.deliver(pkt));
+                        }
+                        if pkt.seq < expected {
+                            self.stats.record_dup_suppressed();
+                            continue;
+                        }
+                    }
+                    self.pending.borrow_mut().push_back(pkt);
+                }
+                Err(RecvTimeoutError::Timeout) => panic!(
+                    "rank {}: deadlock trap — no message with tag {tag:#x} within {:?}",
+                    self.id, self.timeout
+                ),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("rank {}: mailbox disconnected (tag {tag:#x})", self.id)
+                }
+            }
+        }
+    }
+
+    /// Next expected sequence number for `(src, tag)`.
+    fn expected(&self, src: RankId, tag: Tag) -> u64 {
+        *self.recv_next.borrow().get(&(src, tag)).unwrap_or(&0)
+    }
+
+    /// Consume a matched packet: advance the per-stream cursor and the
+    /// Lamport clock, hand out the payload.
+    fn deliver(&self, pkt: Packet<T>) -> Vec<T> {
+        self.recv_next
+            .borrow_mut()
+            .insert((pkt.src, pkt.tag), pkt.seq + 1);
+        self.observe_arrival(pkt.src, pkt.sent_at);
+        pkt.data
+    }
+
+    /// Scan the pending queue for `(src, tag, seq == expected)`,
+    /// purging stale duplicates of that stream along the way.
+    fn take_pending(&self, src: RankId, tag: Tag, expected: u64) -> Option<Packet<T>> {
+        let mut pending = self.pending.borrow_mut();
+        let mut found = None;
+        let mut i = 0;
+        while i < pending.len() {
+            let p = &pending[i];
+            if p.src == src && p.tag == tag {
+                if p.seq == expected && found.is_none() {
+                    found = pending.remove(i);
+                    continue;
+                }
+                if p.seq < expected {
+                    pending.remove(i);
+                    self.stats.record_dup_suppressed();
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        found
+    }
+
+    /// Scan the pending queue for any stream of `tag` whose next
+    /// expected packet is parked, purging stale duplicates on the way.
+    fn take_pending_any(&self, tag: Tag) -> Option<Packet<T>> {
+        let mut pending = self.pending.borrow_mut();
+        let mut i = 0;
+        while i < pending.len() {
+            let p = &pending[i];
+            if p.tag == tag {
+                let expected = self.expected(p.src, tag);
+                if p.seq == expected {
+                    return pending.remove(i);
+                }
+                if p.seq < expected {
+                    pending.remove(i);
+                    self.stats.record_dup_suppressed();
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        None
     }
 
     /// Number of parked unexpected messages (diagnostics).
@@ -226,6 +707,7 @@ impl<T: Msg> Rank<T> {
 
 #[cfg(test)]
 mod tests {
+    use crate::fault::FaultPlan;
     use crate::machine::{Machine, MachineConfig};
     use std::time::Duration;
 
@@ -246,6 +728,7 @@ mod tests {
         assert_eq!(report.results[1], vec![1.0, 2.0, 3.0]);
         assert_eq!(report.stats.total_msgs(), 2);
         assert_eq!(report.stats.total_elems(), 6);
+        assert!(report.stats.fault.is_zero());
     }
 
     #[test]
@@ -324,5 +807,159 @@ mod tests {
                 let _ = rank.recv(1, 42);
             }
         });
+    }
+
+    // ---- fault-layer tests -------------------------------------------
+
+    /// A fault plan guaranteed to drop at least one message in a 10-long
+    /// stream (p = 0.5, pinned seed).
+    fn drops_half() -> FaultPlan {
+        FaultPlan::reliable(0xC0FFEE).with_drops(0.5)
+    }
+
+    #[test]
+    fn reliable_stream_survives_heavy_drops() {
+        let cfg = MachineConfig {
+            faults: drops_half(),
+            ..MachineConfig::default()
+        };
+        let report = Machine::run::<u64, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                for i in 0..10u64 {
+                    rank.send(1, 5, &[i]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| rank.recv(0, 5)[0]).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(report.results[1], (0..10).collect::<Vec<u64>>());
+        // Logical volume is fault-independent…
+        assert_eq!(report.stats.total_msgs(), 10);
+        assert_eq!(report.stats.total_elems(), 10);
+        // …and at p = 0.5 over 10 messages the plan certainly dropped
+        // something, so retransmits must show up in the fault counters.
+        assert!(report.stats.fault.retrans_msgs > 0);
+        assert!(report.stats.fault.dropped_msgs > 0);
+        assert!(report.stats.fault.ack_msgs > 0);
+    }
+
+    #[test]
+    fn reliable_with_dups_and_reorders_is_fifo() {
+        let cfg = MachineConfig {
+            faults: FaultPlan::reliable(7)
+                .with_drops(0.3)
+                .with_dups(0.4)
+                .with_reorders(0.4)
+                .with_delays(0.3, 5.0),
+            ..MachineConfig::default()
+        };
+        let report = Machine::run::<u64, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                for i in 0..20u64 {
+                    rank.send(1, 5, &[i]);
+                }
+                vec![]
+            } else {
+                (0..20).map(|_| rank.recv(0, 5)[0]).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(report.results[1], (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock trap")]
+    fn unreliable_drop_trips_the_trap() {
+        // Without the ARQ, a dropped message must surface as a loud
+        // deadlock, never silent corruption of a later receive.
+        let cfg = MachineConfig {
+            recv_timeout: Duration::from_millis(100),
+            faults: FaultPlan {
+                seed: 1,
+                drop_prob: 1.0,
+                ..FaultPlan::default()
+            },
+            ..MachineConfig::default()
+        };
+        Machine::run::<u64, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 5, &[1]);
+            } else {
+                let _ = rank.recv(0, 5);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "fault-injected crash")]
+    fn crash_at_nth_send_fires() {
+        let cfg = MachineConfig {
+            recv_timeout: Duration::from_millis(100),
+            faults: FaultPlan::default().with_crash(0, 3),
+            ..MachineConfig::default()
+        };
+        Machine::run::<u64, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                for i in 0..5u64 {
+                    rank.send(1, 5, &[i]);
+                }
+            } else {
+                for _ in 0..5 {
+                    let _ = rank.recv(0, 5);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn straggler_stretches_the_makespan() {
+        let base = MachineConfig::default();
+        let send = |rank: &crate::Rank<f32>| {
+            if rank.id() == 0 {
+                rank.send(1, 1, &vec![0.0f32; 1000]);
+            } else {
+                let _ = rank.recv(0, 1);
+            }
+        };
+        let clean = Machine::run::<f32, _, _>(2, base, send);
+        let slow_cfg = MachineConfig {
+            faults: FaultPlan {
+                seed: 0,
+                straggler: Some(crate::fault::Straggler {
+                    rank: 0,
+                    factor: 3.0,
+                }),
+                ..FaultPlan::default()
+            },
+            ..base
+        };
+        let slow = Machine::run::<f32, _, _>(2, slow_cfg, send);
+        assert!(
+            (slow.makespan - 3.0 * clean.makespan).abs() < 1e-12,
+            "{} vs 3×{}",
+            slow.makespan,
+            clean.makespan
+        );
+        // The straggler bends time, not data or volume.
+        assert_eq!(slow.stats.total_elems(), clean.stats.total_elems());
+    }
+
+    #[test]
+    fn delay_skews_the_makespan_only() {
+        let cfg = MachineConfig {
+            faults: FaultPlan::reliable(3).with_delays(1.0, 7.5),
+            ..MachineConfig::default()
+        };
+        let report = Machine::run::<u64, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, &[42]);
+                0
+            } else {
+                rank.recv(0, 1)[0]
+            }
+        });
+        assert_eq!(report.results[1], 42);
+        assert!(report.makespan >= 7.5, "makespan {}", report.makespan);
+        assert_eq!(report.stats.fault.delayed_msgs, 1);
     }
 }

@@ -22,6 +22,24 @@ pub struct Stats {
     /// not network traffic — excluded from totals).
     self_msgs: AtomicU64,
     self_elems: AtomicU64,
+    /// Fault-machinery traffic (retransmits, duplicates, acks, drops).
+    /// Separate from the algorithmic counters above so the paper's
+    /// volume tables stay clean under fault injection.
+    fault: FaultCounters,
+}
+
+/// Atomic counters for fault-injection and reliable-delivery overhead.
+#[derive(Debug, Default)]
+struct FaultCounters {
+    retrans_msgs: AtomicU64,
+    retrans_elems: AtomicU64,
+    ack_msgs: AtomicU64,
+    dropped_msgs: AtomicU64,
+    dropped_elems: AtomicU64,
+    dup_msgs: AtomicU64,
+    dup_suppressed: AtomicU64,
+    delayed_msgs: AtomicU64,
+    reordered_msgs: AtomicU64,
 }
 
 impl Stats {
@@ -32,7 +50,46 @@ impl Stats {
             per_rank_elems: (0..p).map(|_| AtomicU64::new(0)).collect(),
             self_msgs: AtomicU64::new(0),
             self_elems: AtomicU64::new(0),
+            fault: FaultCounters::default(),
         }
+    }
+
+    /// Record a retransmitted copy of a message of `elems` elements
+    /// (reliable-delivery overhead, not algorithmic volume).
+    pub fn record_retransmit(&self, elems: u64) {
+        self.fault.retrans_msgs.fetch_add(1, Ordering::Relaxed);
+        self.fault.retrans_elems.fetch_add(elems, Ordering::Relaxed);
+    }
+
+    /// Record one acknowledgement message (empty payload).
+    pub fn record_ack(&self) {
+        self.fault.ack_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a fault-dropped message of `elems` elements.
+    pub fn record_drop(&self, elems: u64) {
+        self.fault.dropped_msgs.fetch_add(1, Ordering::Relaxed);
+        self.fault.dropped_elems.fetch_add(elems, Ordering::Relaxed);
+    }
+
+    /// Record an injected duplicate copy put on the wire.
+    pub fn record_dup_injected(&self) {
+        self.fault.dup_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duplicate suppressed at the receiver.
+    pub fn record_dup_suppressed(&self) {
+        self.fault.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a Lamport-delayed message.
+    pub fn record_delay(&self) {
+        self.fault.delayed_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a held-back (reordered) message.
+    pub fn record_reorder(&self) {
+        self.fault.reordered_msgs.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a message of `elems` elements sent by `src` to a *different*
@@ -62,6 +119,71 @@ impl Stats {
                 .collect(),
             self_msgs: self.self_msgs.load(Ordering::Relaxed),
             self_elems: self.self_elems.load(Ordering::Relaxed),
+            fault: FaultTraffic {
+                retrans_msgs: self.fault.retrans_msgs.load(Ordering::Relaxed),
+                retrans_elems: self.fault.retrans_elems.load(Ordering::Relaxed),
+                ack_msgs: self.fault.ack_msgs.load(Ordering::Relaxed),
+                dropped_msgs: self.fault.dropped_msgs.load(Ordering::Relaxed),
+                dropped_elems: self.fault.dropped_elems.load(Ordering::Relaxed),
+                dup_msgs: self.fault.dup_msgs.load(Ordering::Relaxed),
+                dup_suppressed: self.fault.dup_suppressed.load(Ordering::Relaxed),
+                delayed_msgs: self.fault.delayed_msgs.load(Ordering::Relaxed),
+                reordered_msgs: self.fault.reordered_msgs.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// Snapshot of the fault-machinery traffic of a run. All-zero on a
+/// fault-free run; zero `total_overhead_elems` means the cost-model
+/// counters are untouched by injection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultTraffic {
+    /// Retransmitted data messages (reliable delivery).
+    pub retrans_msgs: u64,
+    /// Elements carried by retransmitted messages.
+    pub retrans_elems: u64,
+    /// Acknowledgement messages (empty payload).
+    pub ack_msgs: u64,
+    /// Messages dropped by injection.
+    pub dropped_msgs: u64,
+    /// Elements in dropped messages.
+    pub dropped_elems: u64,
+    /// Injected duplicate copies put on the wire.
+    pub dup_msgs: u64,
+    /// Duplicates suppressed at receivers.
+    pub dup_suppressed: u64,
+    /// Messages given Lamport clock skew.
+    pub delayed_msgs: u64,
+    /// Messages held back (reordered).
+    pub reordered_msgs: u64,
+}
+
+impl FaultTraffic {
+    /// True when no fault machinery ever fired.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultTraffic::default()
+    }
+
+    /// Total extra elements the fault machinery put on the wire
+    /// (retransmits; injected duplicates carry `retrans`-equivalent
+    /// payloads counted there when they are ARQ re-sends).
+    pub fn overhead_elems(&self) -> u64 {
+        self.retrans_elems
+    }
+
+    /// Elementwise difference (`self` after, `earlier` before).
+    fn since(&self, earlier: &FaultTraffic) -> FaultTraffic {
+        FaultTraffic {
+            retrans_msgs: self.retrans_msgs - earlier.retrans_msgs,
+            retrans_elems: self.retrans_elems - earlier.retrans_elems,
+            ack_msgs: self.ack_msgs - earlier.ack_msgs,
+            dropped_msgs: self.dropped_msgs - earlier.dropped_msgs,
+            dropped_elems: self.dropped_elems - earlier.dropped_elems,
+            dup_msgs: self.dup_msgs - earlier.dup_msgs,
+            dup_suppressed: self.dup_suppressed - earlier.dup_suppressed,
+            delayed_msgs: self.delayed_msgs - earlier.delayed_msgs,
+            reordered_msgs: self.reordered_msgs - earlier.reordered_msgs,
         }
     }
 }
@@ -77,6 +199,9 @@ pub struct StatsSnapshot {
     pub self_msgs: u64,
     /// Total self-send elements.
     pub self_elems: u64,
+    /// Fault-machinery overhead traffic, accounted separately from the
+    /// algorithmic volume above.
+    pub fault: FaultTraffic,
 }
 
 impl StatsSnapshot {
@@ -124,6 +249,7 @@ impl StatsSnapshot {
                 .collect(),
             self_msgs: self.self_msgs - earlier.self_msgs,
             self_elems: self.self_elems - earlier.self_elems,
+            fault: self.fault.since(&earlier.fault),
         }
     }
 
@@ -191,6 +317,50 @@ mod tests {
         let d = after.since(&before);
         assert_eq!(d.total_elems(), 50);
         assert_eq!(d.total_msgs(), 1);
+    }
+
+    #[test]
+    fn fault_counters_separate_from_algorithmic_volume() {
+        let s = Stats::new(2);
+        s.record_send(0, 100, false);
+        s.record_retransmit(100);
+        s.record_retransmit(100);
+        s.record_ack();
+        s.record_drop(100);
+        s.record_dup_injected();
+        s.record_dup_suppressed();
+        s.record_delay();
+        s.record_reorder();
+        let snap = s.snapshot();
+        // The algorithmic counters see only the one logical send.
+        assert_eq!(snap.total_msgs(), 1);
+        assert_eq!(snap.total_elems(), 100);
+        assert!(!snap.fault.is_zero());
+        assert_eq!(snap.fault.retrans_msgs, 2);
+        assert_eq!(snap.fault.retrans_elems, 200);
+        assert_eq!(snap.fault.ack_msgs, 1);
+        assert_eq!(snap.fault.dropped_msgs, 1);
+        assert_eq!(snap.fault.dup_msgs, 1);
+        assert_eq!(snap.fault.dup_suppressed, 1);
+        assert_eq!(snap.fault.delayed_msgs, 1);
+        assert_eq!(snap.fault.reordered_msgs, 1);
+        assert_eq!(snap.fault.overhead_elems(), 200);
+        // Interval accounting covers the fault counters too.
+        let later = {
+            s.record_retransmit(7);
+            s.snapshot()
+        };
+        let d = later.since(&snap);
+        assert_eq!(d.fault.retrans_msgs, 1);
+        assert_eq!(d.fault.retrans_elems, 7);
+        assert_eq!(d.fault.ack_msgs, 0);
+    }
+
+    #[test]
+    fn fault_free_snapshot_is_zero() {
+        let s = Stats::new(1);
+        s.record_send(0, 10, false);
+        assert!(s.snapshot().fault.is_zero());
     }
 
     #[test]

@@ -3,11 +3,11 @@
 
 use distconv::conv::gvm::{GvmError, GvmExecutor};
 use distconv::conv::kernels::workload;
-use distconv::core::DistConv;
+use distconv::core::{run_training_step, run_training_step_recovering, DistConv};
 use distconv::cost::exact::eq3_footprint_g;
 use distconv::cost::simplified::InnerLoop;
 use distconv::cost::{Conv2dProblem, MachineSpec, Partition, Planner, Tiling};
-use distconv::simnet::{Communicator, Machine, MachineConfig};
+use distconv::simnet::{Communicator, FaultPlan, Machine, MachineConfig};
 use std::time::Duration;
 
 #[test]
@@ -111,6 +111,64 @@ fn rank_panic_does_not_hang_the_machine() {
         })
     });
     assert!(result.is_err(), "fault must propagate, not hang");
+}
+
+#[test]
+fn crashed_training_step_recovers_to_the_fault_free_result() {
+    // A rank crashes mid-step (at its 3rd send, pinned fault seed). The
+    // checkpoint/restart driver must detect the injected crash, retry
+    // the step without it, and land on exactly the fault-free result —
+    // with the recovery and its wasted traffic reported, not hidden.
+    let p = Conv2dProblem::square(4, 8, 8, 4, 3);
+    let plan = Planner::new(p, MachineSpec::new(4, 1 << 20))
+        .plan()
+        .unwrap();
+    let clean = run_training_step::<f64>(plan, 42, MachineConfig::default())
+        .expect("fault-free step must succeed");
+    assert!(!clean.recovered && clean.retries == 0);
+
+    let cfg = MachineConfig {
+        recv_timeout: Duration::from_millis(300),
+        faults: FaultPlan::reliable(0xFA_117).with_crash(2, 3),
+        ..MachineConfig::default()
+    };
+    let r = run_training_step_recovering::<f64>(plan, 42, cfg).expect("step must recover");
+    assert!(r.recovered, "injected crash must be reported as recovered");
+    assert_eq!(r.retries, 1);
+    assert!(r.forward_verified && r.grad_verified);
+    assert_eq!(
+        r.measured_volume(),
+        clean.measured_volume(),
+        "recovered step must match the fault-free step's algorithmic volume"
+    );
+    assert!(
+        r.retry_elems > 0,
+        "the aborted attempt's cost must be reported"
+    );
+}
+
+#[test]
+fn every_failed_rank_is_enumerated_in_the_panic() {
+    // Two independent rank failures: the machine's panic must name both,
+    // not just whichever thread died first.
+    let cfg = MachineConfig {
+        recv_timeout: Duration::from_millis(200),
+        ..MachineConfig::default()
+    };
+    let result = std::panic::catch_unwind(|| {
+        Machine::run::<f64, _, _>(4, cfg, |rank| match rank.id() {
+            1 => panic!("boom from rank 1"),
+            3 => panic!("boom from rank 3"),
+            _ => {
+                let comm = Communicator::world(rank);
+                comm.barrier();
+            }
+        })
+    });
+    let err = result.expect_err("must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("boom from rank 1"), "got: {msg}");
+    assert!(msg.contains("boom from rank 3"), "got: {msg}");
 }
 
 #[test]
