@@ -16,7 +16,7 @@
 
 use crate::common::{BaselineKind, BaselineReport};
 use distconv_conv::kernels::{
-    conv2d_direct, conv2d_direct_par, grad_ker, in_shape, ker_shape, out_shape, workload,
+    conv2d_direct_par, grad_ker, in_shape, ker_shape, out_shape, workload,
 };
 use distconv_cost::Conv2dProblem;
 use distconv_simnet::{Communicator, Machine, MachineConfig, RunError};
@@ -96,7 +96,12 @@ pub fn try_run_data_parallel(
 
         // --- Local forward: an independent sub-problem on my batch. ---
         let sub = Conv2dProblem::new(my_nb, p.nk, p.nc, p.nh, p.nw, p.nr, p.ns, p.sw, p.sh);
-        let out = conv2d_direct(&sub, &in_shard, &ker);
+        let out = distconv_conv::conv2d(
+            &sub,
+            &in_shard,
+            &ker,
+            distconv_conv::LocalKernel::from_env(),
+        );
 
         // --- Training: gradient all-reduce (Horovod). ---
         let d_ker = if train {

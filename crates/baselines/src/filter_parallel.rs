@@ -15,7 +15,7 @@
 //!   it by *also* partitioning `bhw`).
 
 use crate::common::{BaselineKind, BaselineReport};
-use distconv_conv::kernels::{conv2d_direct, conv2d_direct_par, in_shape, ker_shape, workload};
+use distconv_conv::kernels::{conv2d_direct_par, in_shape, ker_shape, workload};
 use distconv_cost::Conv2dProblem;
 use distconv_simnet::{Communicator, Machine, MachineConfig, RunError};
 use distconv_tensor::shape::BlockDist;
@@ -84,7 +84,12 @@ pub fn try_run_filter_parallel(
 
         // --- Local forward on the feature band. ---
         let sub = Conv2dProblem::new(p.nb, my_nk, p.nc, p.nh, p.nw, p.nr, p.ns, p.sw, p.sh);
-        let out = conv2d_direct(&sub, &input, &ker_shard);
+        let out = distconv_conv::conv2d(
+            &sub,
+            &input,
+            &ker_shard,
+            distconv_conv::LocalKernel::from_env(),
+        );
         (k_lo, out)
     })?;
 

@@ -15,7 +15,7 @@
 //! one of the trade-offs E9 charts.
 
 use crate::common::{BaselineKind, BaselineReport};
-use distconv_conv::kernels::{conv2d_direct, conv2d_direct_par, ker_shape, workload};
+use distconv_conv::kernels::{conv2d_direct_par, ker_shape, workload};
 use distconv_cost::Conv2dProblem;
 use distconv_simnet::{Communicator, Machine, MachineConfig, RunError};
 use distconv_tensor::shape::BlockDist;
@@ -170,7 +170,8 @@ pub fn try_run_spatial_parallel(
             [0, 0, 0, 0],
             [p.nb, p.nc, p.sw * (my_nw - 1) + p.nr, p.in_h()],
         ));
-        let out = conv2d_direct(&sub, &trimmed, &ker);
+        let out =
+            distconv_conv::conv2d(&sub, &trimmed, &ker, distconv_conv::LocalKernel::from_env());
         (w_lo, out)
     })?;
 

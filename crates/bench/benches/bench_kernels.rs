@@ -1,39 +1,138 @@
-//! Wall-clock bench: local convolution kernels — direct vs im2col vs
-//! thread-parallel direct, across representative layer shapes.
+//! Wall-clock bench: local convolution kernels — the paper-literal
+//! reference loops vs the packed im2col-GEMM fast path, with a
+//! GFLOP/s column and a machine-readable trajectory.
+//!
+//! `cargo bench -p distconv-bench --bench bench_kernels -- --json [PATH]`
+//! additionally writes the measurements (plus the headline
+//! `speedup_fast_over_reference` on the representative ResNet-style
+//! layer) to `PATH` (default `BENCH_kernels.json`) in the
+//! `distconv-bench-v1` schema — see `scripts/bench_compare.sh` for
+//! diffing two such files across commits.
 
-use distconv_bench::Suite;
-use distconv_conv::kernels::{conv2d_direct, conv2d_direct_par, conv2d_im2col, workload};
+use distconv_bench::{bench_report_json, BenchRecord, Suite};
+use distconv_conv::kernels::{
+    conv2d_direct, conv2d_direct_par, conv2d_im2col, conv_tile, out_shape, workload,
+};
+use distconv_conv::{conv2d_fast, conv_tile_fast, ConvScratch};
 use distconv_cost::Conv2dProblem;
+use distconv_tensor::Tensor4;
 use std::hint::black_box;
 
-fn bench_conv_kernels() {
+/// Multiply-adds of one forward pass ×2 (mul + add).
+fn conv_flops(p: &Conv2dProblem) -> u64 {
+    2 * (p.nb * p.nk * p.nw * p.nh * p.nc * p.nr * p.ns) as u64
+}
+
+/// The acceptance shape for the fast path: a ResNet-style mid layer,
+/// Nb=4, Nc=64, Nk=64, 56×56, 3×3, stride 1 (~0.92 GFLOP per pass).
+fn representative() -> Conv2dProblem {
+    Conv2dProblem::new(4, 64, 64, 56, 56, 3, 3, 1, 1)
+}
+
+/// Headline suite: `conv_tile` vs `conv_tile_fast` on the
+/// representative layer (single tile covering the problem, f32), plus
+/// the whole-problem entry points.
+fn bench_conv_kernels(records: &mut Vec<BenchRecord>) -> Option<f64> {
+    let p = representative();
+    let flops = conv_flops(&p);
+    let (input, ker) = workload::<f32>(&p, 1);
+    let mut g = Suite::new("conv_kernels_rep_56x56");
+    let mut out = Tensor4::<f32>::zeros(out_shape(&p));
+    g.bench_flops("conv_tile/reference", flops, || {
+        conv_tile(&p, &mut out, &input, &ker);
+        black_box(out.as_slice()[0])
+    });
+    let mut out_fast = Tensor4::<f32>::zeros(out_shape(&p));
+    let mut scratch = ConvScratch::new();
+    g.bench_flops("conv_tile_fast/packed", flops, || {
+        conv_tile_fast(&p, &mut out_fast, &input, &ker, &mut scratch);
+        black_box(out_fast.as_slice()[0])
+    });
+    g.bench_flops("conv2d_fast/whole", flops, || {
+        black_box(conv2d_fast(&p, &input, &ker))
+    });
+    let recs = g.finish();
+    let median = |label: &str| -> Option<f64> {
+        recs.iter().find(|r| r.label == label).map(|r| r.median_ns)
+    };
+    let speedup = match (
+        median("conv_tile/reference"),
+        median("conv_tile_fast/packed"),
+    ) {
+        (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+        _ => None,
+    };
+    records.extend(recs);
+    speedup
+}
+
+/// Smaller layer shapes: all four local kernels side by side.
+fn bench_layer_sweep(records: &mut Vec<BenchRecord>) {
     let layers = [
         ("early_16x16", Conv2dProblem::square(2, 8, 8, 16, 3)),
         ("mid_8x8", Conv2dProblem::square(2, 16, 16, 8, 3)),
         ("pointwise", Conv2dProblem::new(2, 32, 32, 8, 8, 1, 1, 1, 1)),
     ];
     for (name, p) in layers {
+        let flops = conv_flops(&p);
         let (input, ker) = workload::<f32>(&p, 1);
         let mut g = Suite::new(format!("conv_{name}"));
-        g.bench("direct", || black_box(conv2d_direct(&p, &input, &ker)));
-        g.bench("direct_par", || {
+        g.bench_flops("direct", flops, || {
+            black_box(conv2d_direct(&p, &input, &ker))
+        });
+        g.bench_flops("direct_par", flops, || {
             black_box(conv2d_direct_par(&p, &input, &ker))
         });
-        g.bench("im2col", || black_box(conv2d_im2col(&p, &input, &ker)));
-        g.finish();
+        g.bench_flops("im2col", flops, || {
+            black_box(conv2d_im2col(&p, &input, &ker))
+        });
+        g.bench_flops("fast", flops, || black_box(conv2d_fast(&p, &input, &ker)));
+        records.extend(g.finish());
     }
 }
 
-fn bench_strided() {
-    let p = Conv2dProblem::new(2, 16, 16, 8, 8, 3, 3, 2, 2);
-    let (input, ker) = workload::<f32>(&p, 2);
-    let mut g = Suite::new("conv_strided");
-    g.bench("direct/s2", || black_box(conv2d_direct(&p, &input, &ker)));
-    g.bench("im2col/s2", || black_box(conv2d_im2col(&p, &input, &ker)));
-    g.finish();
+/// Strided layers exercise the gather (σ_h > 1) and implicit (σ_h = 1)
+/// column paths.
+fn bench_strided(records: &mut Vec<BenchRecord>) {
+    let layers = [
+        ("s2x2", Conv2dProblem::new(2, 16, 16, 8, 8, 3, 3, 2, 2)),
+        ("s2x1", Conv2dProblem::new(2, 16, 16, 8, 8, 3, 3, 2, 1)),
+    ];
+    for (name, p) in layers {
+        let flops = conv_flops(&p);
+        let (input, ker) = workload::<f32>(&p, 2);
+        let mut g = Suite::new(format!("conv_strided_{name}"));
+        g.bench_flops("direct", flops, || {
+            black_box(conv2d_direct(&p, &input, &ker))
+        });
+        g.bench_flops("fast", flops, || black_box(conv2d_fast(&p, &input, &ker)));
+        records.extend(g.finish());
+    }
 }
 
 fn main() {
-    bench_conv_kernels();
-    bench_strided();
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_kernels.json".to_string())
+    });
+
+    let mut records = Vec::new();
+    let speedup = bench_conv_kernels(&mut records);
+    bench_layer_sweep(&mut records);
+    bench_strided(&mut records);
+
+    if let Some(s) = speedup {
+        println!("\nspeedup conv_tile_fast over conv_tile (rep shape): {s:.2}x");
+    }
+    if let Some(path) = json_path {
+        let derived: Vec<(&str, f64)> = speedup
+            .map(|s| vec![("speedup_fast_over_reference", s)])
+            .unwrap_or_default();
+        let json = bench_report_json(&records, &derived);
+        std::fs::write(&path, json + "\n").expect("write bench json");
+        println!("wrote {path}");
+    }
 }

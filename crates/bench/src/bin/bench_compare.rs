@@ -1,0 +1,184 @@
+//! Compare (or validate) `BENCH_*.json` bench-trajectory files.
+//!
+//! ```text
+//! bench_compare --validate FILE        # schema check, exit 1 on failure
+//! bench_compare OLD.json NEW.json      # per-case speedup table
+//! ```
+//!
+//! Usually invoked through `scripts/bench_compare.sh`. Files are the
+//! `distconv-bench-v1` schema written by
+//! `cargo bench --bench bench_kernels -- --json`.
+
+use distconv_cost::json::JsonValue;
+use std::process::ExitCode;
+
+struct Case {
+    key: String,
+    median_ns: f64,
+    gflops: Option<f64>,
+}
+
+struct Report {
+    quick: bool,
+    cases: Vec<Case>,
+    derived: Vec<(String, f64)>,
+}
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match v.get("schema").and_then(|s| s.as_str()) {
+        Some("distconv-bench-v1") => {}
+        other => return Err(format!("{path}: unsupported schema {other:?}")),
+    }
+    let quick = v.get("quick").and_then(|q| q.as_f64()).unwrap_or(0.0) != 0.0;
+    let records = v
+        .get("records")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{path}: missing records array"))?;
+    let mut cases = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        let suite = r
+            .get("suite")
+            .and_then(|s| s.as_str())
+            .ok_or_else(|| format!("{path}: record {i} missing suite"))?;
+        let label = r
+            .get("label")
+            .and_then(|s| s.as_str())
+            .ok_or_else(|| format!("{path}: record {i} missing label"))?;
+        let median_ns = r
+            .get("median_ns")
+            .and_then(|m| m.as_f64())
+            .ok_or_else(|| format!("{path}: record {i} missing median_ns"))?;
+        if median_ns <= 0.0 {
+            return Err(format!("{path}: record {i} non-positive median_ns"));
+        }
+        cases.push(Case {
+            key: format!("{suite}/{label}"),
+            median_ns,
+            gflops: r.get("gflops").and_then(|g| g.as_f64()),
+        });
+    }
+    let derived = match v.get("derived") {
+        Some(JsonValue::Obj(fields)) => fields
+            .iter()
+            .filter_map(|(k, val)| val.as_f64().map(|x| (k.clone(), x)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(Report {
+        quick,
+        cases,
+        derived,
+    })
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let rep = load(path)?;
+    if rep.cases.is_empty() {
+        return Err(format!("{path}: no bench records"));
+    }
+    println!(
+        "{path}: ok — {} records{}, derived: {}",
+        rep.cases.len(),
+        if rep.quick { " (quick mode)" } else { "" },
+        if rep.derived.is_empty() {
+            "none".to_string()
+        } else {
+            rep.derived
+                .iter()
+                .map(|(k, v)| format!("{k}={v:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    );
+    Ok(())
+}
+
+fn compare(old_path: &str, new_path: &str) -> Result<(), String> {
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    if old.quick || new.quick {
+        eprintln!("warning: comparing quick-mode timings — speedups are meaningless");
+    }
+    println!(
+        "| {:<44} | {:>10} | {:>10} | {:>8} |",
+        "case", "old", "new", "speedup"
+    );
+    println!(
+        "|{}|{}|{}|{}|",
+        "-".repeat(46),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(10)
+    );
+    let mut matched = 0;
+    for n in &new.cases {
+        let Some(o) = old.cases.iter().find(|o| o.key == n.key) else {
+            println!(
+                "| {:<44} | {:>10} | {:>10} | {:>8} |",
+                n.key,
+                "-",
+                ms(n.median_ns),
+                "new"
+            );
+            continue;
+        };
+        matched += 1;
+        println!(
+            "| {:<44} | {:>10} | {:>10} | {:>7.2}x |",
+            n.key,
+            ms(o.median_ns),
+            ms(n.median_ns),
+            o.median_ns / n.median_ns
+        );
+        if let (Some(og), Some(ng)) = (o.gflops, n.gflops) {
+            let _ = (og, ng); // GFLOP/s implied by the time ratio; kept in the files
+        }
+    }
+    for o in &old.cases {
+        if !new.cases.iter().any(|n| n.key == o.key) {
+            println!(
+                "| {:<44} | {:>10} | {:>10} | {:>8} |",
+                o.key,
+                ms(o.median_ns),
+                "-",
+                "gone"
+            );
+        }
+    }
+    for (k, nv) in &new.derived {
+        match old.derived.iter().find(|(ok, _)| ok == k) {
+            Some((_, ov)) => println!("derived {k}: {ov:.3} -> {nv:.3}"),
+            None => println!("derived {k}: {nv:.3} (new)"),
+        }
+    }
+    if matched == 0 {
+        return Err("no common cases between the two files".into());
+    }
+    Ok(())
+}
+
+fn ms(ns: f64) -> String {
+    if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else {
+        format!("{:.2} ms", ns / 1e6)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [flag, path] if flag == "--validate" => validate(path),
+        [old, new] => compare(old, new),
+        _ => Err("usage: bench_compare --validate FILE | bench_compare OLD.json NEW.json".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,4 +15,4 @@ pub mod wallbench;
 
 pub use experiments::*;
 pub use table::Table;
-pub use wallbench::Suite;
+pub use wallbench::{bench_report_json, BenchRecord, Suite};

@@ -20,6 +20,8 @@
 //!   (default 40): iterations per batch are auto-calibrated so one
 //!   batch runs at least this long.
 
+use distconv_cost::json::{JsonArray, JsonObject};
+use distconv_cost::ToJson;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -67,6 +69,82 @@ struct Row {
     median_ns: f64,
     min_ns: f64,
     throughput: Option<u64>,
+    flops: Option<u64>,
+}
+
+/// One finished measurement, as returned by [`Suite::finish`] — the
+/// machine-readable twin of a printed table row, serializable via
+/// [`ToJson`] for bench-trajectory files (`BENCH_*.json`).
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Suite (group) name.
+    pub suite: String,
+    /// Case label within the suite.
+    pub label: String,
+    /// Iterations per timed batch.
+    pub iters: u64,
+    /// Median per-iteration wall time over the batches, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest per-iteration wall time, nanoseconds.
+    pub min_ns: f64,
+    /// Elements processed per iteration, if declared.
+    pub elems: Option<u64>,
+    /// Floating-point operations per iteration, if declared.
+    pub flops: Option<u64>,
+}
+
+impl BenchRecord {
+    /// Median throughput in GFLOP/s, if `flops` was declared.
+    pub fn gflops(&self) -> Option<f64> {
+        self.flops.map(|f| f as f64 / (self.median_ns / 1e9) / 1e9)
+    }
+}
+
+impl ToJson for BenchRecord {
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new()
+            .field_str("suite", &self.suite)
+            .field_str("label", &self.label)
+            .field_usize("iters", self.iters as usize)
+            .field_f64("median_ns", self.median_ns)
+            .field_f64("min_ns", self.min_ns);
+        if let Some(e) = self.elems {
+            o = o.field_usize("elems", e as usize);
+        }
+        if let Some(f) = self.flops {
+            o = o.field_usize("flops", f as usize);
+            o = o.field_f64("gflops", self.gflops().unwrap());
+        }
+        o.finish()
+    }
+}
+
+/// Serialize a bench run to the `BENCH_*.json` trajectory schema:
+/// `{schema, quick, derived: {...}, records: [...]}`. `quick` is
+/// recorded so consumers can refuse to compare smoke-mode timings.
+pub fn bench_report_json(records: &[BenchRecord], derived: &[(&str, f64)]) -> String {
+    let mut arr = JsonArray::new();
+    for r in records {
+        arr = arr.push_json(r);
+    }
+    let mut dobj = JsonObject::new();
+    for (k, v) in derived {
+        dobj = dobj.field_f64(k, *v);
+    }
+    JsonObject::new()
+        .field_str("schema", "distconv-bench-v1")
+        .field_usize("quick", BenchConfig::from_env().quick as usize)
+        .field_json("derived", &RawJson(dobj.finish()))
+        .field_json("records", &RawJson(arr.finish()))
+        .finish()
+}
+
+struct RawJson(String);
+
+impl ToJson for RawJson {
+    fn to_json(&self) -> String {
+        self.0.clone()
+    }
 }
 
 impl Suite {
@@ -90,6 +168,28 @@ impl Suite {
         &mut self,
         label: impl Into<String>,
         elems: Option<u64>,
+        f: F,
+    ) -> &mut Self {
+        self.bench_case(label, elems, None, f)
+    }
+
+    /// Like [`Suite::bench`], additionally reporting GFLOP/s derived
+    /// from `flops` floating-point operations per iteration — the
+    /// column that makes kernel ablations comparable across shapes.
+    pub fn bench_flops<R, F: FnMut() -> R>(
+        &mut self,
+        label: impl Into<String>,
+        flops: u64,
+        f: F,
+    ) -> &mut Self {
+        self.bench_case(label, None, Some(flops), f)
+    }
+
+    fn bench_case<R, F: FnMut() -> R>(
+        &mut self,
+        label: impl Into<String>,
+        elems: Option<u64>,
+        flops: Option<u64>,
         mut f: F,
     ) -> &mut Self {
         let label = label.into();
@@ -129,43 +229,65 @@ impl Suite {
             median_ns: samples[samples.len() / 2],
             min_ns: samples[0],
             throughput: elems,
+            flops,
         });
         self
     }
 
-    /// Print the group's table to stdout.
-    pub fn finish(&mut self) {
+    /// Print the group's table to stdout and return the measurements
+    /// as [`BenchRecord`]s (for `BENCH_*.json` emission; callers that
+    /// only want the table simply drop the return value).
+    pub fn finish(&mut self) -> Vec<BenchRecord> {
         println!("\n## {}", self.name);
         println!(
-            "| {:<28} | {:>12} | {:>12} | {:>8} | {:>14} |",
-            "case", "median/iter", "min/iter", "iters", "throughput"
+            "| {:<28} | {:>12} | {:>12} | {:>8} | {:>14} | {:>10} |",
+            "case", "median/iter", "min/iter", "iters", "throughput", "GFLOP/s"
         );
         println!(
-            "|{}|{}|{}|{}|{}|",
+            "|{}|{}|{}|{}|{}|{}|",
             "-".repeat(30),
             "-".repeat(14),
             "-".repeat(14),
             "-".repeat(10),
-            "-".repeat(16)
+            "-".repeat(16),
+            "-".repeat(12)
         );
-        for r in &self.rows {
+        let records: Vec<BenchRecord> = self
+            .rows
+            .drain(..)
+            .map(|r| BenchRecord {
+                suite: self.name.clone(),
+                label: r.label,
+                iters: r.iters,
+                median_ns: r.median_ns,
+                min_ns: r.min_ns,
+                elems: r.throughput,
+                flops: r.flops,
+            })
+            .collect();
+        for r in &records {
             let tp = r
-                .throughput
+                .elems
                 .map(|e| {
                     let per_sec = e as f64 / (r.median_ns / 1e9);
                     format!("{} elem/s", human(per_sec))
                 })
                 .unwrap_or_else(|| "-".into());
+            let gf = r
+                .gflops()
+                .map(|g| format!("{g:.2}"))
+                .unwrap_or_else(|| "-".into());
             println!(
-                "| {:<28} | {:>12} | {:>12} | {:>8} | {:>14} |",
+                "| {:<28} | {:>12} | {:>12} | {:>8} | {:>14} | {:>10} |",
                 r.label,
                 human_ns(r.median_ns),
                 human_ns(r.min_ns),
                 r.iters,
-                tp
+                tp,
+                gf
             );
         }
-        self.rows.clear();
+        records
     }
 }
 
@@ -223,6 +345,55 @@ mod tests {
         s.bench("spin", || std::hint::black_box((0..1000).sum::<u64>()));
         assert!(s.rows[0].iters > 1, "cheap op must be batched up");
         assert!(s.rows[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn flops_column_and_records() {
+        let mut s = Suite::new("g");
+        s.cfg = BenchConfig {
+            batches: 1,
+            min_batch: Duration::from_millis(1),
+            quick: true,
+        };
+        s.bench_flops("case", 2_000_000_000, || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
+        let recs = s.finish();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].suite, "g");
+        assert_eq!(recs[0].flops, Some(2_000_000_000));
+        // ≥1 ms per iter at 2 GFLOP ⇒ well under 2000 GFLOP/s.
+        let g = recs[0].gflops().unwrap();
+        assert!(g > 0.0 && g < 2000.0, "{g}");
+    }
+
+    #[test]
+    fn report_json_parses_back() {
+        use distconv_cost::json::JsonValue;
+        let rec = BenchRecord {
+            suite: "s".into(),
+            label: "l".into(),
+            iters: 3,
+            median_ns: 1.5e6,
+            min_ns: 1.0e6,
+            elems: None,
+            flops: Some(1_000_000),
+        };
+        let j = bench_report_json(&[rec], &[("speedup", 3.5)]);
+        let v = JsonValue::parse(&j).expect("valid json");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("distconv-bench-v1"));
+        assert_eq!(
+            v.get("derived")
+                .and_then(|d| d.get("speedup"))
+                .unwrap()
+                .as_f64(),
+            Some(3.5)
+        );
+        let recs = v.get("records").unwrap().as_array().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].get("label").unwrap().as_str(), Some("l"));
+        let gf = recs[0].get("gflops").unwrap().as_f64().unwrap();
+        assert!((gf - (1e6 / 1.5e-3 / 1e9)).abs() < 1e-9);
     }
 
     #[test]

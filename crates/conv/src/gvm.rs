@@ -16,9 +16,11 @@
 //! * `k`/`bhw`-innermost schedules: measured traffic tracks the
 //!   generalized simplified objectives of `distconv-cost::simplified`.
 
+use crate::fast::{conv_tile_fast, ConvScratch};
 use crate::kernels::{self, conv_tile};
 use distconv_cost::simplified::InnerLoop;
 use distconv_cost::{Conv2dProblem, Partition, Tiling};
+use distconv_par::LocalKernel;
 use distconv_tensor::{conv_input_region, Range4, Scalar, Tensor4};
 
 /// Traffic and memory measurements for one work partition's execution.
@@ -122,10 +124,17 @@ pub struct GvmExecutor {
     pub schedule: InnerLoop,
     /// Local-memory capacity `M` (elements; `None` = unmetered).
     pub capacity: Option<u128>,
+    /// Local compute kernel the tile steps dispatch to. Traffic
+    /// counters and schedules are kernel-independent (they derive from
+    /// tile ranges alone); with the fast kernel even the numerics are
+    /// bitwise identical.
+    pub kernel: LocalKernel,
 }
 
 impl GvmExecutor {
-    /// Build an executor; tiles must divide the partition.
+    /// Build an executor; tiles must divide the partition. The local
+    /// kernel defaults to [`LocalKernel::from_env`]; override with
+    /// [`GvmExecutor::with_kernel`].
     pub fn new(
         problem: Conv2dProblem,
         w: Partition,
@@ -144,7 +153,14 @@ impl GvmExecutor {
             t,
             schedule,
             capacity,
+            kernel: LocalKernel::from_env(),
         })
+    }
+
+    /// Same executor with an explicit local-kernel selection.
+    pub fn with_kernel(mut self, kernel: LocalKernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Execute the work partition whose grid coordinates are
@@ -170,6 +186,10 @@ impl GvmExecutor {
             capacity: self.capacity,
             ..LocalMem::default()
         };
+        // One scratch arena for every tile of the partition: the fast
+        // kernel's packing buffers grow to the high-water mark once and
+        // are reused across all tile steps.
+        let mut scratch = ConvScratch::<T>::new();
 
         // Tile-step counts.
         let (sb, sk, sc, sh, sw) = (
@@ -201,6 +221,7 @@ impl GvmExecutor {
                                         &mut out_tile,
                                         &mut meas,
                                         &mut mem,
+                                        &mut scratch,
                                     )?;
                                 }
                                 out.add_unpack_range(out_rng, out_tile.as_slice());
@@ -234,8 +255,16 @@ impl GvmExecutor {
                                 for jk in 0..sk {
                                     let out_rng = self.out_tile_range(part, [jb, jk, jh, jw]);
                                     self.ker_out_step(
-                                        out_rng, c_lo, jc, &in_tile, in_rng, ker, out, &mut meas,
+                                        out_rng,
+                                        c_lo,
+                                        jc,
+                                        &in_tile,
+                                        in_rng,
+                                        ker,
+                                        out,
+                                        &mut meas,
                                         &mut mem,
+                                        &mut scratch,
                                     )?;
                                 }
                                 mem.release(in_rng.len() as u128);
@@ -260,8 +289,15 @@ impl GvmExecutor {
                                 for jh in 0..sh {
                                     let out_rng = self.out_tile_range(part, [jb, jk, jh, jw]);
                                     self.in_out_step(
-                                        out_rng, c_lo, jc, &ker_tile, input, out, &mut meas,
+                                        out_rng,
+                                        c_lo,
+                                        jc,
+                                        &ker_tile,
+                                        input,
+                                        out,
+                                        &mut meas,
                                         &mut mem,
+                                        &mut scratch,
                                     )?;
                                 }
                             }
@@ -290,6 +326,21 @@ impl GvmExecutor {
         )
     }
 
+    /// Dispatch one tile computation to the selected local kernel.
+    fn compute_tile<T: Scalar>(
+        &self,
+        out_tile: &mut Tensor4<T>,
+        in_tile: &Tensor4<T>,
+        ker_tile: &Tensor4<T>,
+        scratch: &mut ConvScratch<T>,
+    ) {
+        let p = &self.problem;
+        match self.kernel {
+            LocalKernel::Reference => conv_tile(p, out_tile, in_tile, ker_tile),
+            LocalKernel::Fast => conv_tile_fast(p, out_tile, in_tile, ker_tile, scratch),
+        }
+    }
+
     /// One `c`-innermost inner step: load In + Ker tiles, compute into
     /// the resident out tile.
     #[allow(clippy::too_many_arguments)]
@@ -302,6 +353,7 @@ impl GvmExecutor {
         out_tile: &mut Tensor4<T>,
         meas: &mut GvmMeasurement,
         mem: &mut LocalMem,
+        scratch: &mut ConvScratch<T>,
     ) -> Result<(), GvmError> {
         let p = &self.problem;
         let t = self.t;
@@ -314,7 +366,7 @@ impl GvmExecutor {
         let ker_tile = ker.slice(ker_rng);
         mem.acquire(ker_rng.len() as u128)?;
         meas.loads_ker += ker_rng.len() as u128;
-        conv_tile(p, out_tile, &in_tile, &ker_tile);
+        self.compute_tile(out_tile, &in_tile, &ker_tile, scratch);
         mem.release(in_rng.len() as u128);
         mem.release(ker_rng.len() as u128);
         Ok(())
@@ -334,6 +386,7 @@ impl GvmExecutor {
         out: &mut Tensor4<T>,
         meas: &mut GvmMeasurement,
         mem: &mut LocalMem,
+        scratch: &mut ConvScratch<T>,
     ) -> Result<(), GvmError> {
         let p = &self.problem;
         let t = self.t;
@@ -353,7 +406,7 @@ impl GvmExecutor {
         // The resident In tile covers exactly this tile's window: its
         // local origin equals in_rng.lo.
         let _ = in_rng;
-        conv_tile(p, &mut out_tile, in_tile, &ker_tile);
+        self.compute_tile(&mut out_tile, in_tile, &ker_tile, scratch);
         out.unpack_range(out_rng, out_tile.as_slice());
         meas.stores_out += out_rng.len() as u128;
         mem.release(out_rng.len() as u128);
@@ -374,6 +427,7 @@ impl GvmExecutor {
         out: &mut Tensor4<T>,
         meas: &mut GvmMeasurement,
         mem: &mut LocalMem,
+        scratch: &mut ConvScratch<T>,
     ) -> Result<(), GvmError> {
         let p = &self.problem;
         let t = self.t;
@@ -388,7 +442,7 @@ impl GvmExecutor {
             meas.loads_out += out_rng.len() as u128;
             out.slice(out_rng)
         };
-        conv_tile(p, &mut out_tile, &in_tile, ker_tile);
+        self.compute_tile(&mut out_tile, &in_tile, ker_tile, scratch);
         out.unpack_range(out_rng, out_tile.as_slice());
         meas.stores_out += out_rng.len() as u128;
         mem.release(out_rng.len() as u128);
@@ -555,6 +609,31 @@ mod tests {
             GvmExecutor::new(p, w, t, InnerLoop::C, None).unwrap_err(),
             GvmError::IndivisibleTiling
         );
+    }
+
+    #[test]
+    fn kernel_switch_is_invisible() {
+        // Same schedule under both local kernels: bitwise-identical
+        // output AND identical traffic measurements, for every
+        // schedule, including a strided layer.
+        for p in [toy(), Conv2dProblem::new(2, 4, 4, 4, 4, 3, 3, 2, 2)] {
+            let (input, ker) = workload::<f64>(&p, 17);
+            let w = Partition::new(2, 4, 4, 4, 4);
+            let t = Tiling::new(1, 2, 2, 2, 2);
+            for sched in [InnerLoop::C, InnerLoop::K, InnerLoop::Bhw] {
+                let base = GvmExecutor::new(p, w, t, sched, None).unwrap();
+                let (out_ref, meas_ref) = base
+                    .with_kernel(LocalKernel::Reference)
+                    .execute_all(&input, &ker)
+                    .unwrap();
+                let (out_fast, meas_fast) = base
+                    .with_kernel(LocalKernel::Fast)
+                    .execute_all(&input, &ker)
+                    .unwrap();
+                assert_eq!(out_ref.as_slice(), out_fast.as_slice(), "{sched:?} {p:?}");
+                assert_eq!(meas_ref, meas_fast, "{sched:?} traffic must not change");
+            }
+        }
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub fn conv2d_direct_par<T: Scalar>(
     assert_eq!(ker.shape(), ker_shape(p), "Ker shape mismatch");
     let mut out = Tensor4::zeros(out_shape(p));
     let plane = p.nw * p.nh;
+    let yt = p.in_h();
     pool::par_chunks_mut(out.as_mut_slice(), plane, |bk, chunk| {
         let b = bk / p.nk;
         let k = bk % p.nk;
@@ -83,9 +84,16 @@ pub fn conv2d_direct_par<T: Scalar>(
             for h in 0..p.nh {
                 let mut acc = T::zero();
                 for c in 0..p.nc {
+                    // Hoist the (b, c) input plane and per-(k, c, r)
+                    // kernel row out of the inner stencil loops; the
+                    // (c, r, s) accumulation order is unchanged, so the
+                    // result stays bitwise identical to conv2d_direct.
+                    let in_plane = input.plane(b, c);
                     for r in 0..p.nr {
-                        for s in 0..p.ns {
-                            acc += input[[b, c, p.sw * w + r, p.sh * h + s]] * ker[[k, c, r, s]];
+                        let irow = &in_plane[(p.sw * w + r) * yt..][..yt];
+                        let krow = ker.row(k, c, r);
+                        for (s, &kv) in krow.iter().enumerate() {
+                            acc += irow[p.sh * h + s] * kv;
                         }
                     }
                 }
@@ -209,9 +217,13 @@ pub fn grad_ker<T: Scalar>(
                     let mut acc = T::zero();
                     for b in 0..p.nb {
                         for w in 0..p.nw {
-                            for h in 0..p.nh {
-                                acc +=
-                                    d_out[[b, k, w, h]] * input[[b, c, p.sw * w + r, p.sh * h + s]];
+                            // Row views hoist the 4-D offset arithmetic
+                            // out of the h loop without reordering the
+                            // (b, w, h) reduction.
+                            let orow = d_out.row(b, k, w);
+                            let irow = input.row(b, c, p.sw * w + r);
+                            for (h, &ov) in orow.iter().enumerate() {
+                                acc += ov * irow[p.sh * h + s];
                             }
                         }
                     }

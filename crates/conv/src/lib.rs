@@ -22,11 +22,20 @@
 //!   `M`-capacity local buffer set, counting every element copied
 //!   between the two. For the `c`-innermost schedule at stride 1 the
 //!   measured traffic **equals Eq. 3 exactly** (experiment E3).
+//! * [`fast`] — the cache-aware local compute path:
+//!   [`fast::conv_tile_fast`] lowers a tile to an implicit-im2col ×
+//!   packed-kernel GEMM on the shared register-blocked micro-kernel,
+//!   bitwise identical to `conv_tile` but several times faster.
+//!   Executors dispatch between the two via
+//!   [`LocalKernel`](distconv_par::LocalKernel) (DESIGN.md §7).
 
 #![warn(missing_docs)]
 
+pub mod fast;
 pub mod gvm;
 pub mod kernels;
 
+pub use distconv_par::LocalKernel;
+pub use fast::{conv2d, conv2d_fast, conv_tile_fast, conv_tile_fast_rows, ConvScratch};
 pub use gvm::{GvmExecutor, GvmMeasurement};
 pub use kernels::{conv2d_direct, conv2d_direct_par, conv2d_im2col, conv_tile, grad_ker};

@@ -1,0 +1,139 @@
+//! Property tests for the packed im2col-GEMM fast path: randomized
+//! shapes with strides σ ∈ {1,2,3}, odd halos, and `T_c` channel
+//! splits, validated against the `conv2d_direct` ground truth. Runs on
+//! the in-tree `proptest_mini` harness (replay a failing case with
+//! `DISTCONV_PROPTEST_SEED=<seed from the failure report>`).
+
+use distconv_conv::kernels::{conv2d_direct, in_shape, ker_shape, out_shape, workload};
+use distconv_conv::{conv2d_fast, conv_tile_fast, ConvScratch};
+use distconv_cost::Conv2dProblem;
+use distconv_par::proptest_mini::{check, Config, Gen};
+use distconv_tensor::{assert_close, Range4, Tensor4};
+
+/// Random layers spanning the fast path's structural cases: strides
+/// σw, σh ∈ {1,2,3} independently (σh = 1 exercises the implicit
+/// zero-copy columns, σh > 1 the gather path), kernel extents 1..4
+/// (1×1 pointwise through odd 3-wide halos, and even 2/4), and channel
+/// counts past MR so the k-blocking hits partial register blocks.
+fn arb_problem(g: &mut Gen) -> Conv2dProblem {
+    Conv2dProblem::new(
+        g.usize_in(1, 3), // nb
+        g.usize_in(1, 7), // nk (crosses MR = 4 boundary)
+        g.usize_in(1, 6), // nc
+        g.usize_in(1, 5), // nh
+        g.usize_in(1, 5), // nw
+        g.usize_in(1, 4), // nr
+        g.usize_in(1, 4), // ns
+        g.usize_in(1, 3), // sw
+        g.usize_in(1, 3), // sh
+    )
+}
+
+#[test]
+fn conv_tile_fast_matches_direct() {
+    check(
+        "conv_tile_fast_matches_direct",
+        Config::with_cases(64),
+        |g| {
+            let p = arb_problem(g);
+            let seed = g.u64();
+            let (input, ker) = workload::<f64>(&p, seed);
+            let reference = conv2d_direct(&p, &input, &ker);
+            let mut out = Tensor4::zeros(out_shape(&p));
+            let mut scratch = ConvScratch::new();
+            conv_tile_fast(&p, &mut out, &input, &ker, &mut scratch);
+            assert_close(
+                out.as_slice(),
+                reference.as_slice(),
+                1e-12,
+                &format!("conv_tile_fast {p:?}"),
+            );
+        },
+    );
+}
+
+#[test]
+fn conv2d_fast_matches_direct_f32_and_f64() {
+    check("conv2d_fast_matches_direct", Config::with_cases(48), |g| {
+        let p = arb_problem(g);
+        let seed = g.u64();
+        if g.bool() {
+            let (input, ker) = workload::<f64>(&p, seed);
+            let a = conv2d_direct(&p, &input, &ker);
+            let b = conv2d_fast(&p, &input, &ker);
+            // Same per-element accumulation order ⇒ bitwise equal.
+            assert_eq!(a.as_slice(), b.as_slice(), "f64 {p:?}");
+        } else {
+            let (input, ker) = workload::<f32>(&p, seed);
+            let a = conv2d_direct(&p, &input, &ker);
+            let b = conv2d_fast(&p, &input, &ker);
+            assert_eq!(a.as_slice(), b.as_slice(), "f32 {p:?}");
+        }
+    });
+}
+
+#[test]
+fn conv_tile_fast_accumulates_random_tc_splits() {
+    check("conv_tile_fast_tc_splits", Config::with_cases(48), |g| {
+        let p = arb_problem(g);
+        let seed = g.u64();
+        let (input, ker) = workload::<f64>(&p, seed);
+        let reference = conv2d_direct(&p, &input, &ker);
+        // Split the channel range into random contiguous chunks and
+        // accumulate tile contributions through one shared scratch
+        // arena — the invariant the c-innermost schedules rely on.
+        let mut out = Tensor4::zeros(out_shape(&p));
+        let mut scratch = ConvScratch::new();
+        let mut c0 = 0;
+        while c0 < p.nc {
+            let c1 = (c0 + g.usize_in(1, p.nc)).min(p.nc);
+            let in_slice = input.slice(Range4::new([0, c0, 0, 0], [p.nb, c1, p.in_w(), p.in_h()]));
+            let ker_slice = ker.slice(Range4::new([0, c0, 0, 0], [p.nk, c1, p.nr, p.ns]));
+            conv_tile_fast(&p, &mut out, &in_slice, &ker_slice, &mut scratch);
+            c0 = c1;
+        }
+        assert_close(
+            out.as_slice(),
+            reference.as_slice(),
+            1e-12,
+            &format!("tc-split {p:?}"),
+        );
+    });
+}
+
+#[test]
+fn conv_tile_fast_on_output_subtiles() {
+    check("conv_tile_fast_subtiles", Config::with_cases(40), |g| {
+        // Random output w/h sub-tiles with their exact halo windows:
+        // the geometry the GVM executor and distributed forward use.
+        let p = arb_problem(g);
+        let seed = g.u64();
+        let (input, ker) = workload::<f64>(&p, seed);
+        let reference = conv2d_direct(&p, &input, &ker);
+        let mut scratch = ConvScratch::new();
+        let (w0, h0) = (g.usize_in(0, p.nw - 1), g.usize_in(0, p.nh - 1));
+        let (w1, h1) = (g.usize_in(w0 + 1, p.nw), g.usize_in(h0 + 1, p.nh));
+        let out_rng = Range4::new([0, 0, w0, h0], [p.nb, p.nk, w1, h1]);
+        let in_rng = distconv_tensor::conv_input_region(out_rng, 0, p.nc, p.sw, p.sh, p.nr, p.ns);
+        let in_tile = input.slice(in_rng);
+        let mut out_tile = Tensor4::zeros(out_rng.shape());
+        conv_tile_fast(&p, &mut out_tile, &in_tile, &ker, &mut scratch);
+        let expect = reference.slice(out_rng);
+        assert_eq!(
+            out_tile.as_slice(),
+            expect.as_slice(),
+            "subtile {out_rng:?} of {p:?}"
+        );
+    });
+}
+
+#[test]
+fn shapes_are_consistent() {
+    check("fast_shapes_consistent", Config::with_cases(24), |g| {
+        let p = arb_problem(g);
+        let (input, ker) = workload::<f64>(&p, 1);
+        assert_eq!(input.shape(), in_shape(&p));
+        assert_eq!(ker.shape(), ker_shape(&p));
+        assert_eq!(conv2d_fast(&p, &input, &ker).shape(), out_shape(&p));
+    });
+}

@@ -286,6 +286,7 @@ fn rank_body<T: Scalar>(rank: &Rank<T>, plan: &DistPlan, seed: u64) -> (RankOut<
         ker_shard: &ker_shard,
         ker_origin,
         out_origin,
+        kernel: distconv_par::LocalKernel::from_env(),
     };
     crate::fwd::forward_tiles(&ctx, &mut out_slice);
 

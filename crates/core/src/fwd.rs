@@ -5,7 +5,9 @@
 //! [`crate::network`].
 
 use crate::distribution::{in_c_dist, ker_c_dist};
+use distconv_conv::{conv_tile_fast_rows, ConvScratch};
 use distconv_cost::DistPlan;
+use distconv_par::LocalKernel;
 use distconv_simnet::{Communicator, Rank};
 use distconv_tensor::{conv_input_region, Range4, Scalar, Tensor4};
 
@@ -26,6 +28,10 @@ pub(crate) struct ForwardCtx<'a, 'r, T: Scalar> {
     pub ker_shard: &'a Tensor4<T>,
     pub ker_origin: [usize; 4],
     pub out_origin: [usize; 4],
+    /// Local compute kernel for the tile steps (message schedule and
+    /// traffic are kernel-independent; the fast path is bitwise
+    /// identical — see `distconv_conv::fast`).
+    pub kernel: LocalKernel,
 }
 
 /// Run the full forward tile loop, accumulating into `out_slice`
@@ -39,6 +45,8 @@ pub(crate) fn forward_tiles<T: Scalar>(ctx: &ForwardCtx<'_, '_, T>, out_slice: &
     let in_dist = in_c_dist(plan);
     let ker_dist = ker_c_dist(plan);
     let (sb, sk, sh, sw) = (w.wb / t.tb, w.wk / t.tk, w.wh / t.th, w.ww / t.tw);
+    // One scratch arena for the whole tile loop (fast kernel only).
+    let mut scratch = ConvScratch::<T>::new();
 
     for jk in 0..sk {
         for jb in 0..sb {
@@ -82,6 +90,8 @@ pub(crate) fn forward_tiles<T: Scalar>(ctx: &ForwardCtx<'_, '_, T>, out_slice: &
                             out_rng.relative_to(ctx.out_origin),
                             &in_tile,
                             &ker_tile,
+                            ctx.kernel,
+                            &mut scratch,
                         );
                     }
                 }
@@ -104,16 +114,43 @@ pub(crate) fn tile_range(plan: &DistPlan, origin: [usize; 4], j: [usize; 4]) -> 
 
 /// Accumulate one tile directly into the resident `Out` slice
 /// (no separate `Out`-tile buffer — the paper's memory claim).
+///
+/// The fast path hands the slice to
+/// [`distconv_conv::conv_tile_fast_rows`]: the tile's output rows are
+/// strided windows of the resident shard (`h` contiguous), so the
+/// packed GEMM accumulates in place with no bounce buffer — and, like
+/// everywhere else, bitwise-identically to the reference loop.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn conv_tile_into_slice<T: Scalar>(
     p: &distconv_cost::Conv2dProblem,
     out_slice: &mut Tensor4<T>,
     out_local: Range4,
     in_tile: &Tensor4<T>,
     ker_tile: &Tensor4<T>,
+    kernel: LocalKernel,
+    scratch: &mut ConvScratch<T>,
 ) {
     let [tb, tk, tw, th] = out_local.extents();
     let tc = in_tile.shape().0[1];
     debug_assert_eq!(tc, ker_tile.shape().0[1]);
+    if kernel == LocalKernel::Fast {
+        let s = out_slice.shape().strides();
+        let base = out_local.lo[0] * s[0]
+            + out_local.lo[1] * s[1]
+            + out_local.lo[2] * s[2]
+            + out_local.lo[3];
+        conv_tile_fast_rows(
+            p,
+            out_slice.as_mut_slice(),
+            base,
+            [s[0], s[1], s[2]],
+            [tb, tk, tw, th],
+            in_tile,
+            ker_tile,
+            scratch,
+        );
+        return;
+    }
     for b in 0..tb {
         for k in 0..tk {
             for w in 0..tw {

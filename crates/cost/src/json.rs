@@ -1,11 +1,13 @@
-//! Hand-rolled JSON emission for report types.
+//! Hand-rolled JSON for report types.
 //!
 //! The workspace is hermetic (no external crates), so instead of
 //! `serde` derives the handful of types that appear in machine-readable
-//! reports implement [`ToJson`] by hand. Emission-only on purpose:
-//! nothing in the workspace parses JSON — reports flow *out* (to
-//! `scripts/repro_check.sh` diffs, notebooks, dashboards), and plans
-//! are always recomputed from first principles rather than restored.
+//! reports implement [`ToJson`] by hand, via the [`JsonObject`] /
+//! [`JsonArray`] builders. Plans are always recomputed from first
+//! principles rather than restored, so the only *parsing* need is
+//! tooling that reads reports back for comparison (the bench-trajectory
+//! differ, CI validation of committed bench JSON) — [`JsonValue::parse`]
+//! covers that with a minimal recursive-descent reader.
 //!
 //! Numbers are emitted with Rust's shortest-round-trip `f64` display,
 //! so `serde_json`-style consumers reconstruct bit-identical values;
@@ -105,6 +107,257 @@ impl JsonObject {
         self.buf.push('}');
         self.buf
     }
+}
+
+/// Incremental `[...]` builder, the array sibling of [`JsonObject`].
+pub struct JsonArray {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonArray {
+    /// Start an empty array.
+    pub fn new() -> Self {
+        JsonArray {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    /// Append an already-serialized JSON value.
+    pub fn push_raw(mut self, v: &str) -> Self {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Append a [`ToJson`] value.
+    pub fn push_json(self, v: &impl ToJson) -> Self {
+        let s = v.to_json();
+        self.push_raw(&s)
+    }
+
+    /// Close the array.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+/// A parsed JSON value (the read side of this module — see module
+/// docs for why parsing exists at all).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64` (adequate for report payloads).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parse a complete JSON document; trailing non-whitespace is an
+    /// error.
+    pub fn parse(src: &str) -> Result<JsonValue, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|_| JsonValue::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| JsonValue::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(JsonValue::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        // Reports never emit surrogate pairs; map
+                        // unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so slicing
+                // on char boundaries is safe via str indexing).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(format!("expected value at byte {start}"));
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .map_err(|e| e.to_string())?
+        .parse::<f64>()
+        .map_err(|e| format!("bad number at byte {start}: {e}"))
 }
 
 impl ToJson for Conv2dProblem {
@@ -311,5 +564,58 @@ mod tests {
     fn display_for_enums() {
         assert_eq!(Regime::Summa2D.to_string(), "2D");
         assert_eq!(InnerLoop::Bhw.to_string(), "Bhw");
+    }
+
+    #[test]
+    fn array_builder() {
+        let j = JsonArray::new()
+            .push_raw("1")
+            .push_raw("\"two\"")
+            .push_json(&MachineSpec::new(4, 16))
+            .finish();
+        assert_eq!(j, r#"[1,"two",{"p":4,"mem":16}]"#);
+        assert_eq!(JsonArray::new().finish(), "[]");
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_plan() {
+        let p = Conv2dProblem::new(2, 8, 8, 8, 8, 3, 3, 1, 1);
+        let plan = Planner::new(p, MachineSpec::new(4, 1 << 18))
+            .plan()
+            .expect("feasible");
+        let v = JsonValue::parse(&plan.to_json()).expect("parses");
+        assert_eq!(
+            v.get("problem").and_then(|p| p.get("nk")).unwrap().as_f64(),
+            Some(8.0)
+        );
+        assert_eq!(
+            v.get("predicted")
+                .and_then(|c| c.get("cost_d"))
+                .unwrap()
+                .as_f64(),
+            Some(plan.predicted.cost_d)
+        );
+        assert_eq!(v.get("regime").unwrap().as_str(), Some(plan.regime.name()));
+    }
+
+    #[test]
+    fn parse_scalars_arrays_escapes() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("-1.5e2").unwrap(), JsonValue::Num(-150.0));
+        assert_eq!(
+            JsonValue::parse(r#""a\"b\\c\ndA""#).unwrap(),
+            JsonValue::Str("a\"b\\c\ndA".into())
+        );
+        let arr = JsonValue::parse("[1, [2, 3], {}]").unwrap();
+        assert_eq!(arr.as_array().unwrap().len(), 3);
+        assert_eq!(arr.as_array().unwrap()[1].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(JsonValue::parse(bad).is_err(), "should reject {bad:?}");
+        }
     }
 }

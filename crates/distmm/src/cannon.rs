@@ -15,8 +15,9 @@
 //! Requires a square grid; block sizes may be uneven (BlockDist).
 
 use crate::common::{shard_a, shard_b, MatmulDims, MmReport};
-use crate::local::matmul_blocked;
+use crate::local::local_matmul;
 use crate::summa::verify_blocks;
+use distconv_par::LocalKernel;
 use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{Matrix, Scalar};
@@ -78,6 +79,7 @@ pub fn cannon_rank_body<T: Scalar + distconv_simnet::Msg>(
     let mut c_block = Matrix::<T>::zeros(mi_hi - mi_lo, nj_hi - nj_lo);
     let _lc = rank.mem().lease_or_panic(c_block.len() as u64);
 
+    let kernel = LocalKernel::from_env();
     // --- q multiply-shift steps. ---
     for step in 0..q {
         debug_assert_eq!(a_kblk, b_kblk, "skew must align k-blocks");
@@ -85,7 +87,7 @@ pub fn cannon_rank_body<T: Scalar + distconv_simnet::Msg>(
         let kk = k_hi - k_lo;
         let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_block.clone());
         let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_block.clone());
-        matmul_blocked(&mut c_block, &a_m, &b_m);
+        local_matmul(kernel, &mut c_block, &a_m, &b_m);
         if step + 1 < q {
             // Shift A left by one, B up by one.
             let a_dst = (j + q - 1) % q;

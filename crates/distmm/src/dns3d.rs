@@ -15,8 +15,9 @@
 //! as `P^{2/3}`, the 3D algorithm's signature (vs `P^{1/2}` for 2D).
 
 use crate::common::{shard_a, shard_b, MatmulDims, MmReport};
-use crate::local::matmul_blocked;
+use crate::local::local_matmul;
 use crate::summa::verify_blocks;
+use distconv_par::LocalKernel;
 use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{Matrix, Scalar};
@@ -67,7 +68,7 @@ pub fn dns3d_rank_body<T: Scalar + distconv_simnet::Msg>(
     let b_m = Matrix::from_vec(kl_hi - kl_lo, nj_hi - nj_lo, b_buf);
     let mut c_part = Matrix::<T>::zeros(mi_hi - mi_lo, nj_hi - nj_lo);
     let _lc = rank.mem().lease_or_panic(c_part.len() as u64);
-    matmul_blocked(&mut c_part, &a_m, &b_m);
+    local_matmul(LocalKernel::from_env(), &mut c_part, &a_m, &b_m);
 
     // Reduce partials over l to the l = 0 face.
     let mut c_buf = c_part.into_vec();

@@ -41,6 +41,6 @@ pub mod summa;
 pub use cannon::{run_cannon, try_run_cannon};
 pub use common::{MatmulDims, MmReport};
 pub use dns3d::{run_dns3d, try_run_dns3d};
-pub use local::{matmul_blocked, matmul_blocked_par};
+pub use local::{local_matmul, matmul_blocked, matmul_blocked_par, matmul_blocked_ref};
 pub use s25d::{run_25d, try_run_25d};
 pub use summa::{run_summa, try_run_summa};

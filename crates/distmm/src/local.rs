@@ -1,16 +1,44 @@
-//! Local (single-node) matmul kernels: the blocked cache-tiled kernel
-//! and its thread-parallel version, used by every distributed algorithm
-//! for its per-rank block products.
+//! Local (single-node) matmul kernels: the packed register-blocked
+//! kernel, its thread-parallel version, and the [`LocalKernel`]
+//! dispatch used by every distributed algorithm for its per-rank block
+//! products.
+//!
+//! The fast path packs `A` into a transposed `[k][m]` panel
+//! ([`pack_transposed`]) so the shared micro-kernel
+//! ([`gemm_acc_rows`], the same one behind `conv_tile_fast`) reads its
+//! `MR` row coefficients contiguously, then walks the reduction
+//! dimension in L1-sized blocks streaming rows of `B` directly from
+//! their natural layout — no `B` copy at all.
+//!
+//! Every kernel here accumulates each `C` element in ascending-`l`
+//! order, exactly like the `matmul_acc` ground truth, so all three
+//! (reference blocked, packed serial, packed parallel) are **bitwise
+//! identical** — to each other and across thread counts.
 
-use distconv_par::pool;
+use distconv_par::{pool, LocalKernel};
+use distconv_tensor::gemm::{gemm_acc_rows, pack_transposed, MR};
 use distconv_tensor::{Matrix, Scalar};
 
-/// Cache-blocking tile edge. 64×64 f32 tiles are 16 KiB — comfortably
-/// L1-resident alongside the B panel.
+/// Cache-blocking tile edge for the reference kernel. 64×64 f32 tiles
+/// are 16 KiB — comfortably L1-resident alongside the B panel.
 const BLK: usize = 64;
 
-/// `C += A · B`, blocked ikj within `BLK`-sized tiles.
-pub fn matmul_blocked<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
+/// Reduction-dimension block for the packed kernel: a 128×MR panel of
+/// packed `A` plus one streamed `B` row stay hot in L1 across all row
+/// blocks of `C`.
+const KC: usize = 128;
+
+/// Below this many multiply-adds the parallel kernel runs serially —
+/// pool dispatch costs more than the whole product.
+const PAR_CUTOFF_FLOPS: usize = 64 * 64 * 64;
+
+/// Rows of `C` per parallel task: a multiple of `MR` big enough that
+/// task dispatch amortizes, small enough to balance ragged shapes.
+const PAR_ROW_BLOCK: usize = 32;
+
+/// `C += A · B` with the paper-literal blocked ikj loop — the reference
+/// local kernel ([`LocalKernel::Reference`]).
+pub fn matmul_blocked_ref<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     let (m, k, n) = check_dims(c, a, b);
     for i0 in (0..m).step_by(BLK) {
         let i1 = (i0 + BLK).min(m);
@@ -24,26 +52,94 @@ pub fn matmul_blocked<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>
     }
 }
 
-/// `C += A · B`, rows of `C` parallelized over the worker pool.
-/// Deterministic: each output row is accumulated by exactly one task in
-/// a fixed order.
+/// `C += A · B` via the packed register-blocked kernel. Bitwise
+/// identical to [`matmul_blocked_ref`] and `matmul_acc` (ascending-`l`
+/// accumulation per element), several times faster.
+pub fn matmul_blocked<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
+    let (m, k, n) = check_dims(c, a, b);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let mut at = Vec::new();
+    pack_transposed(a.as_slice(), m, k, &mut at);
+    let boff: Vec<usize> = (0..k).map(|l| l * n).collect();
+    packed_rows(c.as_mut_slice(), 0, m, m, k, n, &at, b.as_slice(), &boff);
+}
+
+/// `C += A · B`, row blocks of `C` parallelized over the worker pool,
+/// falling back to the serial packed kernel for small products.
+/// Deterministic and bitwise identical across thread counts: each
+/// output row is accumulated by exactly one task in ascending-`l`
+/// order regardless of how rows are grouped into tasks.
 pub fn matmul_blocked_par<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
     let (m, k, n) = check_dims(c, a, b);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    if m * k * n < PAR_CUTOFF_FLOPS || pool::num_threads() <= 1 {
+        return matmul_blocked(c, a, b);
+    }
+    let mut at = Vec::new();
+    pack_transposed(a.as_slice(), m, k, &mut at);
+    let boff: Vec<usize> = (0..k).map(|l| l * n).collect();
+    let (at, boff) = (&at, &boff);
     let b_slice = b.as_slice();
-    let a_slice = a.as_slice();
-    pool::par_chunks_mut(c.as_mut_slice(), n, |i, crow| {
-        debug_assert!(i < m);
-        for l0 in (0..k).step_by(BLK) {
-            let l1 = (l0 + BLK).min(k);
-            for l in l0..l1 {
-                let av = a_slice[i * k + l];
-                let brow = &b_slice[l * n..(l + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *cv += av * bv;
-                }
-            }
-        }
+    pool::par_chunks_mut(c.as_mut_slice(), PAR_ROW_BLOCK * n, |blk, chunk| {
+        let i_lo = blk * PAR_ROW_BLOCK;
+        let rows = chunk.len() / n;
+        packed_rows(chunk, i_lo, rows, m, k, n, at, b_slice, boff);
     });
+}
+
+/// [`LocalKernel`]-dispatched block product: the entry point the
+/// distributed algorithms (Cannon / SUMMA / 2.5D / 3D) call per rank.
+pub fn local_matmul<T: Scalar>(
+    kernel: LocalKernel,
+    c: &mut Matrix<T>,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) {
+    match kernel {
+        LocalKernel::Reference => matmul_blocked_ref(c, a, b),
+        LocalKernel::Fast => matmul_blocked_par(c, a, b),
+    }
+}
+
+/// Packed-kernel core over `C` rows `i_lo .. i_lo + rows`, writing into
+/// `c_rows` (those rows only, row-major, stride `n`). `at` is the full
+/// `[k][m]` packed transpose of `A`; `boff[l] = l·n` indexes rows of
+/// `B`.
+#[allow(clippy::too_many_arguments)]
+fn packed_rows<T: Scalar>(
+    c_rows: &mut [T],
+    i_lo: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    at: &[T],
+    b: &[T],
+    boff: &[usize],
+) {
+    for l0 in (0..k).step_by(KC) {
+        let l1 = (l0 + KC).min(k);
+        let mut i = 0;
+        while i < rows {
+            let mr = MR.min(rows - i);
+            gemm_acc_rows(
+                &mut c_rows[i * n..],
+                n,
+                mr,
+                n,
+                &at[l0 * m..],
+                m,
+                i_lo + i,
+                b,
+                &boff[l0..l1],
+            );
+            i += mr;
+        }
+    }
 }
 
 fn check_dims<T: Scalar>(c: &Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) -> (usize, usize, usize) {
@@ -104,21 +200,45 @@ mod tests {
             (64, 64, 64),
             (65, 130, 67),
             (128, 1, 128),
+            (5, 200, 3),
         ] {
             let (a, b, c_ref) = reference(m, k, n);
             let mut c = Matrix::zeros(m, n);
             matmul_blocked(&mut c, &a, &b);
-            assert_close(c.as_slice(), c_ref.as_slice(), 1e-10, "blocked");
+            // Ascending-l accumulation ⇒ bitwise equal to matmul_acc.
+            assert_eq!(c.as_slice(), c_ref.as_slice(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn reference_kernel_matches_ground_truth() {
+        for (m, k, n) in [(3, 5, 7), (65, 130, 67)] {
+            let (a, b, c_ref) = reference(m, k, n);
+            let mut c = Matrix::zeros(m, n);
+            matmul_blocked_ref(&mut c, &a, &b);
+            assert_eq!(c.as_slice(), c_ref.as_slice(), "{m}x{k}x{n}");
         }
     }
 
     #[test]
     fn parallel_matches_reference() {
-        for (m, k, n) in [(3, 5, 7), (100, 70, 90)] {
+        // Spans the serial cutoff in both directions and ragged row
+        // counts that end in a partial PAR_ROW_BLOCK and partial MR.
+        for (m, k, n) in [(3, 5, 7), (100, 70, 90), (130, 64, 64), (97, 64, 71)] {
             let (a, b, c_ref) = reference(m, k, n);
             let mut c = Matrix::zeros(m, n);
             matmul_blocked_par(&mut c, &a, &b);
-            assert_close(c.as_slice(), c_ref.as_slice(), 1e-10, "parallel");
+            assert_eq!(c.as_slice(), c_ref.as_slice(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn local_matmul_dispatch_agrees() {
+        let (a, b, c_ref) = reference(33, 40, 29);
+        for kernel in [LocalKernel::Reference, LocalKernel::Fast] {
+            let mut c = Matrix::zeros(33, 29);
+            local_matmul(kernel, &mut c, &a, &b);
+            assert_eq!(c.as_slice(), c_ref.as_slice(), "{kernel:?}");
         }
     }
 

@@ -28,8 +28,9 @@
 //! to exact 2D SUMMA; `c = p₁` reaches the 3D regime.
 
 use crate::common::{shard_a, shard_b, MatmulDims, MmReport};
-use crate::local::matmul_blocked;
+use crate::local::local_matmul;
 use crate::summa::verify_blocks;
+use distconv_par::LocalKernel;
 use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{Matrix, Scalar};
@@ -165,7 +166,7 @@ pub fn s25d_rank_body<T: Scalar + distconv_simnet::Msg>(
         col_comm.bcast(ib, &mut b_panel);
         let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_panel);
         let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_panel);
-        matmul_blocked(&mut c_block, &a_m, &b_m);
+        local_matmul(LocalKernel::from_env(), &mut c_block, &a_m, &b_m);
     }
 
     // --- Step 3: reduce partial C along l to layer 0. ---

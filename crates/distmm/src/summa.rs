@@ -13,7 +13,8 @@
 //! counters, validating both the algorithm and the simulator.
 
 use crate::common::{full_a, full_b, shard_a, shard_b, MatmulDims, MmReport};
-use crate::local::matmul_blocked;
+use crate::local::local_matmul;
+use distconv_par::LocalKernel;
 use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::matrix::matmul_acc;
 use distconv_tensor::shape::BlockDist;
@@ -97,7 +98,7 @@ pub fn summa_rank_body<T: Scalar + distconv_simnet::Msg>(
         // --- Local block product. ---
         let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_panel);
         let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_panel);
-        matmul_blocked(&mut c_block, &a_m, &b_m);
+        local_matmul(LocalKernel::from_env(), &mut c_block, &a_m, &b_m);
     }
     c_block
 }

@@ -1,0 +1,66 @@
+//! [`LocalKernel`]: which local compute-kernel implementation the
+//! executors use for tile convolutions and block matmuls.
+//!
+//! Every distributed algorithm in the workspace separates *what moves*
+//! (the communication schedule — the paper's subject) from *what
+//! computes* (the per-rank tile kernel). The selection lives here, in
+//! the substrate crate every executor already depends on, next to the
+//! analogous `DISTCONV_THREADS` runtime knob: the choice is a runtime
+//! policy of the execution substrate, not a property of any one
+//! algorithm.
+//!
+//! The two implementations compute identical sums in different
+//! association orders, so switching kernels never changes traffic
+//! counters or message schedules — only floating-point rounding within
+//! the documented verification tolerances.
+
+/// Which local compute kernel executors dispatch to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LocalKernel {
+    /// The paper-literal seven-loop kernels (`conv_tile`,
+    /// `matmul_acc`): slow, simple, the ground truth every property
+    /// suite validates against.
+    Reference,
+    /// Packed im2col-GEMM / panel-packed block kernels built on the
+    /// shared register-blocked micro-kernel (`distconv_tensor::gemm`).
+    #[default]
+    Fast,
+}
+
+/// Env override, read by [`LocalKernel::from_env`]:
+/// `reference`/`ref`/`slow` selects [`LocalKernel::Reference`],
+/// anything else (or unset) the default [`LocalKernel::Fast`].
+pub const LOCAL_KERNEL_ENV: &str = "DISTCONV_LOCAL_KERNEL";
+
+impl LocalKernel {
+    /// Resolve the kernel selection from [`LOCAL_KERNEL_ENV`], falling
+    /// back to the default ([`LocalKernel::Fast`]). Executors call this
+    /// once per run, so flipping the whole workspace onto the reference
+    /// kernels (e.g. to bisect a numerical question) is one env var.
+    pub fn from_env() -> Self {
+        match std::env::var(LOCAL_KERNEL_ENV) {
+            Ok(v) if matches!(v.trim(), "reference" | "ref" | "slow") => LocalKernel::Reference,
+            _ => LocalKernel::Fast,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LocalKernel::Reference => "reference",
+            LocalKernel::Fast => "fast",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fast() {
+        assert_eq!(LocalKernel::default(), LocalKernel::Fast);
+        assert_eq!(LocalKernel::Fast.name(), "fast");
+        assert_eq!(LocalKernel::Reference.name(), "reference");
+    }
+}

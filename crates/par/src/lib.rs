@@ -13,6 +13,9 @@
 //! * [`proptest_mini`] — a seeded property-testing harness with
 //!   failure-seed replay via `DISTCONV_PROPTEST_SEED`, replacing
 //!   `proptest` for the four property suites.
+//! * [`kernel`] — the [`kernel::LocalKernel`] runtime policy selecting
+//!   between the paper-literal reference compute kernels and the packed
+//!   GEMM fast path (`DISTCONV_LOCAL_KERNEL` to override).
 //!
 //! The crate deliberately has **no dependencies** (not even intra-
 //! workspace ones) so every other crate — including dev-dependency
@@ -20,10 +23,12 @@
 
 #![warn(missing_docs)]
 
+pub mod kernel;
 pub mod pool;
 pub mod proptest_mini;
 pub mod rng;
 
+pub use kernel::LocalKernel;
 pub use pool::{num_threads, par_chunks_mut, par_iter_indexed, Pool};
 pub use proptest_mini::{check, Config, Gen};
 pub use rng::SplitMix64;

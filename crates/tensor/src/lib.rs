@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod gemm;
 pub mod matrix;
 pub mod region;
 pub mod scalar;

@@ -201,6 +201,48 @@ impl<T: Scalar> Tensor4<T> {
     pub fn slice(&self, range: Range4) -> Tensor4<T> {
         Tensor4::from_vec(range.shape(), self.pack_range(range))
     }
+
+    /// The contiguous `[d2][d3]` plane at `(d0, d1)` — e.g. one
+    /// `(batch, channel)` image of `In`, or one `(k, c)` filter of
+    /// `Ker`. Hot loops fetch a plane or [`row`](Tensor4::row) once and
+    /// index into it, hoisting the 4-D offset multiply out of the inner
+    /// loop (the bounds are checked once here; inner-loop accesses then
+    /// compile to bare slice indexing).
+    #[inline]
+    pub fn plane(&self, d0: usize, d1: usize) -> &[T] {
+        let d = self.shape.0;
+        assert!(d0 < d[0] && d1 < d[1], "plane ({d0}, {d1}) OOB for {d:?}");
+        let s = self.shape.strides();
+        let base = d0 * s[0] + d1 * s[1];
+        &self.data[base..base + s[1]]
+    }
+
+    /// The contiguous innermost row at `(d0, d1, d2)` (length `d3`).
+    /// See [`plane`](Tensor4::plane) for why hot loops use this.
+    #[inline]
+    pub fn row(&self, d0: usize, d1: usize, d2: usize) -> &[T] {
+        let d = self.shape.0;
+        assert!(
+            d0 < d[0] && d1 < d[1] && d2 < d[2],
+            "row ({d0}, {d1}, {d2}) OOB for {d:?}"
+        );
+        let s = self.shape.strides();
+        let base = d0 * s[0] + d1 * s[1] + d2 * s[2];
+        &self.data[base..base + d[3]]
+    }
+
+    /// Mutable variant of [`row`](Tensor4::row).
+    #[inline]
+    pub fn row_mut(&mut self, d0: usize, d1: usize, d2: usize) -> &mut [T] {
+        let d = self.shape.0;
+        assert!(
+            d0 < d[0] && d1 < d[1] && d2 < d[2],
+            "row ({d0}, {d1}, {d2}) OOB for {d:?}"
+        );
+        let s = self.shape.strides();
+        let base = d0 * s[0] + d1 * s[1] + d2 * s[2];
+        &mut self.data[base..base + d[3]]
+    }
 }
 
 impl<T: Scalar> std::ops::Index<Idx4> for Tensor4<T> {
@@ -314,6 +356,31 @@ mod tests {
         let a = Tensor4::<f64>::random(s, 1);
         let b = Tensor4::<f64>::random(s, 2);
         assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn plane_and_row_accessors() {
+        let t = seq_tensor(Shape4::new(2, 3, 4, 5));
+        let s = t.shape().strides();
+        let plane = t.plane(1, 2);
+        assert_eq!(plane.len(), 4 * 5);
+        assert_eq!(plane[0], t[[1, 2, 0, 0]]);
+        assert_eq!(plane[s[2] * 3 + 4], t[[1, 2, 3, 4]]);
+        let row = t.row(1, 2, 3);
+        assert_eq!(row.len(), 5);
+        for y in 0..5 {
+            assert_eq!(row[y], t[[1, 2, 3, y]]);
+        }
+        let mut t = t;
+        t.row_mut(0, 1, 2)[3] = -7.0;
+        assert_eq!(t[[0, 1, 2, 3]], -7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "OOB")]
+    fn row_out_of_bounds_panics() {
+        let t = Tensor4::<f32>::zeros(Shape4::new(1, 1, 2, 2));
+        let _ = t.row(0, 0, 2);
     }
 
     #[test]

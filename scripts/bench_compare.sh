@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Diff two bench-trajectory files (the `distconv-bench-v1` JSON written
+# by `cargo bench --bench bench_kernels -- --json`), printing per-case
+# speedups — the intended workflow for "did this PR actually make the
+# kernels faster":
+#
+#   git stash / checkout old commit
+#   cargo bench -p distconv-bench --bench bench_kernels -- --json /tmp/old.json
+#   checkout new commit
+#   cargo bench -p distconv-bench --bench bench_kernels -- --json /tmp/new.json
+#   scripts/bench_compare.sh /tmp/old.json /tmp/new.json
+#
+# With --validate FILE it only schema-checks one file (used by CI on
+# the committed BENCH_kernels.json and on fresh quick-mode output).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 OLD.json NEW.json | $0 --validate FILE" >&2
+    exit 2
+fi
+
+cargo run -q --release --offline -p distconv-bench --bin bench_compare -- "$@"
