@@ -1,0 +1,253 @@
+//! Wall-clock bench: communication/computation overlap — the blocking
+//! step loops vs the double-buffered pipelines, for the simulator
+//! collectives, all four distributed matmul algorithms, and the CNN
+//! executor.
+//!
+//! The distmm headline runs the representative layer's im2col GEMM
+//! (Nb=4, Nc=64, Nk=64, 56×56, 3×3 ⇒ m=12544, n=64, k=576) under both
+//! comm modes and additionally reports the per-rank comm-wait vs
+//! compute breakdown from the machine's `TimingSnapshot`, so the
+//! derived fields show *where* the overlap saves time, not just that
+//! the wall clock moved.
+//!
+//! `cargo bench -p distconv-bench --bench bench_comm -- --json [PATH]`
+//! additionally writes the measurements (plus the headline
+//! `speedup_overlapped_over_blocking_cannon_rep`) to `PATH` (default
+//! `BENCH_comm.json`) in the `distconv-bench-v1` schema — see
+//! `scripts/bench_compare.sh` for diffing two such files.
+
+use distconv_bench::{bench_report_json, BenchRecord, Suite};
+use distconv_core::DistConv;
+use distconv_cost::{Conv2dProblem, MachineSpec, Planner};
+use distconv_distmm::{
+    cannon_rank_body_mode, dns3d_rank_body_mode, s25d_rank_body_mode, summa_rank_body_mode,
+    MatmulDims,
+};
+use distconv_par::CommMode;
+use distconv_simnet::{
+    CartGrid, Communicator, LinkDelay, Machine, MachineConfig, Rank, TimingSnapshot,
+};
+use distconv_tensor::Matrix;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// The emulated network for the distmm suites: 200 µs latency,
+/// 15 ns/element (~0.27 GB/s for f32) — slow enough that the wire is a
+/// visible fraction of a step, the regime where overlap matters. The
+/// in-process default (no delay) makes the wire a memcpy competing with
+/// the kernels for host memory bandwidth, where overlap cannot win by
+/// construction; see `LinkDelay`.
+fn bench_link() -> LinkDelay {
+    LinkDelay::new(Duration::from_micros(200), 15.0)
+}
+
+/// The representative layer's im2col GEMM: Nb=4, Nc=64, Nk=64, 56×56,
+/// 3×3 stride 1 ⇒ `C[12544×64] = A[12544×576] · B[576×64]`.
+fn rep_gemm() -> MatmulDims {
+    MatmulDims::new(4 * 56 * 56, 64, 64 * 3 * 3)
+}
+
+/// Multiply-adds ×2 for one distributed matmul.
+fn mm_flops(d: &MatmulDims) -> u64 {
+    2 * (d.m * d.n * d.k) as u64
+}
+
+/// Blocking vs nonblocking collective starts and the owned vs borrowed
+/// point-to-point exchange — the substrate primitives the pipelines
+/// are built from.
+fn bench_collective_starts(records: &mut Vec<BenchRecord>) {
+    let mut g = Suite::new("comm_primitives");
+    let len = 64 * 1024usize;
+    for procs in [4usize, 8] {
+        let moved = (len * (procs - 1)) as u64;
+        g.bench_throughput(format!("bcast/ranks{procs}"), Some(moved), || {
+            Machine::run::<f32, _, _>(procs, MachineConfig::default(), |rank| {
+                let comm = Communicator::world(rank);
+                let mut buf = vec![1.0f32; len];
+                comm.bcast(0, &mut buf);
+                black_box(buf[0])
+            })
+        });
+        g.bench_throughput(format!("ibcast/ranks{procs}"), Some(moved), || {
+            Machine::run::<f32, _, _>(procs, MachineConfig::default(), |rank| {
+                let comm = Communicator::world(rank);
+                let payload = if rank.id() == 0 {
+                    vec![1.0f32; len]
+                } else {
+                    Vec::new()
+                };
+                let buf = comm.ibcast(0, payload).wait();
+                black_box(buf[0])
+            })
+        });
+    }
+    for (label, owned) in [("sendrecv/borrowed", false), ("sendrecv_vec/owned", true)] {
+        g.bench_throughput(label, Some(2 * len as u64), move || {
+            Machine::run::<f32, _, _>(2, MachineConfig::default(), move |rank| {
+                let grid = CartGrid::new(vec![2]);
+                let world: Vec<usize> = (0..2).collect();
+                let comm = grid.sub_comm(rank, rank.id(), &world, &[0]);
+                let me = rank.id();
+                let v = vec![me as f32; len];
+                let got = if owned {
+                    comm.sendrecv_vec(1 - me, 1 - me, v)
+                } else {
+                    comm.sendrecv(1 - me, 1 - me, &v)
+                };
+                black_box(got[0])
+            })
+        });
+    }
+    records.extend(g.finish());
+}
+
+/// Per-rank average comm-wait and compute milliseconds of one run.
+fn per_rank_ms(t: &TimingSnapshot, p: usize) -> (f64, f64) {
+    (
+        t.comm_wait_ns as f64 / p as f64 / 1e6,
+        t.compute_ns as f64 / p as f64 / 1e6,
+    )
+}
+
+/// One distmm algorithm under both comm modes: wall time per mode in
+/// the suite, plus the comm-wait/compute breakdown of a single
+/// instrumented run per mode as derived fields.
+fn bench_distmm_alg<F>(
+    alg: &str,
+    p: usize,
+    d: &MatmulDims,
+    records: &mut Vec<BenchRecord>,
+    derived: &mut Vec<(String, f64)>,
+    body: F,
+) -> Option<f64>
+where
+    F: Fn(&Rank<f32>, CommMode) -> Matrix<f32> + Send + Sync + Copy,
+{
+    let flops = mm_flops(d);
+    let cfg = MachineConfig {
+        link: bench_link(),
+        ..MachineConfig::default()
+    };
+    let mut g = Suite::new(format!("distmm_{alg}_rep"));
+    let mut busy = [0.0f64; 2];
+    for (m, mode) in [CommMode::Blocking, CommMode::Overlapped]
+        .into_iter()
+        .enumerate()
+    {
+        g.bench_flops(mode.name(), flops, move || {
+            let report = Machine::run::<f32, _, _>(p, cfg, move |rank| body(rank, mode));
+            black_box(report.results.len())
+        });
+        let report = Machine::run::<f32, _, _>(p, cfg, move |rank| body(rank, mode));
+        let (wait_ms, comp_ms) = per_rank_ms(&report.timing, p);
+        busy[m] = wait_ms + comp_ms;
+        derived.push((format!("{alg}_{}_comm_wait_ms", mode.name()), wait_ms));
+        derived.push((format!("{alg}_{}_compute_ms", mode.name()), comp_ms));
+    }
+    // The acceptance ratio: blocking comm-wait + compute over the
+    // overlapped per-rank busy time (> 1 means the pipeline beats the
+    // serialized sum).
+    if busy[1] > 0.0 {
+        derived.push((format!("{alg}_busy_speedup"), busy[0] / busy[1]));
+    }
+    let recs = g.finish();
+    let median = |label: &str| -> Option<f64> {
+        recs.iter().find(|r| r.label == label).map(|r| r.median_ns)
+    };
+    let speedup = match (
+        median(CommMode::Blocking.name()),
+        median(CommMode::Overlapped.name()),
+    ) {
+        (Some(b), Some(o)) if o > 0.0 => Some(b / o),
+        _ => None,
+    };
+    records.extend(recs);
+    speedup
+}
+
+/// The CNN executor on a mid-size layer, blocking vs overlapped halo
+/// and filter exchange (wall time; the executor aggregates the same
+/// timing counters internally).
+fn bench_gvm_executor(records: &mut Vec<BenchRecord>) {
+    let layer = Conv2dProblem::square(4, 16, 16, 16, 3);
+    let plan = Planner::new(layer, MachineSpec::new(4, 1 << 22))
+        .plan()
+        .expect("plan rep layer");
+    let cfg = MachineConfig {
+        link: bench_link(),
+        ..MachineConfig::default()
+    };
+    let mut g = Suite::new("gvm_executor_comm");
+    for mode in [CommMode::Blocking, CommMode::Overlapped] {
+        g.bench(mode.name(), move || {
+            let (report, _) = DistConv::<f32>::new(plan)
+                .with_config(cfg)
+                .with_comm_mode(mode)
+                .run_with_outputs(7)
+                .expect("executor run");
+            black_box(report.stats.total_msgs())
+        });
+    }
+    records.extend(g.finish());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_comm.json".to_string())
+    });
+
+    let mut records = Vec::new();
+    let mut derived: Vec<(String, f64)> = Vec::new();
+    bench_collective_starts(&mut records);
+
+    let d = rep_gemm();
+    let cannon_speedup = bench_distmm_alg(
+        "cannon",
+        4,
+        &d,
+        &mut records,
+        &mut derived,
+        move |rank, mode| cannon_rank_body_mode(rank, &d, 2, mode),
+    );
+    bench_distmm_alg(
+        "summa",
+        4,
+        &d,
+        &mut records,
+        &mut derived,
+        move |rank, mode| summa_rank_body_mode(rank, &d, 2, 2, mode),
+    );
+    bench_distmm_alg(
+        "s25d",
+        8,
+        &d,
+        &mut records,
+        &mut derived,
+        move |rank, mode| s25d_rank_body_mode(rank, &d, 2, 2, mode),
+    );
+    bench_distmm_alg(
+        "dns3d",
+        8,
+        &d,
+        &mut records,
+        &mut derived,
+        move |rank, mode| dns3d_rank_body_mode(rank, &d, 2, mode),
+    );
+    bench_gvm_executor(&mut records);
+
+    if let Some(s) = cannon_speedup {
+        println!("\nspeedup overlapped over blocking (Cannon 2x2, rep GEMM): {s:.2}x");
+        derived.push(("speedup_overlapped_over_blocking_cannon_rep".into(), s));
+    }
+    if let Some(path) = json_path {
+        let derived_refs: Vec<(&str, f64)> =
+            derived.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let json = bench_report_json(&records, &derived_refs);
+        std::fs::write(&path, json + "\n").expect("write bench json");
+        println!("wrote {path}");
+    }
+}

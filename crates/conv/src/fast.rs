@@ -249,7 +249,13 @@ pub fn conv2d_fast<T: Scalar>(
     let plane = p.nk * p.nw * p.nh;
     let in_data = input.as_slice();
     let at = &at;
-    pool::par_chunks_mut(out.as_mut_slice(), plane, |b, chunk| {
+    let madds = p.nb * plane * crs;
+    let pool = if madds < crate::kernels::PAR_MADD_CUTOFF {
+        pool::Pool::new(1)
+    } else {
+        pool::Pool::default()
+    };
+    pool.par_chunks_mut(out.as_mut_slice(), plane, |b, chunk| {
         let mut col = Vec::new();
         let mut boff = Vec::new();
         im2col_gemm(

@@ -6,6 +6,7 @@ use crate::distribution::{self, distribute, plan_grid, RankData};
 use crate::model::{expected_volumes, ExpectedVolumes};
 use distconv_conv::kernels::{conv2d_direct_par, workload};
 use distconv_cost::DistPlan;
+use distconv_par::CommMode;
 use distconv_simnet::{Machine, MachineConfig, Rank, RunError, StatsSnapshot};
 use distconv_tensor::{Scalar, Shape4, Tensor4};
 
@@ -105,16 +106,19 @@ pub struct DistConv<T> {
     plan: DistPlan,
     cfg: MachineConfig,
     enforce_memory: bool,
+    comm: CommMode,
     _marker: std::marker::PhantomData<T>,
 }
 
 impl<T: Scalar> DistConv<T> {
-    /// Driver for `plan` with default machine configuration.
+    /// Driver for `plan` with default machine configuration and the
+    /// comm mode resolved from the environment (`DISTCONV_COMM`).
     pub fn new(plan: DistPlan) -> Self {
         DistConv {
             plan,
             cfg: MachineConfig::default(),
             enforce_memory: false,
+            comm: CommMode::from_env(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -122,6 +126,14 @@ impl<T: Scalar> DistConv<T> {
     /// Override the machine configuration.
     pub fn with_config(mut self, cfg: MachineConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Override the communication mode (blocking vs overlapped tile
+    /// pipeline). Results and traffic counters are identical in both
+    /// modes; this knob only moves *when* ranks wait.
+    pub fn with_comm_mode(mut self, mode: CommMode) -> Self {
+        self.comm = mode;
         self
     }
 
@@ -192,16 +204,37 @@ impl<T: Scalar> DistConv<T> {
         cfg
     }
 
+    /// Execute the plan and also return every rank's output (the
+    /// reduced `Out` slices on the `i_c = 0` plane). Used by the
+    /// overlap proptests to compare the two comm modes bitwise.
+    pub fn run_with_outputs(
+        &self,
+        seed: u64,
+    ) -> Result<(DistConvReport, Vec<RankOut<T>>), CoreError> {
+        self.run_full(self.machine_cfg(), seed, false)
+    }
+
     fn run_inner(
         &self,
         cfg: MachineConfig,
         seed: u64,
         verify: bool,
     ) -> Result<DistConvReport, CoreError> {
+        self.run_full(cfg, seed, verify).map(|(r, _)| r)
+    }
+
+    fn run_full(
+        &self,
+        cfg: MachineConfig,
+        seed: u64,
+        verify: bool,
+    ) -> Result<(DistConvReport, Vec<RankOut<T>>), CoreError> {
         let plan = self.plan;
+        let comm = self.comm;
         let procs = plan.grid.total();
-        let report =
-            Machine::try_run::<T, _, _>(procs, cfg, |rank| rank_body::<T>(rank, &plan, seed))?;
+        let report = Machine::try_run::<T, _, _>(procs, cfg, |rank| {
+            rank_body::<T>(rank, &plan, seed, comm)
+        })?;
 
         let (verified, max_rel_err) = if verify {
             let worst = verify_results::<T>(&plan, seed, &report.results);
@@ -214,19 +247,22 @@ impl<T: Scalar> DistConv<T> {
             (false, 0.0)
         };
 
-        Ok(DistConvReport {
-            plan,
-            expected: expected_volumes(&plan),
-            peak_mem: report.peak_mem,
-            verified,
-            max_rel_err,
-            sim_time: report.sim_time,
-            makespan: report.makespan,
-            stats: report.stats,
-            recovered: false,
-            retries: 0,
-            retry_elems: 0,
-        })
+        Ok((
+            DistConvReport {
+                plan,
+                expected: expected_volumes(&plan),
+                peak_mem: report.peak_mem,
+                verified,
+                max_rel_err,
+                sim_time: report.sim_time,
+                makespan: report.makespan,
+                stats: report.stats,
+                recovered: false,
+                retries: 0,
+                retry_elems: 0,
+            },
+            report.results.into_iter().map(|(out, ())| out).collect(),
+        ))
     }
 }
 
@@ -244,7 +280,12 @@ fn verification_tolerance<T: Scalar>(plan: &DistPlan) -> f64 {
 }
 
 /// One rank's execution of the distributed CNN algorithm.
-fn rank_body<T: Scalar>(rank: &Rank<T>, plan: &DistPlan, seed: u64) -> (RankOut<T>, ()) {
+fn rank_body<T: Scalar>(
+    rank: &Rank<T>,
+    plan: &DistPlan,
+    seed: u64,
+    comm: CommMode,
+) -> (RankOut<T>, ()) {
     let w = plan.w;
     let grid = plan_grid(plan);
     let world: Vec<usize> = (0..rank.size()).collect();
@@ -287,6 +328,7 @@ fn rank_body<T: Scalar>(rank: &Rank<T>, plan: &DistPlan, seed: u64) -> (RankOut<
         ker_origin,
         out_origin,
         kernel: distconv_par::LocalKernel::from_env(),
+        comm,
     };
     crate::fwd::forward_tiles(&ctx, &mut out_slice);
 

@@ -7,7 +7,7 @@
 use crate::distribution::{in_c_dist, ker_c_dist};
 use distconv_conv::{conv_tile_fast_rows, ConvScratch};
 use distconv_cost::DistPlan;
-use distconv_par::LocalKernel;
+use distconv_par::{CommMode, LocalKernel};
 use distconv_simnet::{Communicator, Rank};
 use distconv_tensor::{conv_input_region, Range4, Scalar, Tensor4};
 
@@ -32,11 +32,32 @@ pub(crate) struct ForwardCtx<'a, 'r, T: Scalar> {
     /// traffic are kernel-independent; the fast path is bitwise
     /// identical — see `distconv_conv::fast`).
     pub kernel: LocalKernel,
+    /// Whether the tile loop overlaps the next step's broadcasts with
+    /// the current step's compute (results and traffic counters are
+    /// identical either way — see `distconv_par::CommMode`).
+    pub comm: CommMode,
+}
+
+/// One step of the linearized `(j_k, j_b, j_w, j_h, c_t)` tile loop:
+/// everything needed to post, wait for, and consume its two broadcasts.
+struct TileStep {
+    out_rng: Range4,
+    in_owner: usize,
+    in_rng: Range4,
+    ker_owner: usize,
+    ker_rng: Range4,
 }
 
 /// Run the full forward tile loop, accumulating into `out_slice`
 /// (shape `[W_b, W_k, W_w, W_h]`, local coordinates). The caller is
 /// responsible for the final `c`-reduction.
+///
+/// In [`CommMode::Overlapped`], the loop is double-buffered: step
+/// `t+1`'s In/Ker broadcasts are posted before step `t`'s tiles are
+/// waited for and convolved. Step order, broadcast trees, payloads and
+/// the accumulation order into `out_slice` are identical to the
+/// blocking path, so the output is bitwise equal and the traffic
+/// counters unchanged.
 pub(crate) fn forward_tiles<T: Scalar>(ctx: &ForwardCtx<'_, '_, T>, out_slice: &mut Tensor4<T>) {
     let plan = ctx.plan;
     let p = plan.problem;
@@ -48,6 +69,9 @@ pub(crate) fn forward_tiles<T: Scalar>(ctx: &ForwardCtx<'_, '_, T>, out_slice: &
     // One scratch arena for the whole tile loop (fast kernel only).
     let mut scratch = ConvScratch::<T>::new();
 
+    // Linearize the rotating-broadcast schedule so the pipelined path
+    // can look one step ahead; the blocking path walks the same list.
+    let mut steps = Vec::with_capacity(sk * sb * sw * sh * w.wc);
     for jk in 0..sk {
         for jb in 0..sb {
             for jw in 0..sw {
@@ -55,46 +79,106 @@ pub(crate) fn forward_tiles<T: Scalar>(ctx: &ForwardCtx<'_, '_, T>, out_slice: &
                     for ct in 0..w.wc {
                         let out_rng = tile_range(plan, ctx.out_origin, [jb, jk, jh, jw]);
                         let gc = ctx.ic * w.wc + ct;
-
-                        // In tile broadcast along the k fiber.
-                        let in_owner = in_dist.owner(ct);
                         let in_rng = conv_input_region(out_rng, gc, gc + 1, p.sw, p.sh, p.nr, p.ns);
-                        let mut in_buf = if ctx.ik == in_owner {
-                            ctx.in_shard.pack_range(in_rng.relative_to(ctx.in_origin))
-                        } else {
-                            vec![T::zero(); in_rng.len()]
-                        };
-                        let _l_in = ctx.rank.mem().lease_or_panic(in_buf.len() as u64);
-                        ctx.k_comm.bcast(in_owner, &mut in_buf);
-                        let in_tile = Tensor4::from_vec(in_rng.shape(), in_buf);
-
-                        // Ker tile broadcast along the bhw fiber.
-                        let ker_owner = ker_dist.owner(ct);
                         let ker_rng = Range4::new(
                             [out_rng.lo[1], gc, 0, 0],
                             [out_rng.hi[1], gc + 1, p.nr, p.ns],
                         );
-                        let mut ker_buf = if ctx.bhw_pos == ker_owner {
-                            ctx.ker_shard
-                                .pack_range(ker_rng.relative_to(ctx.ker_origin))
-                        } else {
-                            vec![T::zero(); ker_rng.len()]
-                        };
-                        let _l_ker = ctx.rank.mem().lease_or_panic(ker_buf.len() as u64);
-                        ctx.bhw_comm.bcast(ker_owner, &mut ker_buf);
-                        let ker_tile = Tensor4::from_vec(ker_rng.shape(), ker_buf);
-
-                        conv_tile_into_slice(
-                            &p,
-                            out_slice,
-                            out_rng.relative_to(ctx.out_origin),
-                            &in_tile,
-                            &ker_tile,
-                            ctx.kernel,
-                            &mut scratch,
-                        );
+                        steps.push(TileStep {
+                            out_rng,
+                            in_owner: in_dist.owner(ct),
+                            in_rng,
+                            ker_owner: ker_dist.owner(ct),
+                            ker_rng,
+                        });
                     }
                 }
+            }
+        }
+    }
+
+    match ctx.comm {
+        CommMode::Blocking => {
+            for step in &steps {
+                // In tile broadcast along the k fiber.
+                let mut in_buf = if ctx.ik == step.in_owner {
+                    ctx.in_shard
+                        .pack_range(step.in_rng.relative_to(ctx.in_origin))
+                } else {
+                    vec![T::zero(); step.in_rng.len()]
+                };
+                let _l_in = ctx.rank.mem().lease_or_panic(in_buf.len() as u64);
+                ctx.k_comm.bcast(step.in_owner, &mut in_buf);
+                let in_tile = Tensor4::from_vec(step.in_rng.shape(), in_buf);
+
+                // Ker tile broadcast along the bhw fiber.
+                let mut ker_buf = if ctx.bhw_pos == step.ker_owner {
+                    ctx.ker_shard
+                        .pack_range(step.ker_rng.relative_to(ctx.ker_origin))
+                } else {
+                    vec![T::zero(); step.ker_rng.len()]
+                };
+                let _l_ker = ctx.rank.mem().lease_or_panic(ker_buf.len() as u64);
+                ctx.bhw_comm.bcast(step.ker_owner, &mut ker_buf);
+                let ker_tile = Tensor4::from_vec(step.ker_rng.shape(), ker_buf);
+
+                let out_local = step.out_rng.relative_to(ctx.out_origin);
+                ctx.rank.time_compute(|| {
+                    conv_tile_into_slice(
+                        &p,
+                        out_slice,
+                        out_local,
+                        &in_tile,
+                        &ker_tile,
+                        ctx.kernel,
+                        &mut scratch,
+                    )
+                });
+            }
+        }
+        CommMode::Overlapped => {
+            // Post a step's two broadcasts: the owners pack and their
+            // tree sends go out immediately; non-owners pass an empty
+            // payload and receive on wait.
+            let post = |step: &TileStep| {
+                let in_payload = if ctx.ik == step.in_owner {
+                    ctx.in_shard
+                        .pack_range(step.in_rng.relative_to(ctx.in_origin))
+                } else {
+                    Vec::new()
+                };
+                let ker_payload = if ctx.bhw_pos == step.ker_owner {
+                    ctx.ker_shard
+                        .pack_range(step.ker_rng.relative_to(ctx.ker_origin))
+                } else {
+                    Vec::new()
+                };
+                (
+                    ctx.k_comm.ibcast(step.in_owner, in_payload),
+                    ctx.bhw_comm.ibcast(step.ker_owner, ker_payload),
+                )
+            };
+            let mut pending = steps.first().map(&post);
+            for (t, step) in steps.iter().enumerate() {
+                let (p_in, p_ker) = pending.take().expect("pipeline primed");
+                pending = steps.get(t + 1).map(&post);
+                let _l_in = ctx.rank.mem().lease_or_panic(step.in_rng.len() as u64);
+                let in_tile = Tensor4::from_vec(step.in_rng.shape(), p_in.wait());
+                let _l_ker = ctx.rank.mem().lease_or_panic(step.ker_rng.len() as u64);
+                let ker_tile = Tensor4::from_vec(step.ker_rng.shape(), p_ker.wait());
+
+                let out_local = step.out_rng.relative_to(ctx.out_origin);
+                ctx.rank.time_compute(|| {
+                    conv_tile_into_slice(
+                        &p,
+                        out_slice,
+                        out_local,
+                        &in_tile,
+                        &ker_tile,
+                        ctx.kernel,
+                        &mut scratch,
+                    )
+                });
             }
         }
     }

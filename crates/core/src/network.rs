@@ -366,6 +366,7 @@ fn network_rank_body<T: Scalar>(rank: &Rank<T>, plan: &NetworkPlan, seed: u64) -
             ker_origin,
             out_origin,
             kernel: distconv_par::LocalKernel::from_env(),
+            comm: distconv_par::CommMode::from_env(),
         };
         crate::fwd::forward_tiles(&ctx, &mut out_slice);
         if lp.grid.pc > 1 {

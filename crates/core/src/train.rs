@@ -297,6 +297,7 @@ fn train_rank_body<T: Scalar>(rank: &Rank<T>, plan: &DistPlan, seed: u64) -> Tra
         ker_origin,
         out_origin,
         kernel: distconv_par::LocalKernel::from_env(),
+        comm: distconv_par::CommMode::from_env(),
     };
     crate::fwd::forward_tiles(&ctx, &mut out_slice);
     if plan.grid.pc > 1 {

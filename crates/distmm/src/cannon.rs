@@ -17,23 +17,41 @@
 use crate::common::{shard_a, shard_b, MatmulDims, MmReport};
 use crate::local::local_matmul;
 use crate::summa::verify_blocks;
-use distconv_par::LocalKernel;
+use distconv_par::{CommMode, LocalKernel};
 use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{Matrix, Scalar};
 
-/// Per-rank Cannon body on a `q × q` grid. Returns this rank's `C`
+/// Per-rank Cannon body on a `q × q` grid with the comm mode resolved
+/// from the environment (`DISTCONV_COMM`). Returns this rank's `C`
 /// block.
+pub fn cannon_rank_body<T: Scalar + distconv_simnet::Msg>(
+    rank: &Rank<T>,
+    d: &MatmulDims,
+    q: usize,
+) -> Matrix<T> {
+    cannon_rank_body_mode(rank, d, q, CommMode::from_env())
+}
+
+/// [`cannon_rank_body`] with an explicit [`CommMode`].
+///
+/// In [`CommMode::Overlapped`], each step posts the `t+1` shift
+/// exchange *before* computing step `t`'s block product, then waits —
+/// the double-buffered pipeline. The shift schedule (message order per
+/// link, payloads, accumulation order into `C`) is identical to the
+/// blocking path, so results are bitwise equal and traffic counters
+/// unchanged; only the wait moves.
 ///
 /// Note on uneven blocks: after skewing, block shapes no longer match a
 /// fixed per-rank buffer, so every shifted message carries its own
 /// extent implicitly via length; the inner dimension of the current `A`
 /// block always equals the current `B` block's row count because both
 /// were skewed by the same schedule.
-pub fn cannon_rank_body<T: Scalar + distconv_simnet::Msg>(
+pub fn cannon_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
     rank: &Rank<T>,
     d: &MatmulDims,
     q: usize,
+    mode: CommMode,
 ) -> Matrix<T> {
     assert_eq!(rank.size(), q * q, "grid size mismatch");
     let grid = CartGrid::new(vec![q, q]);
@@ -66,18 +84,24 @@ pub fn cannon_rank_body<T: Scalar + distconv_simnet::Msg>(
     if i > 0 {
         let dst = (j + q - i) % q; // member index within the row
         let src = (j + i) % q;
-        a_block = row_comm.sendrecv(dst, src, &a_block);
+        a_block = row_comm.sendrecv_vec(dst, src, a_block);
         a_kblk = (j + i) % q;
     }
     if j > 0 {
         let dst = (i + q - j) % q;
         let src = (i + j) % q;
-        b_block = col_comm.sendrecv(dst, src, &b_block);
+        b_block = col_comm.sendrecv_vec(dst, src, b_block);
         b_kblk = (i + j) % q;
     }
 
     let mut c_block = Matrix::<T>::zeros(mi_hi - mi_lo, nj_hi - nj_lo);
     let _lc = rank.mem().lease_or_panic(c_block.len() as u64);
+
+    // Shift A left by one, B up by one — same neighbors every step.
+    let a_dst = (j + q - 1) % q;
+    let a_src = (j + 1) % q;
+    let b_dst = (i + q - 1) % q;
+    let b_src = (i + 1) % q;
 
     let kernel = LocalKernel::from_env();
     // --- q multiply-shift steps. ---
@@ -85,18 +109,41 @@ pub fn cannon_rank_body<T: Scalar + distconv_simnet::Msg>(
         debug_assert_eq!(a_kblk, b_kblk, "skew must align k-blocks");
         let (k_lo, k_hi) = dist_k.range(a_kblk);
         let kk = k_hi - k_lo;
-        let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_block.clone());
-        let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_block.clone());
-        local_matmul(kernel, &mut c_block, &a_m, &b_m);
+        match mode {
+            CommMode::Blocking => {
+                // Compute step t, then exchange for t+1 (wait inline).
+                let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_block);
+                let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_block);
+                rank.time_compute(|| local_matmul(kernel, &mut c_block, &a_m, &b_m));
+                a_block = a_m.into_vec();
+                b_block = b_m.into_vec();
+                if step + 1 < q {
+                    a_block = row_comm.sendrecv_vec(a_dst, a_src, a_block);
+                    b_block = col_comm.sendrecv_vec(b_dst, b_src, b_block);
+                }
+            }
+            CommMode::Overlapped => {
+                // Post the t+1 exchange first (the sends copy the
+                // current blocks onto the wire), compute step t while
+                // the shifted blocks are in flight, then wait.
+                let pending = if step + 1 < q {
+                    let pa = row_comm.isendrecv(a_dst, a_src, a_block.clone());
+                    let pb = col_comm.isendrecv(b_dst, b_src, b_block.clone());
+                    Some((pa, pb))
+                } else {
+                    None
+                };
+                let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, std::mem::take(&mut a_block));
+                let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, std::mem::take(&mut b_block));
+                rank.time_compute(|| local_matmul(kernel, &mut c_block, &a_m, &b_m));
+                if let Some((pa, pb)) = pending {
+                    a_block = pa.wait();
+                    b_block = pb.wait();
+                }
+            }
+        }
         if step + 1 < q {
-            // Shift A left by one, B up by one.
-            let a_dst = (j + q - 1) % q;
-            let a_src = (j + 1) % q;
-            a_block = row_comm.sendrecv(a_dst, a_src, &a_block);
             a_kblk = (a_kblk + 1) % q;
-            let b_dst = (i + q - 1) % q;
-            let b_src = (i + 1) % q;
-            b_block = col_comm.sendrecv(b_dst, b_src, &b_block);
             b_kblk = (b_kblk + 1) % q;
         }
     }

@@ -17,17 +17,35 @@
 use crate::common::{shard_a, shard_b, MatmulDims, MmReport};
 use crate::local::local_matmul;
 use crate::summa::verify_blocks;
-use distconv_par::LocalKernel;
+use distconv_par::{CommMode, LocalKernel};
 use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{Matrix, Scalar};
 
-/// Per-rank 3D-algorithm body. Returns this rank's reduced `C` block on
-/// the `l = 0` face (empty matrix elsewhere).
+/// Per-rank 3D-algorithm body with the comm mode resolved from the
+/// environment (`DISTCONV_COMM`). Returns this rank's reduced `C`
+/// block on the `l = 0` face (empty matrix elsewhere).
 pub fn dns3d_rank_body<T: Scalar + distconv_simnet::Msg>(
     rank: &Rank<T>,
     d: &MatmulDims,
     p1: usize,
+) -> Matrix<T> {
+    dns3d_rank_body_mode(rank, d, p1, CommMode::from_env())
+}
+
+/// [`dns3d_rank_body`] with an explicit [`CommMode`].
+///
+/// The 3D algorithm has a single compute step, so there is no multi-step
+/// pipeline to double-buffer; in [`CommMode::Overlapped`] the `A` and
+/// `B` face broadcasts are *posted together* (both root faces send
+/// immediately) instead of completing the `A` broadcast before the `B`
+/// broadcast starts. Payloads, trees, and the one local product are
+/// identical, so results are bitwise equal and counters unchanged.
+pub fn dns3d_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
+    rank: &Rank<T>,
+    d: &MatmulDims,
+    p1: usize,
+    mode: CommMode,
 ) -> Matrix<T> {
     assert_eq!(rank.size(), p1 * p1 * p1, "grid size mismatch");
     let grid = CartGrid::new(vec![p1, p1, p1]);
@@ -45,30 +63,58 @@ pub fn dns3d_rank_body<T: Scalar + distconv_simnet::Msg>(
     let (kl_lo, kl_hi) = dist_k.range(l);
     let (nj_lo, nj_hi) = cols_n.range(j);
 
-    // A(i,l): materialized on the j=0 face, broadcast along j.
-    let mut a_buf = if j == 0 {
-        shard_a::<T>(d, mi_lo, mi_hi - mi_lo, kl_lo, kl_hi - kl_lo).into_vec()
-    } else {
-        vec![T::zero(); (mi_hi - mi_lo) * (kl_hi - kl_lo)]
-    };
-    let _la = rank.mem().lease_or_panic(a_buf.len() as u64);
-    j_comm.bcast(0, &mut a_buf);
+    let a_len = (mi_hi - mi_lo) * (kl_hi - kl_lo);
+    let b_len = (kl_hi - kl_lo) * (nj_hi - nj_lo);
+    let (a_buf, b_buf, _la, _lb) = match mode {
+        CommMode::Blocking => {
+            // A(i,l): materialized on the j=0 face, broadcast along j.
+            let mut a_buf = if j == 0 {
+                shard_a::<T>(d, mi_lo, mi_hi - mi_lo, kl_lo, kl_hi - kl_lo).into_vec()
+            } else {
+                vec![T::zero(); a_len]
+            };
+            let la = rank.mem().lease_or_panic(a_buf.len() as u64);
+            j_comm.bcast(0, &mut a_buf);
 
-    // B(l,j): materialized on the i=0 face, broadcast along i.
-    let mut b_buf = if i == 0 {
-        shard_b::<T>(d, kl_lo, kl_hi - kl_lo, nj_lo, nj_hi - nj_lo).into_vec()
-    } else {
-        vec![T::zero(); (kl_hi - kl_lo) * (nj_hi - nj_lo)]
+            // B(l,j): materialized on the i=0 face, broadcast along i.
+            let mut b_buf = if i == 0 {
+                shard_b::<T>(d, kl_lo, kl_hi - kl_lo, nj_lo, nj_hi - nj_lo).into_vec()
+            } else {
+                vec![T::zero(); b_len]
+            };
+            let lb = rank.mem().lease_or_panic(b_buf.len() as u64);
+            i_comm.bcast(0, &mut b_buf);
+            (a_buf, b_buf, la, lb)
+        }
+        CommMode::Overlapped => {
+            // Post both face broadcasts before waiting for either, so
+            // the two trees' sends are in flight concurrently.
+            let a_payload = if j == 0 {
+                shard_a::<T>(d, mi_lo, mi_hi - mi_lo, kl_lo, kl_hi - kl_lo).into_vec()
+            } else {
+                Vec::new()
+            };
+            let pa = j_comm.ibcast(0, a_payload);
+            let b_payload = if i == 0 {
+                shard_b::<T>(d, kl_lo, kl_hi - kl_lo, nj_lo, nj_hi - nj_lo).into_vec()
+            } else {
+                Vec::new()
+            };
+            let pb = i_comm.ibcast(0, b_payload);
+            let la = rank.mem().lease_or_panic(a_len as u64);
+            let a_buf = pa.wait();
+            let lb = rank.mem().lease_or_panic(b_len as u64);
+            let b_buf = pb.wait();
+            (a_buf, b_buf, la, lb)
+        }
     };
-    let _lb = rank.mem().lease_or_panic(b_buf.len() as u64);
-    i_comm.bcast(0, &mut b_buf);
 
     // Local partial product.
     let a_m = Matrix::from_vec(mi_hi - mi_lo, kl_hi - kl_lo, a_buf);
     let b_m = Matrix::from_vec(kl_hi - kl_lo, nj_hi - nj_lo, b_buf);
     let mut c_part = Matrix::<T>::zeros(mi_hi - mi_lo, nj_hi - nj_lo);
     let _lc = rank.mem().lease_or_panic(c_part.len() as u64);
-    local_matmul(LocalKernel::from_env(), &mut c_part, &a_m, &b_m);
+    rank.time_compute(|| local_matmul(LocalKernel::from_env(), &mut c_part, &a_m, &b_m));
 
     // Reduce partials over l to the l = 0 face.
     let mut c_buf = c_part.into_vec();

@@ -30,7 +30,7 @@
 use crate::common::{shard_a, shard_b, MatmulDims, MmReport};
 use crate::local::local_matmul;
 use crate::summa::verify_blocks;
-use distconv_par::LocalKernel;
+use distconv_par::{CommMode, LocalKernel};
 use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::shape::BlockDist;
 use distconv_tensor::{Matrix, Scalar};
@@ -53,13 +53,32 @@ fn slab_panels(s_lo: usize, s_hi: usize, k: usize, p1: usize) -> Vec<usize> {
     cuts
 }
 
-/// Per-rank 2.5D body. Returns this rank's reduced `C` block on layer 0
+/// Per-rank 2.5D body with the comm mode resolved from the environment
+/// (`DISTCONV_COMM`). Returns this rank's reduced `C` block on layer 0
 /// (empty matrix on other layers).
 pub fn s25d_rank_body<T: Scalar + distconv_simnet::Msg>(
     rank: &Rank<T>,
     d: &MatmulDims,
     p1: usize,
     c: usize,
+) -> Matrix<T> {
+    s25d_rank_body_mode(rank, d, p1, c, CommMode::from_env())
+}
+
+/// [`s25d_rank_body`] with an explicit [`CommMode`].
+///
+/// In [`CommMode::Overlapped`], the per-layer SUMMA panel loop is
+/// double-buffered exactly as in
+/// [`summa_rank_body_mode`](crate::summa::summa_rank_body_mode): the
+/// broadcasts for panel `t+1` are posted before panel `t` is waited
+/// for and multiplied. The slab redistribution (layer 0's eager
+/// point-to-point sends) and the final reduction are unchanged.
+pub fn s25d_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
+    rank: &Rank<T>,
+    d: &MatmulDims,
+    p1: usize,
+    c: usize,
+    mode: CommMode,
 ) -> Matrix<T> {
     assert_eq!(rank.size(), c * p1 * p1, "grid size mismatch");
     let grid = CartGrid::new(vec![c, p1, p1]);
@@ -144,29 +163,72 @@ pub fn s25d_rank_body<T: Scalar + distconv_simnet::Msg>(
     // --- Step 2: SUMMA panel steps over my slab. ---
     let mut c_block = Matrix::<T>::zeros(mi_hi - mi_lo, nj_hi - nj_lo);
     let _lc = rank.mem().lease_or_panic(c_block.len() as u64);
+    let kernel = LocalKernel::from_env();
     let cuts = slab_panels(s_lo, s_hi, d.k, p1);
-    for w in cuts.windows(2) {
-        let (k0, k1) = (w[0], w[1]);
-        let kk = k1 - k0;
-        let ja = dist_k.owner(k0);
-        let mut a_panel = if j == ja {
-            a_slab.pack_block(0, k0 - my_a_cols.0, mi_hi - mi_lo, kk)
-        } else {
-            vec![T::zero(); (mi_hi - mi_lo) * kk]
-        };
-        let _pl = rank.mem().lease_or_panic(a_panel.len() as u64);
-        row_comm.bcast(ja, &mut a_panel);
-        let ib = dist_k.owner(k0);
-        let mut b_panel = if i == ib {
-            b_slab.pack_block(k0 - my_b_rows.0, 0, kk, nj_hi - nj_lo)
-        } else {
-            vec![T::zero(); kk * (nj_hi - nj_lo)]
-        };
-        let _pl2 = rank.mem().lease_or_panic(b_panel.len() as u64);
-        col_comm.bcast(ib, &mut b_panel);
-        let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_panel);
-        let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_panel);
-        local_matmul(LocalKernel::from_env(), &mut c_block, &a_m, &b_m);
+    let panels: Vec<(usize, usize)> = cuts
+        .windows(2)
+        .filter(|w| w[0] < w[1])
+        .map(|w| (w[0], w[1]))
+        .collect();
+    match mode {
+        CommMode::Blocking => {
+            for &(k0, k1) in &panels {
+                let kk = k1 - k0;
+                let ja = dist_k.owner(k0);
+                let mut a_panel = if j == ja {
+                    a_slab.pack_block(0, k0 - my_a_cols.0, mi_hi - mi_lo, kk)
+                } else {
+                    vec![T::zero(); (mi_hi - mi_lo) * kk]
+                };
+                let _pl = rank.mem().lease_or_panic(a_panel.len() as u64);
+                row_comm.bcast(ja, &mut a_panel);
+                let ib = dist_k.owner(k0);
+                let mut b_panel = if i == ib {
+                    b_slab.pack_block(k0 - my_b_rows.0, 0, kk, nj_hi - nj_lo)
+                } else {
+                    vec![T::zero(); kk * (nj_hi - nj_lo)]
+                };
+                let _pl2 = rank.mem().lease_or_panic(b_panel.len() as u64);
+                col_comm.bcast(ib, &mut b_panel);
+                let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_panel);
+                let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_panel);
+                rank.time_compute(|| local_matmul(kernel, &mut c_block, &a_m, &b_m));
+            }
+        }
+        CommMode::Overlapped => {
+            let post = |k0: usize, k1: usize| {
+                let kk = k1 - k0;
+                let ja = dist_k.owner(k0);
+                let a_payload = if j == ja {
+                    a_slab.pack_block(0, k0 - my_a_cols.0, mi_hi - mi_lo, kk)
+                } else {
+                    Vec::new()
+                };
+                let ib = dist_k.owner(k0);
+                let b_payload = if i == ib {
+                    b_slab.pack_block(k0 - my_b_rows.0, 0, kk, nj_hi - nj_lo)
+                } else {
+                    Vec::new()
+                };
+                (
+                    row_comm.ibcast(ja, a_payload),
+                    col_comm.ibcast(ib, b_payload),
+                )
+            };
+            let mut pending = panels.first().map(|&(k0, k1)| post(k0, k1));
+            for (t, &(k0, k1)) in panels.iter().enumerate() {
+                let (pa, pb) = pending.take().expect("pipeline primed");
+                pending = panels.get(t + 1).map(|&(n0, n1)| post(n0, n1));
+                let kk = k1 - k0;
+                let _pl = rank.mem().lease_or_panic(((mi_hi - mi_lo) * kk) as u64);
+                let a_panel = pa.wait();
+                let _pl2 = rank.mem().lease_or_panic((kk * (nj_hi - nj_lo)) as u64);
+                let b_panel = pb.wait();
+                let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_panel);
+                let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_panel);
+                rank.time_compute(|| local_matmul(kernel, &mut c_block, &a_m, &b_m));
+            }
+        }
     }
 
     // --- Step 3: reduce partial C along l to layer 0. ---

@@ -14,7 +14,7 @@
 
 use crate::common::{full_a, full_b, shard_a, shard_b, MatmulDims, MmReport};
 use crate::local::local_matmul;
-use distconv_par::LocalKernel;
+use distconv_par::{CommMode, LocalKernel};
 use distconv_simnet::{CartGrid, Machine, MachineConfig, Rank, RunError};
 use distconv_tensor::matrix::matmul_acc;
 use distconv_tensor::shape::BlockDist;
@@ -35,7 +35,8 @@ pub(crate) fn panel_bounds(k: usize, pr: usize, pc: usize) -> Vec<usize> {
     cuts
 }
 
-/// Per-rank SUMMA body: returns this rank's `C` block.
+/// Per-rank SUMMA body with the comm mode resolved from the
+/// environment (`DISTCONV_COMM`): returns this rank's `C` block.
 ///
 /// `rank.id()` is interpreted row-major on the `pr × pc` grid.
 pub fn summa_rank_body<T: Scalar + distconv_simnet::Msg>(
@@ -43,6 +44,24 @@ pub fn summa_rank_body<T: Scalar + distconv_simnet::Msg>(
     d: &MatmulDims,
     pr: usize,
     pc: usize,
+) -> Matrix<T> {
+    summa_rank_body_mode(rank, d, pr, pc, CommMode::from_env())
+}
+
+/// [`summa_rank_body`] with an explicit [`CommMode`].
+///
+/// In [`CommMode::Overlapped`], the panel loop is double-buffered: the
+/// two broadcasts for panel `t+1` are *posted* (root sends go out
+/// immediately) before panel `t` is waited for and multiplied. Panel
+/// order, broadcast trees, payloads, and the accumulation order into
+/// `C` are identical to the blocking path, so results are bitwise
+/// equal and the traffic counters unchanged.
+pub fn summa_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
+    rank: &Rank<T>,
+    d: &MatmulDims,
+    pr: usize,
+    pc: usize,
+    mode: CommMode,
 ) -> Matrix<T> {
     assert_eq!(rank.size(), pr * pc, "grid size mismatch");
     let grid = CartGrid::new(vec![pr, pc]);
@@ -70,35 +89,80 @@ pub fn summa_rank_body<T: Scalar + distconv_simnet::Msg>(
         .mem()
         .lease_or_panic((a_block.len() + b_block.len() + c_block.len()) as u64);
 
+    let kernel = LocalKernel::from_env();
     let cuts = panel_bounds(d.k, pr, pc);
-    for w in cuts.windows(2) {
-        let (k0, k1) = (w[0], w[1]);
-        if k0 == k1 {
-            continue;
+    let panels: Vec<(usize, usize)> = cuts
+        .windows(2)
+        .filter(|w| w[0] < w[1])
+        .map(|w| (w[0], w[1]))
+        .collect();
+    match mode {
+        CommMode::Blocking => {
+            for &(k0, k1) in &panels {
+                let kk = k1 - k0;
+                // --- A panel: owner column broadcasts along the row. ---
+                let ja = cols_k_a.owner(k0);
+                let mut a_panel = if j == ja {
+                    a_block.pack_block(0, k0 - ka_lo, mi_hi - mi_lo, kk)
+                } else {
+                    vec![T::zero(); (mi_hi - mi_lo) * kk]
+                };
+                let _pl = rank.mem().lease_or_panic(a_panel.len() as u64);
+                row_comm.bcast(ja, &mut a_panel);
+                // --- B panel: owner row broadcasts along the column. ---
+                let ib = rows_k_b.owner(k0);
+                let mut b_panel = if i == ib {
+                    b_block.pack_block(k0 - kb_lo, 0, kk, nj_hi - nj_lo)
+                } else {
+                    vec![T::zero(); kk * (nj_hi - nj_lo)]
+                };
+                let _pl2 = rank.mem().lease_or_panic(b_panel.len() as u64);
+                col_comm.bcast(ib, &mut b_panel);
+                // --- Local block product. ---
+                let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_panel);
+                let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_panel);
+                rank.time_compute(|| local_matmul(kernel, &mut c_block, &a_m, &b_m));
+            }
         }
-        let kk = k1 - k0;
-        // --- A panel: owner column broadcasts along the row. ---
-        let ja = cols_k_a.owner(k0);
-        let mut a_panel = if j == ja {
-            a_block.pack_block(0, k0 - ka_lo, mi_hi - mi_lo, kk)
-        } else {
-            vec![T::zero(); (mi_hi - mi_lo) * kk]
-        };
-        let _pl = rank.mem().lease_or_panic(a_panel.len() as u64);
-        row_comm.bcast(ja, &mut a_panel);
-        // --- B panel: owner row broadcasts along the column. ---
-        let ib = rows_k_b.owner(k0);
-        let mut b_panel = if i == ib {
-            b_block.pack_block(k0 - kb_lo, 0, kk, nj_hi - nj_lo)
-        } else {
-            vec![T::zero(); kk * (nj_hi - nj_lo)]
-        };
-        let _pl2 = rank.mem().lease_or_panic(b_panel.len() as u64);
-        col_comm.bcast(ib, &mut b_panel);
-        // --- Local block product. ---
-        let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_panel);
-        let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_panel);
-        local_matmul(LocalKernel::from_env(), &mut c_block, &a_m, &b_m);
+        CommMode::Overlapped => {
+            // Post both broadcasts for a panel: the owner packs its
+            // piece and its tree sends go out immediately; non-owners
+            // pass an empty payload (ignored — they receive on wait).
+            let post = |k0: usize, k1: usize| {
+                let kk = k1 - k0;
+                let ja = cols_k_a.owner(k0);
+                let a_payload = if j == ja {
+                    a_block.pack_block(0, k0 - ka_lo, mi_hi - mi_lo, kk)
+                } else {
+                    Vec::new()
+                };
+                let ib = rows_k_b.owner(k0);
+                let b_payload = if i == ib {
+                    b_block.pack_block(k0 - kb_lo, 0, kk, nj_hi - nj_lo)
+                } else {
+                    Vec::new()
+                };
+                (
+                    row_comm.ibcast(ja, a_payload),
+                    col_comm.ibcast(ib, b_payload),
+                )
+            };
+            // Prime the pipeline with panel 0, then per step: post the
+            // broadcasts for panel t+1, wait for panel t, multiply.
+            let mut pending = panels.first().map(|&(k0, k1)| post(k0, k1));
+            for (t, &(k0, k1)) in panels.iter().enumerate() {
+                let (pa, pb) = pending.take().expect("pipeline primed");
+                pending = panels.get(t + 1).map(|&(n0, n1)| post(n0, n1));
+                let kk = k1 - k0;
+                let _pl = rank.mem().lease_or_panic(((mi_hi - mi_lo) * kk) as u64);
+                let a_panel = pa.wait();
+                let _pl2 = rank.mem().lease_or_panic((kk * (nj_hi - nj_lo)) as u64);
+                let b_panel = pb.wait();
+                let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_panel);
+                let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_panel);
+                rank.time_compute(|| local_matmul(kernel, &mut c_block, &a_m, &b_m));
+            }
+        }
     }
     c_block
 }

@@ -1,0 +1,83 @@
+//! Shared thread-budget arbiter: rank threads and kernel pools divide
+//! the machine's cores instead of multiplying them.
+//!
+//! The simulated `Machine` runs `P` rank bodies on `P` OS threads, and
+//! each body may open a [`crate::Pool`] for its local kernel. Before
+//! this module existed the pool sized itself to *all* cores, so a
+//! `P`-rank run asked the OS for `P × cores` runnable threads — pure
+//! oversubscription that made `direct_par` bench *slower* than the
+//! serial kernel. The fix is a process-global count of active rank
+//! threads: while a machine run is in flight, [`crate::num_threads`]
+//! hands each rank's pool `max(1, cores / active_ranks)` workers so the
+//! whole process stays at ≈ one runnable thread per core.
+//!
+//! The count is advisory and never affects *results*: the pool's static
+//! chunk assignment is bitwise-deterministic for any worker count, so
+//! concurrent machine runs (e.g. parallel tests) sharing the global
+//! counter only shift wall-clock, never output.
+//!
+//! An explicit `DISTCONV_THREADS=N` bypasses the arbiter entirely and
+//! pins every pool to exactly `N` workers — the escape hatch CI uses
+//! for its cross-thread-count determinism matrix.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ACTIVE_RANKS: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII guard returned by [`enter_ranks`]; dropping it releases the
+/// rank threads back to the budget.
+#[derive(Debug)]
+pub struct RankGuard {
+    n: usize,
+}
+
+impl Drop for RankGuard {
+    fn drop(&mut self) {
+        ACTIVE_RANKS.fetch_sub(self.n, Ordering::SeqCst);
+    }
+}
+
+/// Declare that `n` rank threads are about to run concurrently (the
+/// simulated machine calls this for the lifetime of a run). While the
+/// returned guard lives, [`crate::num_threads`] divides the core budget
+/// by the total number of active ranks.
+pub fn enter_ranks(n: usize) -> RankGuard {
+    ACTIVE_RANKS.fetch_add(n, Ordering::SeqCst);
+    RankGuard { n }
+}
+
+/// Number of rank threads currently registered (at least 1, so the
+/// budget divide is always well-defined).
+pub fn active_ranks() -> usize {
+    ACTIVE_RANKS.load(Ordering::SeqCst).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_balances_the_counter() {
+        // Other tests may hold guards concurrently; assert on deltas.
+        let before = ACTIVE_RANKS.load(Ordering::SeqCst);
+        {
+            let _g = enter_ranks(4);
+            let _h = enter_ranks(2);
+            assert!(ACTIVE_RANKS.load(Ordering::SeqCst) >= before + 6);
+        }
+        // Our own contribution is gone (others may still fluctuate).
+        let _g = enter_ranks(0);
+        drop(_g);
+        assert!(active_ranks() >= 1);
+    }
+
+    #[test]
+    fn budget_divides_cores_among_ranks() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let _g = enter_ranks(cores * 2); // more ranks than cores
+        assert_eq!(crate::pool::budgeted_threads(cores, active_ranks()), 1);
+        assert_eq!(crate::pool::budgeted_threads(16, 4), 4);
+        assert_eq!(crate::pool::budgeted_threads(16, 5), 3);
+        assert_eq!(crate::pool::budgeted_threads(3, 1), 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! [`CommMode`]: whether executors run their communication schedules
+//! blocking or overlapped with compute.
+//!
+//! Like [`crate::kernel::LocalKernel`], this is a runtime policy of the
+//! execution substrate, not a property of any one algorithm: every
+//! distmm step loop and the GVM executor's tile exchange carry both a
+//! blocking reference path and a double-buffered pipelined path that
+//! posts step `t+1`'s transfers before computing step `t`. The two
+//! paths move the same bytes in the same per-link order and accumulate
+//! in the same order, so switching modes never changes results or
+//! algorithmic traffic counters — only *when* ranks wait.
+
+/// How executors schedule communication relative to compute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CommMode {
+    /// Reference schedule: complete each transfer before computing the
+    /// step that consumed it. Wall-clock is `comm + comp`.
+    Blocking,
+    /// Double-buffered pipeline: post step `t+1`'s transfers, compute
+    /// step `t`, then wait. Wall-clock approaches `max(comm, comp)`.
+    #[default]
+    Overlapped,
+}
+
+/// Env override, read by [`CommMode::from_env`]:
+/// `blocking`/`block`/`sync` selects [`CommMode::Blocking`], anything
+/// else (or unset) the default [`CommMode::Overlapped`].
+pub const COMM_MODE_ENV: &str = "DISTCONV_COMM";
+
+impl CommMode {
+    /// Resolve the mode from [`COMM_MODE_ENV`], falling back to the
+    /// default ([`CommMode::Overlapped`]). Drivers call this once per
+    /// run; tests pass the mode explicitly instead (env mutation is
+    /// racy under a parallel test harness).
+    pub fn from_env() -> Self {
+        match std::env::var(COMM_MODE_ENV) {
+            Ok(v) if matches!(v.trim(), "blocking" | "block" | "sync") => CommMode::Blocking,
+            _ => CommMode::Overlapped,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommMode::Blocking => "blocking",
+            CommMode::Overlapped => "overlapped",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_overlapped() {
+        assert_eq!(CommMode::default(), CommMode::Overlapped);
+        assert_eq!(CommMode::Overlapped.name(), "overlapped");
+        assert_eq!(CommMode::Blocking.name(), "blocking");
+    }
+}

@@ -16,6 +16,12 @@
 //! * [`kernel`] — the [`kernel::LocalKernel`] runtime policy selecting
 //!   between the paper-literal reference compute kernels and the packed
 //!   GEMM fast path (`DISTCONV_LOCAL_KERNEL` to override).
+//! * [`comm`] — the [`comm::CommMode`] runtime policy selecting between
+//!   blocking and overlapped (double-buffered) communication schedules
+//!   (`DISTCONV_COMM` to override).
+//! * [`budget`] — the shared thread-budget arbiter: while a simulated
+//!   machine's `P` rank threads run, each rank's pool gets
+//!   `max(1, cores/P)` workers instead of all cores.
 //!
 //! The crate deliberately has **no dependencies** (not even intra-
 //! workspace ones) so every other crate — including dev-dependency
@@ -23,11 +29,14 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
+pub mod comm;
 pub mod kernel;
 pub mod pool;
 pub mod proptest_mini;
 pub mod rng;
 
+pub use comm::CommMode;
 pub use kernel::LocalKernel;
 pub use pool::{num_threads, par_chunks_mut, par_iter_indexed, Pool};
 pub use proptest_mini::{check, Config, Gen};

@@ -26,8 +26,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 const THREADS_ENV: &str = "DISTCONV_THREADS";
 
 /// Number of workers a parallel call will use: `DISTCONV_THREADS` if
-/// set and nonzero, else the machine's available parallelism (1 if
-/// that cannot be determined).
+/// set and nonzero (an exact per-pool pin that bypasses the budget
+/// arbiter), else the machine's available parallelism divided by the
+/// number of rank threads currently registered with
+/// [`crate::budget::enter_ranks`] — so a `P`-rank simulated machine and
+/// its per-rank kernel pools share the cores instead of multiplying
+/// them (1 if parallelism cannot be determined).
 pub fn num_threads() -> usize {
     if let Ok(v) = std::env::var(THREADS_ENV) {
         if let Ok(n) = v.trim().parse::<usize>() {
@@ -36,7 +40,14 @@ pub fn num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    budgeted_threads(cores, crate::budget::active_ranks())
+}
+
+/// Per-pool worker count under the shared budget: `max(1, cores /
+/// active_ranks)`.
+pub(crate) fn budgeted_threads(cores: usize, active_ranks: usize) -> usize {
+    (cores / active_ranks.max(1)).max(1)
 }
 
 /// A sized worker pool. [`Pool::new`] pins the worker count;

@@ -196,41 +196,57 @@ impl<'a, T: Msg> Communicator<'a, T> {
     /// reallocate — hence `&mut Vec`, deliberately). All members must
     /// pass buffers of identical length. Binomial tree: `⌈log₂ n⌉`
     /// rounds, total volume `(n−1)·len`.
+    ///
+    /// Implemented as [`Communicator::ibcast`] + immediate wait — same
+    /// tree, same per-edge message sequence.
     #[allow(clippy::ptr_arg)]
     pub fn bcast(&self, root: usize, buf: &mut Vec<T>) {
+        *buf = self.ibcast(root, std::mem::take(buf)).wait();
+    }
+
+    /// Nonblocking broadcast start. The root passes the payload (its
+    /// tree sends happen eagerly, right here); non-roots pass any vector
+    /// (ignored — conventionally `Vec::new()`, so no dead buffer is
+    /// allocated) and perform their receive-and-forward at
+    /// [`PendingBcast::wait`], which returns the broadcast data on every
+    /// member.
+    ///
+    /// The tag is drawn at post time, so members may interleave other
+    /// collectives between post and wait as long as every member posts
+    /// collectives on this communicator in the same order — the usual
+    /// SPMD contract, unchanged. The message tree and per-edge order are
+    /// identical to the blocking [`Communicator::bcast`], which keeps
+    /// volumes, counters and makespans mode-independent.
+    pub fn ibcast(&self, root: usize, payload: Vec<T>) -> PendingBcast<'_, 'a, T> {
         let n = self.size();
         assert!(root < n, "bcast root {root} out of range");
         if n == 1 {
-            return;
+            return PendingBcast {
+                comm: self,
+                root,
+                tag: 0,
+                payload: Some(payload),
+            };
         }
         let tag = self.next_tag(Op::Bcast);
-        let v = (self.me + n - root) % n; // virtual rank, root = 0
-                                          // Receive once (non-roots), from the partner that covers us.
-        if v != 0 {
-            // The highest set bit of v identifies the sender: v − msb(v).
-            let msb = 1usize << (usize::BITS - 1 - v.leading_zeros());
-            let src_v = v - msb;
-            let src = (src_v + root) % n;
-            *buf = self.recv_m(src, tag);
-        }
-        // Forward to children: v + mask for masks above our msb.
-        let mut mask = if v == 0 {
-            1
-        } else {
-            1usize << (usize::BITS - 1 - v.leading_zeros())
-        };
-        // Children of v are v + mask', for mask' in {mask, 2·mask, ...}
-        // starting *above* the bit that delivered to us.
-        if v != 0 {
-            mask <<= 1;
-        }
-        while mask < n {
-            let child_v = v + mask;
-            if child_v < n && (v & mask) == 0 {
-                let child = (child_v + root) % n;
-                self.send_m(child, tag, buf);
+        if self.me == root {
+            let (_, children) = bcast_edges(n, root, self.me);
+            for child in children {
+                self.send_m(child, tag, &payload);
             }
-            mask <<= 1;
+            PendingBcast {
+                comm: self,
+                root,
+                tag,
+                payload: Some(payload),
+            }
+        } else {
+            PendingBcast {
+                comm: self,
+                root,
+                tag,
+                payload: None,
+            }
         }
     }
 
@@ -423,9 +439,29 @@ impl<'a, T: Msg> Communicator<'a, T> {
     /// first — the transport is buffered). The shift primitive of
     /// Cannon-style algorithms.
     pub fn sendrecv(&self, dst: usize, src: usize, data: &[T]) -> Vec<T> {
+        self.sendrecv_vec(dst, src, data.to_vec())
+    }
+
+    /// [`Communicator::sendrecv`] taking the outgoing buffer by value:
+    /// the vector moves into the destination mailbox without the
+    /// per-hop `to_vec()` copy of the slice form. The shift hot path of
+    /// the distmm pipelines.
+    pub fn sendrecv_vec(&self, dst: usize, src: usize, data: Vec<T>) -> Vec<T> {
+        self.isendrecv(dst, src, data).wait()
+    }
+
+    /// Nonblocking sendrecv start: the outgoing vector is posted (moved
+    /// onto the wire) immediately; the matching receive is deferred to
+    /// [`PendingRecv::wait`]. Tag and traffic accounting are identical
+    /// to the blocking [`Communicator::sendrecv`].
+    pub fn isendrecv(&self, dst: usize, src: usize, data: Vec<T>) -> PendingRecv<'_, 'a, T> {
         let tag = self.next_tag(Op::SendRecv);
-        self.send_m(dst, tag, data);
-        self.recv_m(src, tag)
+        self.rank.send_vec(self.members[dst], tag, data);
+        PendingRecv {
+            comm: self,
+            src,
+            tag,
+        }
     }
 
     /// Split into disjoint sub-communicators by `color` (like
@@ -468,6 +504,95 @@ impl<'a, T: Msg> Communicator<'a, T> {
             let _ = self.recv_m(from, tag);
             step <<= 1;
         }
+    }
+}
+
+/// Binomial-tree edges of member `me` in the broadcast tree rooted at
+/// `root` (member indices, `n` members): the parent we receive from
+/// (`None` on the root) and the children we forward to, in send order.
+/// Shared by the blocking and nonblocking broadcast so both walk the
+/// identical tree.
+fn bcast_edges(n: usize, root: usize, me: usize) -> (Option<usize>, Vec<usize>) {
+    let v = (me + n - root) % n; // virtual rank, root = 0
+    let parent = if v == 0 {
+        None
+    } else {
+        // The highest set bit of v identifies the sender: v − msb(v).
+        let msb = 1usize << (usize::BITS - 1 - v.leading_zeros());
+        Some(((v - msb) + root) % n)
+    };
+    // Children of v are v + mask, for masks above the bit that
+    // delivered to us (all masks, for the root).
+    let mut mask = if v == 0 {
+        1
+    } else {
+        1usize << (usize::BITS - v.leading_zeros())
+    };
+    let mut children = Vec::new();
+    while mask < n {
+        let child_v = v + mask;
+        if child_v < n && (v & mask) == 0 {
+            children.push((child_v + root) % n);
+        }
+        mask <<= 1;
+    }
+    (parent, children)
+}
+
+/// A posted nonblocking broadcast (see [`Communicator::ibcast`]).
+#[must_use = "every member must wait the broadcast to keep the tree flowing"]
+pub struct PendingBcast<'c, 'a, T: Msg> {
+    comm: &'c Communicator<'a, T>,
+    root: usize,
+    tag: Tag,
+    /// `Some` on the root (tree sends already posted) and for the
+    /// trivial single-member group; `None` on members that still owe
+    /// their receive-and-forward.
+    payload: Option<Vec<T>>,
+}
+
+impl<T: Msg> PendingBcast<'_, '_, T> {
+    /// The posting root (member index).
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Complete the broadcast: the root gets its payload back, other
+    /// members block for their parent's message, forward it down their
+    /// subtree, and return it.
+    pub fn wait(self) -> Vec<T> {
+        if let Some(data) = self.payload {
+            return data;
+        }
+        let n = self.comm.size();
+        let (parent, children) = bcast_edges(n, self.root, self.comm.me());
+        let parent = parent.expect("non-root member has a parent");
+        let data = self.comm.recv_m(parent, self.tag);
+        for child in children {
+            self.comm.send_m(child, self.tag, &data);
+        }
+        data
+    }
+}
+
+/// A posted nonblocking exchange (see [`Communicator::isendrecv`]): the
+/// send already happened; this is the deferred receive half.
+#[must_use = "an unawaited isendrecv never receives its shift partner's block"]
+pub struct PendingRecv<'c, 'a, T: Msg> {
+    comm: &'c Communicator<'a, T>,
+    src: usize,
+    tag: Tag,
+}
+
+impl<T: Msg> PendingRecv<'_, '_, T> {
+    /// The posted source (member index).
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// Block until the partner's message arrives and return it.
+    pub fn wait(self) -> Vec<T> {
+        self.comm.recv_m(self.src, self.tag)
     }
 }
 
@@ -731,6 +856,93 @@ mod tests {
         });
         // Evens: 0+2+4 = 6; odds: 1+3+5 = 9.
         assert_eq!(r.results, vec![6.0, 9.0, 6.0, 9.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn ibcast_matches_bcast_bitwise_and_in_counters() {
+        for p in [2usize, 3, 5, 8] {
+            for root in [0, p - 1] {
+                let payload: Vec<f64> = (0..7).map(|i| i as f64 * 1.5).collect();
+                let blocking = {
+                    let pl = payload.clone();
+                    run_world(p, move |comm| {
+                        let mut buf = if comm.me() == root {
+                            pl.clone()
+                        } else {
+                            vec![0.0; pl.len()]
+                        };
+                        comm.bcast(root, &mut buf);
+                        buf
+                    })
+                };
+                let pipelined = {
+                    let pl = payload.clone();
+                    run_world(p, move |comm| {
+                        let data = if comm.me() == root {
+                            pl.clone()
+                        } else {
+                            Vec::new()
+                        };
+                        let pending = comm.ibcast(root, data);
+                        assert_eq!(pending.root(), root);
+                        pending.wait()
+                    })
+                };
+                assert_eq!(blocking.results, pipelined.results, "p={p} root={root}");
+                assert_eq!(blocking.stats, pipelined.stats, "p={p} root={root}");
+                assert_eq!(blocking.makespan, pipelined.makespan, "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_ibcasts_in_flight_resolve_by_tag() {
+        // The double-buffer shape: post broadcast t and t+1, wait t
+        // first even though t+1's root sends may already be parked.
+        let p = 4;
+        let r = run_world(p, |comm| {
+            let a = comm.ibcast(0, if comm.me() == 0 { vec![1.0] } else { vec![] });
+            let b = comm.ibcast(1, if comm.me() == 1 { vec![2.0] } else { vec![] });
+            let va = a.wait();
+            let vb = b.wait();
+            (va[0], vb[0])
+        });
+        for (i, res) in r.results.iter().enumerate() {
+            assert_eq!(*res, (1.0, 2.0), "rank {i}");
+        }
+        assert_eq!(r.stats.total_msgs(), 2 * (p as u64 - 1));
+    }
+
+    #[test]
+    fn isendrecv_ring_matches_sendrecv() {
+        let p = 5;
+        let blocking = run_world(p, |comm| {
+            let right = (comm.me() + 1) % comm.size();
+            let left = (comm.me() + comm.size() - 1) % comm.size();
+            comm.sendrecv(right, left, &[comm.me() as f64])[0]
+        });
+        let pipelined = run_world(p, |comm| {
+            let right = (comm.me() + 1) % comm.size();
+            let left = (comm.me() + comm.size() - 1) % comm.size();
+            let pending = comm.isendrecv(right, left, vec![comm.me() as f64]);
+            assert_eq!(pending.src(), left);
+            pending.wait()[0]
+        });
+        assert_eq!(blocking.results, pipelined.results);
+        assert_eq!(blocking.stats, pipelined.stats);
+    }
+
+    #[test]
+    fn sendrecv_vec_moves_the_buffer() {
+        let p = 2;
+        let r = run_world(p, |comm| {
+            let other = 1 - comm.me();
+            let out = vec![comm.me() as f64; 4];
+            comm.sendrecv_vec(other, other, out)
+        });
+        assert_eq!(r.results[0], vec![1.0; 4]);
+        assert_eq!(r.results[1], vec![0.0; 4]);
+        assert_eq!(r.stats.total_elems(), 8);
     }
 
     #[test]

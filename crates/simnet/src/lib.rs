@@ -58,10 +58,12 @@ pub mod memory;
 pub mod rank;
 pub mod stats;
 
-pub use comm::{CommError, Communicator};
+pub use comm::{CommError, Communicator, PendingBcast, PendingRecv};
 pub use fault::{CrashAt, FaultPlan, Straggler, CRASH_MARKER, MAX_SEND_ATTEMPTS};
 pub use grid::CartGrid;
-pub use machine::{FailureKind, Machine, MachineConfig, RankFailure, RunError, RunReport};
+pub use machine::{
+    FailureKind, LinkDelay, Machine, MachineConfig, RankFailure, RunError, RunReport,
+};
 pub use memory::{MemLease, MemoryError, MemoryTracker};
-pub use rank::{Msg, Rank, RankId, Tag};
-pub use stats::{CostParams, FaultTraffic, Stats, StatsSnapshot};
+pub use rank::{Msg, Rank, RankId, RecvHandle, SendHandle, Tag};
+pub use stats::{CostParams, FaultTraffic, Stats, StatsSnapshot, TimingSnapshot};

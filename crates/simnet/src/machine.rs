@@ -14,7 +14,7 @@ use crate::channel::unbounded;
 use crate::fault::{FaultPlan, CRASH_MARKER};
 use crate::memory::MemoryTracker;
 use crate::rank::{Msg, Packet, Rank, RankId};
-use crate::stats::{CostParams, Stats, StatsSnapshot};
+use crate::stats::{CostParams, Stats, StatsSnapshot, TimingSnapshot};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -30,6 +30,9 @@ pub struct MachineConfig {
     /// Deterministic fault-injection plan (default: all-zero no-op —
     /// the transport takes the exact fault-free code path).
     pub faults: FaultPlan,
+    /// Real-time link emulation (default: off — delivery is
+    /// memcpy-fast and all α–β costs stay analytic).
+    pub link: LinkDelay,
 }
 
 impl Default for MachineConfig {
@@ -39,7 +42,49 @@ impl Default for MachineConfig {
             recv_timeout: Duration::from_secs(30),
             cost: CostParams::default(),
             faults: FaultPlan::default(),
+            link: LinkDelay::default(),
         }
+    }
+}
+
+/// Optional *wall-clock* α–β link emulation: each delivered payload is
+/// held at the receiver until `alpha + beta·n` of real time has passed
+/// since it went on the wire.
+///
+/// The in-process transport is otherwise memcpy-fast, which makes the
+/// wire and the compute contend for the *same* resource (host memory
+/// bandwidth) — on such a machine overlap cannot win by construction.
+/// This knob models a network interface that runs beside the cores:
+/// the delay elapses concurrently with whatever the receiving rank does
+/// between post and wait, so a pipelined executor genuinely hides it.
+/// Off by default; results, counters, Lamport clocks and the fault
+/// machinery are unaffected either way (the hold happens after the
+/// packet is matched, on content that is already final).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkDelay {
+    /// Per-message latency.
+    pub alpha: Duration,
+    /// Per-element transfer time, nanoseconds.
+    pub beta_ns_per_elem: f64,
+}
+
+impl LinkDelay {
+    /// An α–β wall-clock link.
+    pub fn new(alpha: Duration, beta_ns_per_elem: f64) -> Self {
+        LinkDelay {
+            alpha,
+            beta_ns_per_elem,
+        }
+    }
+
+    /// True for the default (no emulation — the exact legacy path).
+    pub fn is_off(&self) -> bool {
+        self.alpha.is_zero() && self.beta_ns_per_elem <= 0.0
+    }
+
+    /// Wire time of an `n`-element message.
+    pub fn wire_time(&self, n: usize) -> Duration {
+        self.alpha + Duration::from_nanos((self.beta_ns_per_elem * n as f64) as u64)
     }
 }
 
@@ -60,6 +105,9 @@ pub struct RunReport<R> {
     /// the schedule (tree depths, serialized shifts), making it the
     /// better who-wins metric for latency-sensitive comparisons.
     pub makespan: f64,
+    /// Wall-clock comm-wait/compute breakdown, summed over ranks.
+    /// Host-dependent — reported for benching, never for correctness.
+    pub timing: TimingSnapshot,
 }
 
 impl<R> RunReport<R> {
@@ -186,6 +234,10 @@ impl Machine {
         F: Fn(&Rank<T>) -> R + Send + Sync,
     {
         assert!(p > 0, "machine needs at least one rank");
+        // Register the P rank threads with the shared thread budget so
+        // per-rank kernel pools size themselves to cores/P instead of
+        // oversubscribing (released when the run finishes).
+        let _budget = distconv_par::budget::enter_ranks(p);
         let stats = Arc::new(Stats::new(p));
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..p).map(|_| unbounded::<Packet<T>>()).unzip();
@@ -276,6 +328,7 @@ impl Machine {
             stats: snapshot,
             sim_time,
             makespan,
+            timing: stats.timing(),
         })
     }
 
@@ -466,6 +519,26 @@ mod tests {
             3.0 * hop
         );
         assert!(r.makespan <= 4.0 * hop, "{} vs {}", r.makespan, 4.0 * hop);
+    }
+
+    #[test]
+    fn rank_threads_share_the_kernel_thread_budget() {
+        // An explicit DISTCONV_THREADS pin bypasses the arbiter, so the
+        // assertion only holds when the budget is in charge.
+        if std::env::var("DISTCONV_THREADS").is_ok() {
+            return;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let p = cores * 2; // deliberately oversubscribed
+        let r =
+            Machine::run::<f32, _, _>(p, MachineConfig::default(), |_| distconv_par::num_threads());
+        // cores / (2·cores) rounds to 0 → clamped to 1 worker per rank.
+        // Concurrent tests holding budget guards only shrink it further.
+        assert!(
+            r.results.iter().all(|&t| t == 1),
+            "oversubscribed machine must budget pools down to 1 worker, got {:?}",
+            r.results
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@
 
 use crate::channel::{Receiver, RecvTimeoutError, Sender};
 use crate::fault::{FaultPlan, CRASH_MARKER, MAX_SEND_ATTEMPTS};
-use crate::machine::MachineConfig;
+use crate::machine::{LinkDelay, MachineConfig};
 use crate::memory::MemoryTracker;
 use crate::stats::{CostParams, Stats};
 use std::cell::{Cell, RefCell};
@@ -84,6 +84,9 @@ pub(crate) struct Packet<T> {
     pub tag: Tag,
     pub data: Vec<T>,
     pub sent_at: f64,
+    /// Wall-clock transmit instant — only consulted when the machine's
+    /// [`crate::LinkDelay`] emulation is on.
+    pub sent_wall: std::time::Instant,
     pub kind: PacketKind,
     /// Per-`(src → dst, tag)` sequence number: FIFO reassembly and
     /// duplicate suppression under the reliable transport.
@@ -105,6 +108,7 @@ pub struct Rank<T: Msg> {
     mem: MemoryTracker,
     timeout: Duration,
     cost: CostParams,
+    link: LinkDelay,
     faults: FaultPlan,
     /// Cached straggler clock multiplier for this rank (1.0 normally).
     straggle: f64,
@@ -146,6 +150,7 @@ impl<T: Msg> Rank<T> {
             mem,
             timeout: cfg.recv_timeout,
             cost: cfg.cost,
+            link: cfg.link,
             faults: cfg.faults,
             straggle: cfg.faults.straggle_factor(id),
             crash_at: cfg.faults.crashes_at(id),
@@ -209,6 +214,7 @@ impl<T: Msg> Rank<T> {
                 tag,
                 data,
                 sent_at: self.clock.get(),
+                sent_wall: std::time::Instant::now(),
                 kind: PacketKind::Data,
                 seq: 0,
                 wire: 0,
@@ -223,6 +229,44 @@ impl<T: Msg> Rank<T> {
     /// Send a copy of `data` to `dst` with `tag`.
     pub fn send(&self, dst: RankId, tag: Tag, data: &[T]) {
         self.send_vec(dst, tag, data.to_vec());
+    }
+
+    /// Nonblocking send: post `data` for `dst` and return a completion
+    /// handle. The simulated transport buffers every send (mailboxes
+    /// are unbounded), so the message is on the wire when this returns
+    /// and the handle completes immediately — it exists so pipelined
+    /// code reads symmetrically (`isend`/`irecv`/`wait`) and so the
+    /// send's ARQ/fault accounting happens at *post* time, exactly like
+    /// the blocking path.
+    pub fn isend(&self, dst: RankId, tag: Tag, data: Vec<T>) -> SendHandle {
+        self.send_vec(dst, tag, data);
+        SendHandle { _completed: () }
+    }
+
+    /// Nonblocking receive: record interest in the next message from
+    /// `(src, tag)` and return a handle whose [`RecvHandle::wait`]
+    /// performs the blocking match. Posting is free (matching state
+    /// lives in the rank's pending queue either way); the value of the
+    /// handle is *when* the caller chooses to block — the pipelined
+    /// executors post the receive for step `t+1`, compute step `t`,
+    /// then wait.
+    pub fn irecv(&self, src: RankId, tag: Tag) -> RecvHandle<'_, T> {
+        RecvHandle {
+            rank: self,
+            src,
+            tag,
+        }
+    }
+
+    /// Run `f`, recording its wall-clock duration in the machine's
+    /// compute-time counter (see `TimingSnapshot`). The executors wrap
+    /// their local kernels in this so `bench_comm` can split step time
+    /// into comm-wait vs compute.
+    pub fn time_compute<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        self.stats.record_compute_ns(t0.elapsed().as_nanos() as u64);
+        out
     }
 
     /// The fault-layer send path: sequence numbering, link faults, and
@@ -365,6 +409,7 @@ impl<T: Msg> Rank<T> {
             tag,
             data,
             sent_at,
+            sent_wall: std::time::Instant::now(),
             kind: PacketKind::Data,
             seq,
             wire,
@@ -447,6 +492,7 @@ impl<T: Msg> Rank<T> {
                 tag: pkt.tag,
                 data: Vec::new(),
                 sent_at: self.clock.get(),
+                sent_wall: std::time::Instant::now(),
                 kind: PacketKind::Ack,
                 seq: pkt.seq,
                 wire: pkt.wire,
@@ -459,8 +505,17 @@ impl<T: Msg> Rank<T> {
 
     /// Blocking receive of the next message from `src` with `tag`
     /// (FIFO per `(src, tag)` pair). Panics after the machine's receive
-    /// timeout — the deadlock trap.
+    /// timeout — the deadlock trap. Time spent here is recorded in the
+    /// machine's comm-wait counter.
     pub fn recv(&self, src: RankId, tag: Tag) -> Vec<T> {
+        let t0 = std::time::Instant::now();
+        let out = self.recv_inner(src, tag);
+        self.stats
+            .record_comm_wait_ns(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    fn recv_inner(&self, src: RankId, tag: Tag) -> Vec<T> {
         if !self.faults.is_noop() {
             self.flush_holdbacks();
             if self.faults.reliable {
@@ -472,7 +527,7 @@ impl<T: Msg> Rank<T> {
             let mut pending = self.pending.borrow_mut();
             if let Some(pos) = pending.iter().position(|p| p.src == src && p.tag == tag) {
                 let pkt = pending.remove(pos).expect("position valid");
-                self.observe_arrival(pkt.src, pkt.sent_at);
+                self.arrive(&pkt);
                 return pkt.data;
             }
         }
@@ -485,7 +540,7 @@ impl<T: Msg> Rank<T> {
                         continue;
                     };
                     if pkt.src == src && pkt.tag == tag {
-                        self.observe_arrival(pkt.src, pkt.sent_at);
+                        self.arrive(&pkt);
                         return pkt.data;
                     }
                     self.pending.borrow_mut().push_back(pkt);
@@ -550,8 +605,17 @@ impl<T: Msg> Rank<T> {
     }
 
     /// Blocking receive of the next message with `tag` from *any* rank.
-    /// Returns `(source, data)`.
+    /// Returns `(source, data)`. Time spent here is recorded in the
+    /// machine's comm-wait counter.
     pub fn recv_any(&self, tag: Tag) -> (RankId, Vec<T>) {
+        let t0 = std::time::Instant::now();
+        let out = self.recv_any_inner(tag);
+        self.stats
+            .record_comm_wait_ns(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    fn recv_any_inner(&self, tag: Tag) -> (RankId, Vec<T>) {
         if !self.faults.is_noop() {
             self.flush_holdbacks();
             if self.faults.reliable {
@@ -562,7 +626,7 @@ impl<T: Msg> Rank<T> {
             let mut pending = self.pending.borrow_mut();
             if let Some(pos) = pending.iter().position(|p| p.tag == tag) {
                 let pkt = pending.remove(pos).expect("position valid");
-                self.observe_arrival(pkt.src, pkt.sent_at);
+                self.arrive(&pkt);
                 return (pkt.src, pkt.data);
             }
         }
@@ -575,7 +639,7 @@ impl<T: Msg> Rank<T> {
                         continue;
                     };
                     if pkt.tag == tag {
-                        self.observe_arrival(pkt.src, pkt.sent_at);
+                        self.arrive(&pkt);
                         return (pkt.src, pkt.data);
                     }
                     self.pending.borrow_mut().push_back(pkt);
@@ -640,7 +704,7 @@ impl<T: Msg> Rank<T> {
         self.recv_next
             .borrow_mut()
             .insert((pkt.src, pkt.tag), pkt.seq + 1);
-        self.observe_arrival(pkt.src, pkt.sent_at);
+        self.arrive(&pkt);
         pkt.data
     }
 
@@ -696,12 +760,82 @@ impl<T: Msg> Rank<T> {
         self.pending.borrow().len()
     }
 
+    /// A matched payload reaches the application: advance the Lamport
+    /// clock and, when link emulation is on, hold until the message's
+    /// wall-clock wire time has elapsed.
+    fn arrive(&self, pkt: &Packet<T>) {
+        self.observe_arrival(pkt.src, pkt.sent_at);
+        self.link_wait(pkt);
+    }
+
     /// Advance the logical clock to a received message's arrival time
     /// (Lamport max; self-sends carry our own clock and are no-ops).
     fn observe_arrival(&self, src: RankId, sent_at: f64) {
         if src != self.id {
             self.clock.set(self.clock.get().max(sent_at));
         }
+    }
+
+    /// Hold the receiver until `alpha + beta·n` of real time has passed
+    /// since the packet went on the wire (see [`LinkDelay`]). Time
+    /// already spent elsewhere since the send — compute, other waits —
+    /// counts toward the deadline, which is exactly what lets pipelined
+    /// executors hide the wire. No-op when emulation is off or for
+    /// self-sends (local copies).
+    fn link_wait(&self, pkt: &Packet<T>) {
+        if self.link.is_off() || pkt.src == self.id {
+            return;
+        }
+        let deadline = pkt.sent_wall + self.link.wire_time(pkt.data.len());
+        let now = std::time::Instant::now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
+    }
+}
+
+/// Completion handle of a nonblocking send ([`Rank::isend`]). The
+/// simulated transport buffers sends, so the operation is already
+/// complete when the handle exists; [`SendHandle::wait`] is a no-op
+/// kept for call-site symmetry with [`RecvHandle`].
+#[derive(Debug)]
+#[must_use = "wait (or drop) the handle where the blocking send would have completed"]
+pub struct SendHandle {
+    _completed: (),
+}
+
+impl SendHandle {
+    /// Complete the send (immediate).
+    pub fn wait(self) {}
+}
+
+/// Completion handle of a nonblocking receive ([`Rank::irecv`]): a
+/// posted `(src, tag)` match whose blocking part runs at
+/// [`RecvHandle::wait`]. All matching goes through the rank's normal
+/// receive path, so ARQ reliability, FIFO reassembly and fault
+/// accounting are identical to a blocking [`Rank::recv`] issued at the
+/// wait point.
+#[must_use = "an unawaited irecv never takes its message out of the mailbox"]
+pub struct RecvHandle<'a, T: Msg> {
+    rank: &'a Rank<T>,
+    src: RankId,
+    tag: Tag,
+}
+
+impl<T: Msg> RecvHandle<'_, T> {
+    /// The posted source rank.
+    pub fn src(&self) -> RankId {
+        self.src
+    }
+
+    /// The posted tag.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// Block until the posted message arrives and return its payload.
+    pub fn wait(self) -> Vec<T> {
+        self.rank.recv(self.src, self.tag)
     }
 }
 
@@ -807,6 +941,130 @@ mod tests {
                 let _ = rank.recv(1, 42);
             }
         });
+    }
+
+    #[test]
+    fn isend_irecv_roundtrip_counts_like_blocking() {
+        let report = Machine::run::<u64, _, _>(2, MachineConfig::default(), |rank| {
+            if rank.id() == 0 {
+                // Post both shifts up front, then wait — the pipelined
+                // shape. Waits may complete in either order.
+                let h1 = rank.isend(1, 1, vec![10, 20]);
+                let h2 = rank.isend(1, 2, vec![30]);
+                let r = rank.irecv(1, 3);
+                h1.wait();
+                h2.wait();
+                r.wait()
+            } else {
+                let b = rank.irecv(0, 2);
+                let a = rank.irecv(0, 1);
+                assert_eq!((a.src(), a.tag()), (0, 1));
+                let out = vec![b.wait()[0], a.wait()[0]];
+                rank.isend(0, 3, out.clone()).wait();
+                out
+            }
+        });
+        assert_eq!(report.results[0], vec![30, 10]);
+        assert_eq!(report.stats.total_msgs(), 3);
+        assert_eq!(report.stats.total_elems(), 5);
+    }
+
+    #[test]
+    fn isend_irecv_reliable_under_faults() {
+        let cfg = MachineConfig {
+            faults: FaultPlan::reliable(0xBEEF)
+                .with_drops(0.4)
+                .with_dups(0.3)
+                .with_reorders(0.3),
+            ..MachineConfig::default()
+        };
+        let report = Machine::run::<u64, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                let handles: Vec<_> = (0..10u64).map(|i| rank.isend(1, 5, vec![i])).collect();
+                for h in handles {
+                    h.wait();
+                }
+                vec![]
+            } else {
+                let handles: Vec<_> = (0..10).map(|_| rank.irecv(0, 5)).collect();
+                handles.into_iter().map(|h| h.wait()[0]).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(report.results[1], (0..10).collect::<Vec<u64>>());
+        assert_eq!(report.stats.total_msgs(), 10);
+    }
+
+    #[test]
+    fn comm_wait_and_compute_time_recorded() {
+        let report = Machine::run::<u64, _, _>(2, MachineConfig::default(), |rank| {
+            if rank.id() == 0 {
+                rank.time_compute(|| std::thread::sleep(Duration::from_millis(2)));
+                rank.send(1, 1, &[1]);
+            } else {
+                // Blocks until rank 0 finishes its compute and sends.
+                let _ = rank.recv(0, 1);
+            }
+        });
+        assert!(report.timing.compute_ns >= 2_000_000);
+        assert!(report.timing.comm_wait_ns > 0);
+    }
+
+    #[test]
+    fn link_delay_holds_delivery_until_wire_time() {
+        use crate::machine::LinkDelay;
+        let cfg = MachineConfig {
+            link: LinkDelay::new(Duration::from_millis(20), 0.0),
+            ..MachineConfig::default()
+        };
+        let report = Machine::run::<u64, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, &[7]);
+                Duration::ZERO
+            } else {
+                let t0 = std::time::Instant::now();
+                let got = rank.recv(0, 1);
+                assert_eq!(got, vec![7]);
+                t0.elapsed()
+            }
+        });
+        // The receiver posted its recv at spawn, well inside the 20 ms
+        // window, so it must have been held for most of it.
+        assert!(
+            report.results[1] >= Duration::from_millis(10),
+            "recv returned after {:?}, before the emulated wire time",
+            report.results[1]
+        );
+        // Emulation must not leak into the analytic counters or clocks.
+        assert_eq!(report.stats.total_msgs(), 1);
+        assert_eq!(report.stats.total_elems(), 1);
+    }
+
+    #[test]
+    fn link_delay_elapses_concurrently_with_receiver_work() {
+        use crate::machine::LinkDelay;
+        let cfg = MachineConfig {
+            link: LinkDelay::new(Duration::from_millis(20), 0.0),
+            ..MachineConfig::default()
+        };
+        let report = Machine::run::<u64, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, &[7]);
+                Duration::ZERO
+            } else {
+                // Busy past the wire time before waiting: the hold must
+                // find the deadline already passed.
+                std::thread::sleep(Duration::from_millis(30));
+                let t0 = std::time::Instant::now();
+                let got = rank.recv(0, 1);
+                assert_eq!(got, vec![7]);
+                t0.elapsed()
+            }
+        });
+        assert!(
+            report.results[1] < Duration::from_millis(15),
+            "wait blocked {:?} although the wire time was already hidden",
+            report.results[1]
+        );
     }
 
     // ---- fault-layer tests -------------------------------------------

@@ -26,6 +26,12 @@ pub struct Stats {
     /// Separate from the algorithmic counters above so the paper's
     /// volume tables stay clean under fault injection.
     fault: FaultCounters,
+    /// Wall-clock nanoseconds ranks spent blocked in receives (summed
+    /// over ranks). Kept out of [`StatsSnapshot`] — see
+    /// [`TimingSnapshot`].
+    comm_wait_ns: AtomicU64,
+    /// Wall-clock nanoseconds ranks spent in timed compute sections.
+    compute_ns: AtomicU64,
 }
 
 /// Atomic counters for fault-injection and reliable-delivery overhead.
@@ -51,6 +57,31 @@ impl Stats {
             self_msgs: AtomicU64::new(0),
             self_elems: AtomicU64::new(0),
             fault: FaultCounters::default(),
+            comm_wait_ns: AtomicU64::new(0),
+            compute_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record `ns` wall-clock nanoseconds a rank spent blocked waiting
+    /// for a message (comm-wait time; see [`TimingSnapshot`]).
+    pub fn record_comm_wait_ns(&self, ns: u64) {
+        self.comm_wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record `ns` wall-clock nanoseconds a rank spent in a timed
+    /// compute section (see `Rank::time_compute`).
+    pub fn record_compute_ns(&self, ns: u64) {
+        self.compute_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Snapshot the wall-clock timing breakdown. Deliberately separate
+    /// from [`Stats::snapshot`]: timing is host-dependent and
+    /// nondeterministic, while [`StatsSnapshot`] must stay `Eq`-exact
+    /// for the determinism and fault-transparency suites.
+    pub fn timing(&self) -> TimingSnapshot {
+        TimingSnapshot {
+            comm_wait_ns: self.comm_wait_ns.load(Ordering::Relaxed),
+            compute_ns: self.compute_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -186,6 +217,19 @@ impl FaultTraffic {
             reordered_msgs: self.reordered_msgs - earlier.reordered_msgs,
         }
     }
+}
+
+/// Wall-clock timing breakdown of a run, summed over ranks: how long
+/// rank threads were blocked waiting for messages vs running timed
+/// compute sections. Host-dependent (never part of the deterministic
+/// [`StatsSnapshot`]); the `bench_comm` suite uses it to split step
+/// time into comm-wait and compute.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimingSnapshot {
+    /// Nanoseconds spent blocked in receives (summed over ranks).
+    pub comm_wait_ns: u64,
+    /// Nanoseconds spent in timed compute sections (summed over ranks).
+    pub compute_ns: u64,
 }
 
 /// An immutable copy of the counters at one point in time.
@@ -361,6 +405,22 @@ mod tests {
         let s = Stats::new(1);
         s.record_send(0, 10, false);
         assert!(s.snapshot().fault.is_zero());
+    }
+
+    #[test]
+    fn timing_is_separate_from_deterministic_counters() {
+        let s = Stats::new(1);
+        s.record_send(0, 10, false);
+        let before = s.snapshot();
+        s.record_comm_wait_ns(500);
+        s.record_compute_ns(1500);
+        s.record_comm_wait_ns(250);
+        // Timing accumulates...
+        let t = s.timing();
+        assert_eq!(t.comm_wait_ns, 750);
+        assert_eq!(t.compute_ns, 1500);
+        // ...without perturbing the Eq-exact snapshot.
+        assert_eq!(s.snapshot(), before);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! The owned-buffer hot path moves payloads end-to-end: a `Vec` handed
+//! to `send_vec`/`sendrecv_vec` arrives at the receiver as the *same
+//! allocation* (pointer identity), and the owned `sendrecv_vec` makes
+//! strictly fewer large allocations than the borrowing `sendrecv`
+//! (which must copy the caller's slice onto the wire).
+//!
+//! This file is its own test binary, so it can install a counting
+//! global allocator without affecting other suites.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use distconv_simnet::{CartGrid, Machine, MachineConfig};
+
+/// Counts allocations of at least [`BIG`] bytes (the payload class;
+/// harness noise — threads, mailboxes, stats — stays far below it).
+struct CountingAlloc;
+
+const BIG: usize = 1 << 20;
+static BIG_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= BIG {
+            BIG_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn send_vec_passes_the_same_allocation() {
+    // The sender stamps the buffer's own address into element 0; the
+    // receiver checks the buffer it got lives at that address.
+    Machine::run::<u64, _, _>(2, MachineConfig::default(), |rank| {
+        if rank.id() == 0 {
+            let mut v = vec![0u64; 1000];
+            v[0] = v.as_ptr() as u64;
+            rank.send_vec(1, 7, v);
+        } else {
+            let got = rank.recv(0, 7);
+            assert_eq!(got.len(), 1000);
+            assert_eq!(
+                got[0],
+                got.as_ptr() as u64,
+                "payload must arrive in the sender's allocation (zero-copy)"
+            );
+        }
+    });
+}
+
+#[test]
+fn sendrecv_vec_passes_the_same_allocation() {
+    Machine::run::<u64, _, _>(2, MachineConfig::default(), |rank| {
+        let grid = CartGrid::new(vec![2]);
+        let world: Vec<usize> = (0..2).collect();
+        let comm = grid.sub_comm(rank, rank.id(), &world, &[0]);
+        let me = rank.id();
+        let mut v = vec![me as u64; 1000];
+        v[0] = v.as_ptr() as u64;
+        let got = comm.sendrecv_vec(1 - me, 1 - me, v);
+        assert_eq!(got[1], (1 - me) as u64, "wrong payload");
+        assert_eq!(
+            got[0],
+            got.as_ptr() as u64,
+            "sendrecv_vec must move the buffer end-to-end"
+        );
+    });
+}
+
+/// Run a 2-rank exchange of an 8 MiB payload per rank and return how
+/// many payload-sized allocations it made.
+fn big_allocs_for(owned: bool) -> u64 {
+    const N: usize = 1 << 20; // u64 elements → 8 MiB per payload
+    let before = BIG_ALLOCS.load(Ordering::Relaxed);
+    Machine::run::<u64, _, _>(2, MachineConfig::default(), move |rank| {
+        let grid = CartGrid::new(vec![2]);
+        let world: Vec<usize> = (0..2).collect();
+        let comm = grid.sub_comm(rank, rank.id(), &world, &[0]);
+        let me = rank.id();
+        let v = vec![me as u64; N];
+        let got = if owned {
+            comm.sendrecv_vec(1 - me, 1 - me, v)
+        } else {
+            comm.sendrecv(1 - me, 1 - me, &v)
+        };
+        assert_eq!(got.len(), N);
+        assert_eq!(got[0], (1 - me) as u64);
+    });
+    BIG_ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn owned_sendrecv_skips_the_wire_copy() {
+    // Run both variants inside one test so the global counter isn't
+    // shared with a concurrently running test.
+    let owned = big_allocs_for(true);
+    let borrowed = big_allocs_for(false);
+    // Owned: exactly one big allocation per rank — the payload itself.
+    assert_eq!(owned, 2, "owned path must not copy the payload");
+    // Borrowed: payload + the to_vec wire copy per rank.
+    assert_eq!(borrowed, 4, "borrowed path copies the caller's slice");
+}

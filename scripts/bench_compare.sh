@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Diff two bench-trajectory files (the `distconv-bench-v1` JSON written
-# by `cargo bench --bench bench_kernels -- --json`), printing per-case
-# speedups — the intended workflow for "did this PR actually make the
-# kernels faster":
+# by `cargo bench --bench bench_kernels -- --json` or
+# `--bench bench_comm -- --json`), printing per-case speedups — the
+# intended workflow for "did this PR actually make the kernels faster":
 #
 #   git stash / checkout old commit
 #   cargo bench -p distconv-bench --bench bench_kernels -- --json /tmp/old.json
@@ -11,7 +11,8 @@
 #   scripts/bench_compare.sh /tmp/old.json /tmp/new.json
 #
 # With --validate FILE it only schema-checks one file (used by CI on
-# the committed BENCH_kernels.json and on fresh quick-mode output).
+# the committed BENCH_kernels.json / BENCH_comm.json and on fresh
+# quick-mode output).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
