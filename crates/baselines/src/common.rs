@@ -2,6 +2,7 @@
 
 use distconv_cost::Conv2dProblem;
 use distconv_simnet::StatsSnapshot;
+use distconv_trace::{ConformanceReport, ConformanceRow, RunTrace, Tolerance};
 
 /// Which baseline scheme produced a report.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -51,12 +52,40 @@ pub struct BaselineReport {
     pub sim_time: f64,
     /// Lamport communication makespan (dependency-aware).
     pub makespan: f64,
+    /// Per-rank span trace (empty when tracing was disabled).
+    pub trace: RunTrace,
 }
 
 impl BaselineReport {
     /// Total analytic volume (placement + recurring).
     pub fn analytic_total(&self) -> u128 {
         self.analytic_placement + self.analytic_recurring
+    }
+
+    /// Cost-model conformance: the measured total traffic against the
+    /// scheme's exact analytic volume, plus a per-rank trace-vs-counter
+    /// cross-check (skipped when the trace is empty or a ring wrapped —
+    /// a wrapped ring undercounts by construction).
+    pub fn conformance(&self) -> ConformanceReport {
+        let name = self.kind.name();
+        let mut rep = ConformanceReport::new();
+        rep.push(ConformanceRow::new(
+            format!("{name}/total-volume"),
+            self.stats.total_elems() as f64,
+            self.analytic_total() as f64,
+            Tolerance::Exact,
+        ));
+        if !self.trace.is_empty() && self.trace.total_dropped() == 0 {
+            for rank in 0..self.procs {
+                rep.push(ConformanceRow::new(
+                    format!("{name}/rank{rank}-sent-elems"),
+                    self.trace.sent_elems(rank) as f64,
+                    self.stats.per_rank_elems[rank] as f64,
+                    Tolerance::Exact,
+                ));
+            }
+        }
+        rep
     }
 }
 

@@ -76,6 +76,9 @@ pub fn try_run_data_parallel(
 
         // --- Recurring: input batch scatter from rank 0 (the data
         //     source). ---
+        // Trace steps: 0 = kernel placement, 1 = input scatter,
+        // 2 = local forward, 3 = gradient all-reduce.
+        rank.set_step(1);
         let in_shard = if me == 0 {
             let full = Tensor4::<f64>::random(global_in, seed);
             let _lf = rank.mem().lease_or_panic(full.len() as u64);
@@ -95,15 +98,19 @@ pub fn try_run_data_parallel(
         let _li = rank.mem().lease_or_panic(in_shard.len() as u64);
 
         // --- Local forward: an independent sub-problem on my batch. ---
+        rank.set_step(2);
         let sub = Conv2dProblem::new(my_nb, p.nk, p.nc, p.nh, p.nw, p.nr, p.ns, p.sw, p.sh);
-        let out = distconv_conv::conv2d(
-            &sub,
-            &in_shard,
-            &ker,
-            distconv_conv::LocalKernel::from_env(),
-        );
+        let out = rank.time_compute(|| {
+            distconv_conv::conv2d(
+                &sub,
+                &in_shard,
+                &ker,
+                distconv_conv::LocalKernel::from_env(),
+            )
+        });
 
         // --- Training: gradient all-reduce (Horovod). ---
+        rank.set_step(3);
         let d_ker = if train {
             let d_out = Tensor4::<f64>::random_window(
                 out_shape(&sub),
@@ -167,6 +174,7 @@ pub fn try_run_data_parallel(
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
+        trace: report.trace,
     })
 }
 
@@ -214,6 +222,14 @@ mod tests {
             2 * 3 * toy().size_ker()
         );
         assert_eq!(r_trn.stats.total_elems() as u128, r_trn.analytic_total());
+    }
+
+    #[test]
+    fn conformance_cross_checks_trace_against_counters() {
+        let r = run_data_parallel(toy(), 4, 3, true, MachineConfig::default());
+        let rep = r.conformance();
+        assert!(rep.pass(), "conformance failed:\n{rep}");
+        assert_eq!(rep.rows.len(), 1 + 4, "{rep}");
     }
 
     #[test]

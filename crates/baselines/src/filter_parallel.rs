@@ -73,6 +73,9 @@ pub fn try_run_filter_parallel(
         let _lk = rank.mem().lease_or_panic(ker_shard.len() as u64);
 
         // --- Recurring: full input broadcast from rank 0. ---
+        // Trace steps: 0 = kernel placement, 1 = input broadcast,
+        // 2 = local forward.
+        rank.set_step(1);
         let mut in_buf = if me == 0 {
             Tensor4::<f64>::random(in_shape(&p), seed).into_vec()
         } else {
@@ -83,13 +86,16 @@ pub fn try_run_filter_parallel(
         let input = Tensor4::from_vec(in_shape(&p), in_buf);
 
         // --- Local forward on the feature band. ---
+        rank.set_step(2);
         let sub = Conv2dProblem::new(p.nb, my_nk, p.nc, p.nh, p.nw, p.nr, p.ns, p.sw, p.sh);
-        let out = distconv_conv::conv2d(
-            &sub,
-            &input,
-            &ker_shard,
-            distconv_conv::LocalKernel::from_env(),
-        );
+        let out = rank.time_compute(|| {
+            distconv_conv::conv2d(
+                &sub,
+                &input,
+                &ker_shard,
+                distconv_conv::LocalKernel::from_env(),
+            )
+        });
         (k_lo, out)
     })?;
 
@@ -121,6 +127,7 @@ pub fn try_run_filter_parallel(
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
+        trace: report.trace,
     })
 }
 

@@ -99,6 +99,9 @@ pub fn try_run_spatial_parallel(
         let ker = Tensor4::from_vec(ker_shape(&p), ker_buf);
 
         // --- Recurring: input band scatter from rank 0. ---
+        // Trace steps: 0 = kernel placement, 1 = band scatter,
+        // 2 = halo exchange, 3 = local forward.
+        rank.set_step(1);
         let in_full_shape = distconv_conv::kernels::in_shape(&p);
         let owned = if me == 0 {
             let full = Tensor4::<f64>::random(in_full_shape, seed);
@@ -129,6 +132,7 @@ pub fn try_run_spatial_parallel(
 
         // --- Halo exchange: send my leading columns to the left
         //     neighbor; receive my right halo. ---
+        rank.set_step(2);
         let my_halo_need = x_hi_needed.saturating_sub(x_hi_owned);
         if me > 0 {
             // Left neighbor (me−1) needs columns [x_lo, x_lo + its_need).
@@ -163,6 +167,7 @@ pub fn try_run_spatial_parallel(
         }
 
         // --- Local forward on the band sub-problem. ---
+        rank.set_step(3);
         let sub = Conv2dProblem::new(p.nb, p.nk, p.nc, p.nh, my_nw, p.nr, p.ns, p.sw, p.sh);
         // The window may be wider than the sub-problem's nominal input
         // (tail bands): trim to exactly σ(my_nw−1)+Nr columns.
@@ -170,8 +175,9 @@ pub fn try_run_spatial_parallel(
             [0, 0, 0, 0],
             [p.nb, p.nc, p.sw * (my_nw - 1) + p.nr, p.in_h()],
         ));
-        let out =
-            distconv_conv::conv2d(&sub, &trimmed, &ker, distconv_conv::LocalKernel::from_env());
+        let out = rank.time_compute(|| {
+            distconv_conv::conv2d(&sub, &trimmed, &ker, distconv_conv::LocalKernel::from_env())
+        });
         (w_lo, out)
     })?;
 
@@ -222,6 +228,7 @@ pub fn try_run_spatial_parallel(
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
+        trace: report.trace,
     })
 }
 

@@ -28,6 +28,7 @@ use distconv_simnet::{
     CartGrid, Communicator, LinkDelay, Machine, MachineConfig, Rank, TimingSnapshot,
 };
 use distconv_tensor::Matrix;
+use distconv_trace::TraceConfig;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -191,6 +192,44 @@ fn bench_gvm_executor(records: &mut Vec<BenchRecord>) {
     records.extend(g.finish());
 }
 
+/// Tracing overhead on the representative-layer GEMM: the default-on
+/// ring tracing vs `TraceConfig::off()`, same algorithm, same machine.
+/// The acceptance budget (DESIGN.md §9) is < 5 % wall-clock; the
+/// measured percentage is committed as the
+/// `trace_overhead_pct_cannon_rep` derived field.
+fn bench_trace_overhead(records: &mut Vec<BenchRecord>, derived: &mut Vec<(String, f64)>) {
+    let d = rep_gemm();
+    let flops = mm_flops(&d);
+    let mut g = Suite::new("trace_overhead_rep");
+    for (label, trace) in [
+        ("traced", TraceConfig::default()),
+        ("untraced", TraceConfig::off()),
+    ] {
+        let cfg = MachineConfig {
+            trace,
+            ..MachineConfig::default()
+        };
+        g.bench_flops(label, flops, move || {
+            let report = Machine::run::<f32, _, _>(4, cfg, move |rank| {
+                cannon_rank_body_mode(rank, &d, 2, CommMode::Overlapped)
+            });
+            black_box(report.results.len())
+        });
+    }
+    let recs = g.finish();
+    let median = |label: &str| -> Option<f64> {
+        recs.iter().find(|r| r.label == label).map(|r| r.median_ns)
+    };
+    if let (Some(traced), Some(untraced)) = (median("traced"), median("untraced")) {
+        if untraced > 0.0 {
+            let pct = (traced / untraced - 1.0) * 100.0;
+            println!("\ntracing overhead (Cannon 2x2, rep GEMM): {pct:.2}%");
+            derived.push(("trace_overhead_pct_cannon_rep".into(), pct));
+        }
+    }
+    records.extend(recs);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args.iter().position(|a| a == "--json").map(|i| {
@@ -238,6 +277,7 @@ fn main() {
         move |rank, mode| dns3d_rank_body_mode(rank, &d, 2, mode),
     );
     bench_gvm_executor(&mut records);
+    bench_trace_overhead(&mut records, &mut derived);
 
     if let Some(s) = cannon_speedup {
         println!("\nspeedup overlapped over blocking (Cannon 2x2, rep GEMM): {s:.2}x");

@@ -1,0 +1,70 @@
+//! Reproduce the observability artifacts: run the cost-model
+//! conformance suite over the golden shapes, print the per-row table,
+//! and optionally export / schema-validate the Chrome trace of the
+//! representative conv layer.
+//!
+//! ```text
+//! repro_trace [--json] [--export PATH] [--schema PATH]
+//! ```
+//!
+//! * `--json` — print the conformance report as JSON instead of a table
+//! * `--export PATH` — write the sample run's Chrome trace-event JSON to
+//!   PATH (load in chrome://tracing or ui.perfetto.dev)
+//! * `--schema PATH` — validate the exported trace against the committed
+//!   schema (`tests/goldens/trace_schema.json`)
+//!
+//! Exit codes: 0 ok, 1 conformance failure, 2 schema failure.
+
+use distconv_bench::{e14_sample_trace, e14_trace_conformance, validate_chrome_trace};
+
+fn main() {
+    let mut json = false;
+    let mut export: Option<String> = None;
+    let mut schema: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--export" => export = Some(args.next().expect("--export needs a path")),
+            "--schema" => schema = Some(args.next().expect("--schema needs a path")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let rep = e14_trace_conformance();
+    if json {
+        println!("{}", rep.to_json());
+    } else {
+        println!("{rep}");
+    }
+
+    if export.is_some() || schema.is_some() {
+        let trace = e14_sample_trace();
+        let chrome = trace.to_chrome_json();
+        if !json {
+            println!("\nPer-rank span metrics (representative layer, P=8):");
+            println!("{}", trace.metrics_table());
+        }
+        if let Some(path) = &export {
+            std::fs::write(path, &chrome).expect("write trace export");
+            eprintln!("wrote {} events to {path}", trace.len());
+        }
+        if let Some(path) = &schema {
+            let text = std::fs::read_to_string(path).expect("read schema");
+            match validate_chrome_trace(&chrome, &text) {
+                Ok(n) => eprintln!("schema ok: {n} events validated against {path}"),
+                Err(e) => {
+                    eprintln!("schema FAILED: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    if !rep.pass() {
+        for row in rep.failures() {
+            eprintln!("conformance FAILED: {}", row.name);
+        }
+        std::process::exit(1);
+    }
+}

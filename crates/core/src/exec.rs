@@ -3,12 +3,13 @@
 //! [`DistConv`] driver.
 
 use crate::distribution::{self, distribute, plan_grid, RankData};
-use crate::model::{expected_volumes, ExpectedVolumes};
+use crate::model::{eq10_aggregate, expected_volumes, ExpectedVolumes};
 use distconv_conv::kernels::{conv2d_direct_par, workload};
 use distconv_cost::DistPlan;
 use distconv_par::CommMode;
 use distconv_simnet::{Machine, MachineConfig, Rank, RunError, StatsSnapshot};
 use distconv_tensor::{Scalar, Shape4, Tensor4};
+use distconv_trace::{ConformanceReport, ConformanceRow, RunTrace, SpanEvent, SpanKind, Tolerance};
 
 /// Maximum checkpoint/restart attempts for a crash-injected step.
 pub const MAX_STEP_RETRIES: u32 = 3;
@@ -87,6 +88,10 @@ pub struct DistConvReport {
     /// Elements moved by the aborted attempts — the retry cost, kept
     /// out of `stats` so volume tables still match the fault-free run.
     pub retry_elems: u64,
+    /// Per-rank span trace of the successful run (empty when tracing
+    /// was disabled). Recovery appends a `CheckpointRestore` marker per
+    /// aborted attempt.
+    pub trace: RunTrace,
 }
 
 impl DistConvReport {
@@ -98,6 +103,40 @@ impl DistConvReport {
     /// Largest per-rank peak memory.
     pub fn max_peak_mem(&self) -> u64 {
         self.peak_mem.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Cost-model conformance: the measured traffic against the exact
+    /// schedule model ([`expected_volumes`], element-exact) and against
+    /// the paper's Eq. 10 aggregate (an upper bound — it also charges
+    /// the initial footprint), plus a per-rank trace-vs-counter
+    /// cross-check. The per-rank rows are skipped when the trace is
+    /// empty (tracing disabled) or any ring wrapped — a wrapped ring
+    /// undercounts by construction.
+    pub fn conformance(&self) -> ConformanceReport {
+        let mut rep = ConformanceReport::new();
+        rep.push(ConformanceRow::new(
+            "conv/total-volume",
+            self.measured_volume() as f64,
+            self.expected.total() as f64,
+            Tolerance::Exact,
+        ));
+        rep.push(ConformanceRow::new(
+            "conv/eq10-upper-bound",
+            self.measured_volume() as f64,
+            eq10_aggregate(&self.plan),
+            Tolerance::UpperBound,
+        ));
+        if !self.trace.is_empty() && self.trace.total_dropped() == 0 {
+            for rank in 0..self.plan.grid.total() {
+                rep.push(ConformanceRow::new(
+                    format!("conv/rank{rank}-sent-elems"),
+                    self.trace.sent_elems(rank) as f64,
+                    self.stats.per_rank_elems[rank] as f64,
+                    Tolerance::Exact,
+                ));
+            }
+        }
+        rep
     }
 }
 
@@ -190,6 +229,23 @@ impl<T: Scalar> DistConv<T> {
                     r.recovered = retries > 0;
                     r.retries = retries;
                     r.retry_elems = wasted;
+                    // Mark each aborted attempt in the trace: a restart
+                    // is a schedule-level event the timeline should
+                    // show, with the wasted traffic on the last marker.
+                    for attempt in 0..retries {
+                        r.trace.push(
+                            0,
+                            SpanEvent {
+                                kind: SpanKind::CheckpointRestore,
+                                step: attempt as u64,
+                                peer: None,
+                                tag: 0,
+                                elems: if attempt + 1 == retries { wasted } else { 0 },
+                                start_ns: 0,
+                                dur_ns: 0,
+                            },
+                        );
+                    }
                     return Ok(r);
                 }
             }
@@ -260,6 +316,7 @@ impl<T: Scalar> DistConv<T> {
                 recovered: false,
                 retries: 0,
                 retry_elems: 0,
+                trace: report.trace,
             },
             report.results.into_iter().map(|(out, ())| out).collect(),
         ))
@@ -565,6 +622,27 @@ mod tests {
         // run's; the aborted attempt's traffic is reported separately.
         assert_eq!(r.measured_volume(), clean.measured_volume());
         assert!(r.retry_elems > 0, "the aborted attempt moved data");
+        // The restart left a marker in the trace with the wasted volume.
+        let restores: Vec<_> = r.trace.per_rank[0]
+            .events
+            .iter()
+            .filter(|e| e.kind == SpanKind::CheckpointRestore)
+            .collect();
+        assert_eq!(restores.len(), 1);
+        assert_eq!(restores[0].elems, r.retry_elems);
+    }
+
+    #[test]
+    fn conformance_passes_and_cross_checks_per_rank() {
+        let r = run_plan(Conv2dProblem::square(4, 8, 8, 8, 3), 8, 1 << 18);
+        let rep = r.conformance();
+        assert!(rep.pass(), "conformance failed:\n{rep}");
+        // total + eq10 bound + one cross-check row per rank.
+        assert_eq!(rep.rows.len(), 2 + 8, "{rep}");
+        assert!(rep
+            .rows
+            .iter()
+            .any(|row| row.name == "conv/eq10-upper-bound"));
     }
 
     #[test]

@@ -97,9 +97,14 @@ pub(crate) fn forward_tiles<T: Scalar>(ctx: &ForwardCtx<'_, '_, T>, out_slice: &
         }
     }
 
+    // Trace stamping: tile step t's broadcasts and convolution are
+    // stamped t in both modes — the pipelined path stamps a posted
+    // broadcast with the step it feeds, so the canonical trace is
+    // mode-independent.
     match ctx.comm {
         CommMode::Blocking => {
-            for step in &steps {
+            for (t, step) in steps.iter().enumerate() {
+                ctx.rank.set_step(t as u64);
                 // In tile broadcast along the k fiber.
                 let mut in_buf = if ctx.ik == step.in_owner {
                     ctx.in_shard
@@ -158,10 +163,15 @@ pub(crate) fn forward_tiles<T: Scalar>(ctx: &ForwardCtx<'_, '_, T>, out_slice: &
                     ctx.bhw_comm.ibcast(step.ker_owner, ker_payload),
                 )
             };
+            ctx.rank.set_step(0);
             let mut pending = steps.first().map(&post);
             for (t, step) in steps.iter().enumerate() {
                 let (p_in, p_ker) = pending.take().expect("pipeline primed");
-                pending = steps.get(t + 1).map(&post);
+                if let Some(next) = steps.get(t + 1) {
+                    ctx.rank.set_step(t as u64 + 1);
+                    pending = Some(post(next));
+                }
+                ctx.rank.set_step(t as u64);
                 let _l_in = ctx.rank.mem().lease_or_panic(step.in_rng.len() as u64);
                 let in_tile = Tensor4::from_vec(step.in_rng.shape(), p_in.wait());
                 let _l_ker = ctx.rank.mem().lease_or_panic(step.ker_rng.len() as u64);
@@ -182,6 +192,9 @@ pub(crate) fn forward_tiles<T: Scalar>(ctx: &ForwardCtx<'_, '_, T>, out_slice: &
             }
         }
     }
+    // Whatever follows the tile loop (the caller's c-reduction) is its
+    // own step, the same one in both modes.
+    ctx.rank.set_step(steps.len() as u64);
 }
 
 /// Global `Out` range of tile step `[jb, jk, jh, jw]`.

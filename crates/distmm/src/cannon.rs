@@ -109,15 +109,19 @@ pub fn cannon_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
         debug_assert_eq!(a_kblk, b_kblk, "skew must align k-blocks");
         let (k_lo, k_hi) = dist_k.range(a_kblk);
         let kk = k_hi - k_lo;
+        // Trace stamping: the shift that feeds step t+1 is stamped t+1
+        // in both modes, so the canonical trace is mode-independent.
         match mode {
             CommMode::Blocking => {
                 // Compute step t, then exchange for t+1 (wait inline).
+                rank.set_step(step as u64);
                 let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, a_block);
                 let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, b_block);
                 rank.time_compute(|| local_matmul(kernel, &mut c_block, &a_m, &b_m));
                 a_block = a_m.into_vec();
                 b_block = b_m.into_vec();
                 if step + 1 < q {
+                    rank.set_step(step as u64 + 1);
                     a_block = row_comm.sendrecv_vec(a_dst, a_src, a_block);
                     b_block = col_comm.sendrecv_vec(b_dst, b_src, b_block);
                 }
@@ -127,16 +131,19 @@ pub fn cannon_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
                 // current blocks onto the wire), compute step t while
                 // the shifted blocks are in flight, then wait.
                 let pending = if step + 1 < q {
+                    rank.set_step(step as u64 + 1);
                     let pa = row_comm.isendrecv(a_dst, a_src, a_block.clone());
                     let pb = col_comm.isendrecv(b_dst, b_src, b_block.clone());
                     Some((pa, pb))
                 } else {
                     None
                 };
+                rank.set_step(step as u64);
                 let a_m = Matrix::from_vec(mi_hi - mi_lo, kk, std::mem::take(&mut a_block));
                 let b_m = Matrix::from_vec(kk, nj_hi - nj_lo, std::mem::take(&mut b_block));
                 rank.time_compute(|| local_matmul(kernel, &mut c_block, &a_m, &b_m));
                 if let Some((pa, pb)) = pending {
+                    rank.set_step(step as u64 + 1);
                     a_block = pa.wait();
                     b_block = pb.wait();
                 }
@@ -203,6 +210,7 @@ pub fn try_run_cannon(d: MatmulDims, q: usize, cfg: MachineConfig) -> Result<MmR
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
+        trace: report.trace,
     })
 }
 

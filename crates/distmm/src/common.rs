@@ -2,6 +2,7 @@
 
 use distconv_simnet::StatsSnapshot;
 use distconv_tensor::{Matrix, Scalar};
+use distconv_trace::{ConformanceReport, ConformanceRow, RunTrace, Tolerance};
 
 /// Problem dimensions: `C[m×n] = A[m×k] · B[k×n]`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,6 +101,37 @@ pub struct MmReport {
     pub sim_time: f64,
     /// Lamport communication makespan (dependency-aware).
     pub makespan: f64,
+    /// Per-rank span trace (empty when tracing was disabled).
+    pub trace: RunTrace,
+}
+
+impl MmReport {
+    /// Cost-model conformance: the measured total traffic against the
+    /// algorithm's exact closed-form volume, plus a per-rank
+    /// trace-vs-counter cross-check. The per-rank rows are skipped when
+    /// the trace is empty (tracing disabled) or any ring wrapped — a
+    /// wrapped ring undercounts by construction, so comparing it would
+    /// manufacture a failure.
+    pub fn conformance(&self, algo: &str) -> ConformanceReport {
+        let mut rep = ConformanceReport::new();
+        rep.push(ConformanceRow::new(
+            format!("{algo}/total-volume"),
+            self.stats.total_elems() as f64,
+            self.analytic_volume as f64,
+            Tolerance::Exact,
+        ));
+        if !self.trace.is_empty() && self.trace.total_dropped() == 0 {
+            for rank in 0..self.procs {
+                rep.push(ConformanceRow::new(
+                    format!("{algo}/rank{rank}-sent-elems"),
+                    self.trace.sent_elems(rank) as f64,
+                    self.stats.per_rank_elems[rank] as f64,
+                    Tolerance::Exact,
+                ));
+            }
+        }
+        rep
+    }
 }
 
 #[cfg(test)]

@@ -116,7 +116,10 @@ pub fn dns3d_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
     let _lc = rank.mem().lease_or_panic(c_part.len() as u64);
     rank.time_compute(|| local_matmul(LocalKernel::from_env(), &mut c_part, &a_m, &b_m));
 
-    // Reduce partials over l to the l = 0 face.
+    // Reduce partials over l to the l = 0 face. The broadcast phase is
+    // stamped step 0 (the default) in both modes; the reduction is its
+    // own step.
+    rank.set_step(1);
     let mut c_buf = c_part.into_vec();
     l_comm.reduce(0, &mut c_buf);
     if l == 0 {
@@ -160,6 +163,7 @@ pub fn try_run_dns3d(d: MatmulDims, p1: usize, cfg: MachineConfig) -> Result<MmR
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
+        trace: report.trace,
     })
 }
 

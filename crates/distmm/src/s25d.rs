@@ -170,9 +170,14 @@ pub fn s25d_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
         .filter(|w| w[0] < w[1])
         .map(|w| (w[0], w[1]))
         .collect();
+    // Trace stamping: the slab redistribution above is step 0, panel t
+    // is step t+1, the final reduction comes after the panels — and the
+    // pipelined path stamps a posted broadcast with the panel it
+    // carries, so the canonical trace is mode-independent.
     match mode {
         CommMode::Blocking => {
-            for &(k0, k1) in &panels {
+            for (t, &(k0, k1)) in panels.iter().enumerate() {
+                rank.set_step(t as u64 + 1);
                 let kk = k1 - k0;
                 let ja = dist_k.owner(k0);
                 let mut a_panel = if j == ja {
@@ -215,10 +220,15 @@ pub fn s25d_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
                     col_comm.ibcast(ib, b_payload),
                 )
             };
+            rank.set_step(1);
             let mut pending = panels.first().map(|&(k0, k1)| post(k0, k1));
             for (t, &(k0, k1)) in panels.iter().enumerate() {
                 let (pa, pb) = pending.take().expect("pipeline primed");
-                pending = panels.get(t + 1).map(|&(n0, n1)| post(n0, n1));
+                if let Some(&(n0, n1)) = panels.get(t + 1) {
+                    rank.set_step(t as u64 + 2);
+                    pending = Some(post(n0, n1));
+                }
+                rank.set_step(t as u64 + 1);
                 let kk = k1 - k0;
                 let _pl = rank.mem().lease_or_panic(((mi_hi - mi_lo) * kk) as u64);
                 let a_panel = pa.wait();
@@ -232,6 +242,7 @@ pub fn s25d_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
     }
 
     // --- Step 3: reduce partial C along l to layer 0. ---
+    rank.set_step(panels.len() as u64 + 1);
     let mut c_buf = c_block.into_vec();
     l_comm.reduce(0, &mut c_buf);
     if l == 0 {
@@ -286,6 +297,7 @@ pub fn try_run_25d(
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
+        trace: report.trace,
     })
 }
 

@@ -96,9 +96,13 @@ pub fn summa_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
         .filter(|w| w[0] < w[1])
         .map(|w| (w[0], w[1]))
         .collect();
+    // Trace stamping: panel t's broadcasts and multiply are stamped t
+    // in both modes — the pipelined path stamps a posted broadcast with
+    // the panel it carries, so the canonical trace is mode-independent.
     match mode {
         CommMode::Blocking => {
-            for &(k0, k1) in &panels {
+            for (t, &(k0, k1)) in panels.iter().enumerate() {
+                rank.set_step(t as u64);
                 let kk = k1 - k0;
                 // --- A panel: owner column broadcasts along the row. ---
                 let ja = cols_k_a.owner(k0);
@@ -149,10 +153,15 @@ pub fn summa_rank_body_mode<T: Scalar + distconv_simnet::Msg>(
             };
             // Prime the pipeline with panel 0, then per step: post the
             // broadcasts for panel t+1, wait for panel t, multiply.
+            rank.set_step(0);
             let mut pending = panels.first().map(|&(k0, k1)| post(k0, k1));
             for (t, &(k0, k1)) in panels.iter().enumerate() {
                 let (pa, pb) = pending.take().expect("pipeline primed");
-                pending = panels.get(t + 1).map(|&(n0, n1)| post(n0, n1));
+                if let Some(&(n0, n1)) = panels.get(t + 1) {
+                    rank.set_step(t as u64 + 1);
+                    pending = Some(post(n0, n1));
+                }
+                rank.set_step(t as u64);
                 let kk = k1 - k0;
                 let _pl = rank.mem().lease_or_panic(((mi_hi - mi_lo) * kk) as u64);
                 let a_panel = pa.wait();
@@ -200,6 +209,7 @@ pub fn try_run_summa(
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
+        trace: report.trace,
     })
 }
 
@@ -296,6 +306,27 @@ mod tests {
             .stats
             .total_elems();
         assert!(v4 > v2, "wider grid must move more A data: {v4} vs {v2}");
+    }
+
+    #[test]
+    fn conformance_cross_checks_trace_against_counters() {
+        let d = MatmulDims::new(30, 20, 25);
+        let r = run_summa(d, 2, 3, MachineConfig::default());
+        let rep = r.conformance("summa");
+        assert!(rep.pass(), "conformance failed:\n{rep}");
+        // One total-volume row plus one cross-check row per rank.
+        assert_eq!(rep.rows.len(), 1 + 6, "{rep}");
+        assert!(rep.rows[0].name.contains("summa/total-volume"));
+    }
+
+    #[test]
+    fn conformance_names_a_regressed_row() {
+        let d = MatmulDims::square(16);
+        let mut r = run_summa(d, 2, 2, MachineConfig::default());
+        r.analytic_volume += 1; // simulate a volume regression
+        let rep = r.conformance("summa");
+        assert!(!rep.pass());
+        assert_eq!(rep.failures()[0].name, "summa/total-volume");
     }
 
     #[test]

@@ -23,19 +23,36 @@ pub enum CommMode {
 }
 
 /// Env override, read by [`CommMode::from_env`]:
-/// `blocking`/`block`/`sync` selects [`CommMode::Blocking`], anything
-/// else (or unset) the default [`CommMode::Overlapped`].
+/// `blocking`/`block`/`sync` selects [`CommMode::Blocking`],
+/// `overlapped`/`overlap`/`async` selects [`CommMode::Overlapped`],
+/// unset means the default ([`CommMode::Overlapped`]). Any other value
+/// is a hard error — a typo must never silently become the default.
 pub const COMM_MODE_ENV: &str = "DISTCONV_COMM";
 
 impl CommMode {
+    /// Parse an explicit mode spelling. `Err` carries the full
+    /// diagnostic (offending value plus every accepted spelling).
+    pub fn parse(v: &str) -> Result<Self, String> {
+        match v.trim() {
+            "blocking" | "block" | "sync" => Ok(CommMode::Blocking),
+            "overlapped" | "overlap" | "async" => Ok(CommMode::Overlapped),
+            other => Err(format!(
+                "unrecognized {COMM_MODE_ENV} value {other:?}: expected one of \
+                 \"blocking\"/\"block\"/\"sync\" or \"overlapped\"/\"overlap\"/\"async\" \
+                 (or unset for the default, overlapped)"
+            )),
+        }
+    }
+
     /// Resolve the mode from [`COMM_MODE_ENV`], falling back to the
-    /// default ([`CommMode::Overlapped`]). Drivers call this once per
-    /// run; tests pass the mode explicitly instead (env mutation is
-    /// racy under a parallel test harness).
+    /// default ([`CommMode::Overlapped`]) only when the variable is
+    /// unset. An unrecognized value panics with the accepted spellings.
+    /// Drivers call this once per run; tests pass the mode explicitly
+    /// instead (env mutation is racy under a parallel test harness).
     pub fn from_env() -> Self {
         match std::env::var(COMM_MODE_ENV) {
-            Ok(v) if matches!(v.trim(), "blocking" | "block" | "sync") => CommMode::Blocking,
-            _ => CommMode::Overlapped,
+            Ok(v) => Self::parse(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => CommMode::Overlapped,
         }
     }
 
@@ -57,5 +74,27 @@ mod tests {
         assert_eq!(CommMode::default(), CommMode::Overlapped);
         assert_eq!(CommMode::Overlapped.name(), "overlapped");
         assert_eq!(CommMode::Blocking.name(), "blocking");
+    }
+
+    #[test]
+    fn parse_accepts_every_documented_spelling() {
+        for v in ["blocking", "block", "sync", " blocking "] {
+            assert_eq!(CommMode::parse(v), Ok(CommMode::Blocking), "{v:?}");
+        }
+        for v in ["overlapped", "overlap", "async"] {
+            assert_eq!(CommMode::parse(v), Ok(CommMode::Overlapped), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_typos_with_a_clear_message() {
+        // The motivating bug: "overlaped" used to fall through to the
+        // default silently.
+        let err = CommMode::parse("overlaped").expect_err("typo must be rejected");
+        assert!(err.contains("overlaped"), "names the offender: {err}");
+        assert!(err.contains("DISTCONV_COMM"), "names the knob: {err}");
+        assert!(err.contains("\"blocking\""), "lists spellings: {err}");
+        assert!(CommMode::parse("").is_err());
+        assert!(CommMode::parse("Blocking").is_err(), "case-sensitive");
     }
 }

@@ -29,18 +29,36 @@ pub enum LocalKernel {
 
 /// Env override, read by [`LocalKernel::from_env`]:
 /// `reference`/`ref`/`slow` selects [`LocalKernel::Reference`],
-/// anything else (or unset) the default [`LocalKernel::Fast`].
+/// `fast`/`gemm` selects [`LocalKernel::Fast`], unset means the default
+/// ([`LocalKernel::Fast`]). Any other value is a hard error — a typo
+/// must never silently become the default.
 pub const LOCAL_KERNEL_ENV: &str = "DISTCONV_LOCAL_KERNEL";
 
 impl LocalKernel {
+    /// Parse an explicit kernel spelling. `Err` carries the full
+    /// diagnostic (offending value plus every accepted spelling).
+    pub fn parse(v: &str) -> Result<Self, String> {
+        match v.trim() {
+            "reference" | "ref" | "slow" => Ok(LocalKernel::Reference),
+            "fast" | "gemm" => Ok(LocalKernel::Fast),
+            other => Err(format!(
+                "unrecognized {LOCAL_KERNEL_ENV} value {other:?}: expected one of \
+                 \"reference\"/\"ref\"/\"slow\" or \"fast\"/\"gemm\" \
+                 (or unset for the default, fast)"
+            )),
+        }
+    }
+
     /// Resolve the kernel selection from [`LOCAL_KERNEL_ENV`], falling
-    /// back to the default ([`LocalKernel::Fast`]). Executors call this
-    /// once per run, so flipping the whole workspace onto the reference
-    /// kernels (e.g. to bisect a numerical question) is one env var.
+    /// back to the default ([`LocalKernel::Fast`]) only when the
+    /// variable is unset; an unrecognized value panics with the
+    /// accepted spellings. Executors call this once per run, so
+    /// flipping the whole workspace onto the reference kernels (e.g. to
+    /// bisect a numerical question) is one env var.
     pub fn from_env() -> Self {
         match std::env::var(LOCAL_KERNEL_ENV) {
-            Ok(v) if matches!(v.trim(), "reference" | "ref" | "slow") => LocalKernel::Reference,
-            _ => LocalKernel::Fast,
+            Ok(v) => Self::parse(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => LocalKernel::Fast,
         }
     }
 
@@ -62,5 +80,29 @@ mod tests {
         assert_eq!(LocalKernel::default(), LocalKernel::Fast);
         assert_eq!(LocalKernel::Fast.name(), "fast");
         assert_eq!(LocalKernel::Reference.name(), "reference");
+    }
+
+    #[test]
+    fn parse_accepts_every_documented_spelling() {
+        for v in ["reference", "ref", "slow", " ref "] {
+            assert_eq!(LocalKernel::parse(v), Ok(LocalKernel::Reference), "{v:?}");
+        }
+        for v in ["fast", "gemm"] {
+            assert_eq!(LocalKernel::parse(v), Ok(LocalKernel::Fast), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_typos_with_a_clear_message() {
+        // The motivating bug: "fats" used to fall through to the
+        // default silently.
+        let err = LocalKernel::parse("fats").expect_err("typo must be rejected");
+        assert!(err.contains("fats"), "names the offender: {err}");
+        assert!(
+            err.contains("DISTCONV_LOCAL_KERNEL"),
+            "names the knob: {err}"
+        );
+        assert!(err.contains("\"reference\""), "lists spellings: {err}");
+        assert!(LocalKernel::parse("").is_err());
     }
 }

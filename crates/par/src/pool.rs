@@ -22,23 +22,37 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker-count override, read once per call (cheap: one env probe).
 /// `DISTCONV_THREADS=1` forces sequential execution — handy for
-/// debugging and for bitwise-determinism checks in CI.
-const THREADS_ENV: &str = "DISTCONV_THREADS";
+/// debugging and for bitwise-determinism checks in CI. An unparseable
+/// or zero value is a hard error, never a silent fallback.
+pub const THREADS_ENV: &str = "DISTCONV_THREADS";
+
+/// Parse an explicit `DISTCONV_THREADS` value: a positive integer.
+/// `Err` carries the full diagnostic (offending value and what is
+/// accepted) — `0` and non-numeric values used to be silently ignored.
+pub fn parse_threads(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "invalid {THREADS_ENV} value \"0\": the worker count must be a positive \
+             integer (unset the variable to use the budgeted default)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "invalid {THREADS_ENV} value {v:?}: expected a positive integer \
+             (unset the variable to use the budgeted default)"
+        )),
+    }
+}
 
 /// Number of workers a parallel call will use: `DISTCONV_THREADS` if
-/// set and nonzero (an exact per-pool pin that bypasses the budget
-/// arbiter), else the machine's available parallelism divided by the
-/// number of rank threads currently registered with
-/// [`crate::budget::enter_ranks`] — so a `P`-rank simulated machine and
-/// its per-rank kernel pools share the cores instead of multiplying
-/// them (1 if parallelism cannot be determined).
+/// set (an exact per-pool pin that bypasses the budget arbiter —
+/// panics on a zero or non-numeric value), else the machine's available
+/// parallelism divided by the number of rank threads currently
+/// registered with [`crate::budget::enter_ranks`] — so a `P`-rank
+/// simulated machine and its per-rank kernel pools share the cores
+/// instead of multiplying them (1 if parallelism cannot be determined).
 pub fn num_threads() -> usize {
     if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+        return parse_threads(&v).unwrap_or_else(|e| panic!("{e}"));
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     budgeted_threads(cores, crate::budget::active_ranks())
@@ -168,6 +182,26 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("16"), Ok(16));
+        assert_eq!(parse_threads(" 4 "), Ok(4), "whitespace trimmed");
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_and_garbage() {
+        // Both used to be silently ignored in favor of the budget.
+        let zero = parse_threads("0").expect_err("0 workers is meaningless");
+        assert!(zero.contains("DISTCONV_THREADS"), "names the knob: {zero}");
+        assert!(zero.contains("positive integer"), "says what fits: {zero}");
+        let junk = parse_threads("four").expect_err("non-numeric");
+        assert!(junk.contains("four"), "names the offender: {junk}");
+        assert!(parse_threads("").is_err());
+        assert!(parse_threads("-2").is_err());
+        assert!(parse_threads("2.5").is_err());
+    }
 
     #[test]
     fn chunks_cover_every_element_exactly_once() {

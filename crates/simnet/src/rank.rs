@@ -44,6 +44,7 @@ use crate::fault::{FaultPlan, CRASH_MARKER, MAX_SEND_ATTEMPTS};
 use crate::machine::{LinkDelay, MachineConfig};
 use crate::memory::MemoryTracker;
 use crate::stats::{CostParams, Stats};
+use distconv_trace::{SpanEvent, SpanKind, Tracer};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -128,9 +129,16 @@ pub struct Rank<T: Msg> {
     /// this rank has accumulated). Advanced by α+β·n per send, and to
     /// the arrival time on each receive — a Lamport makespan clock.
     clock: Cell<f64>,
+    /// Shared span tracer (`None` when tracing is disabled).
+    tracer: Option<Arc<Tracer>>,
+    /// Current schedule step, stamped onto every recorded span.
+    /// Executors advance it via [`Rank::set_step`] so that blocking and
+    /// pipelined schedules stamp the same traffic with the same step.
+    step: Cell<u64>,
 }
 
 impl<T: Msg> Rank<T> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: RankId,
         size: usize,
@@ -139,6 +147,7 @@ impl<T: Msg> Rank<T> {
         stats: Arc<Stats>,
         mem: MemoryTracker,
         cfg: &MachineConfig,
+        tracer: Option<Arc<Tracer>>,
     ) -> Self {
         Rank {
             id,
@@ -160,12 +169,58 @@ impl<T: Msg> Rank<T> {
             wire_seq: RefCell::new(HashMap::new()),
             holdback: RefCell::new(HashMap::new()),
             clock: Cell::new(0.0),
+            tracer,
+            step: Cell::new(0),
         }
     }
 
     /// This rank's current logical communication clock (seconds).
     pub fn clock(&self) -> f64 {
         self.clock.get()
+    }
+
+    /// Set the schedule step stamped onto subsequently recorded spans.
+    /// Pipelined executors call this with the step of the *payload*
+    /// being posted or awaited, keeping canonical traces identical to
+    /// the blocking schedule's. No-op semantics aside from tracing.
+    pub fn set_step(&self, step: u64) {
+        self.step.set(step);
+    }
+
+    /// The schedule step currently stamped onto recorded spans.
+    pub fn current_step(&self) -> u64 {
+        self.step.get()
+    }
+
+    /// Nanoseconds since the tracer epoch (0 with tracing disabled).
+    fn trace_now(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, |t| t.now_ns())
+    }
+
+    /// Record a span for this rank (no-op with tracing disabled).
+    fn trace_span(
+        &self,
+        kind: SpanKind,
+        peer: Option<RankId>,
+        tag: Tag,
+        elems: u64,
+        start_ns: u64,
+        dur_ns: u64,
+    ) {
+        if let Some(t) = &self.tracer {
+            t.record(
+                self.id,
+                SpanEvent {
+                    kind,
+                    step: self.step.get(),
+                    peer,
+                    tag,
+                    elems,
+                    start_ns,
+                    dur_ns,
+                },
+            );
+        }
     }
 
     /// This rank's id (`0..size`).
@@ -199,6 +254,14 @@ impl<T: Msg> Rank<T> {
         self.send_count.set(self.send_count.get() + 1);
         self.stats
             .record_send(self.id, data.len() as u64, dst == self.id);
+        self.trace_span(
+            SpanKind::Send,
+            Some(dst),
+            tag,
+            data.len() as u64,
+            self.trace_now(),
+            0,
+        );
         // Advance the logical clock by this message's α–β cost, scaled
         // by the straggler factor (self-sends are local copies: free).
         if dst != self.id {
@@ -263,9 +326,12 @@ impl<T: Msg> Rank<T> {
     /// their local kernels in this so `bench_comm` can split step time
     /// into comm-wait vs compute.
     pub fn time_compute<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start_ns = self.trace_now();
         let t0 = std::time::Instant::now();
         let out = f();
-        self.stats.record_compute_ns(t0.elapsed().as_nanos() as u64);
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        self.stats.record_compute_ns(dur_ns);
+        self.trace_span(SpanKind::Compute, None, 0, 0, start_ns, dur_ns);
         out
     }
 
@@ -323,6 +389,7 @@ impl<T: Msg> Rank<T> {
             loop {
                 if attempt > 0 {
                     self.stats.record_retransmit(n);
+                    self.trace_span(SpanKind::Retransmit, Some(dst), tag, n, self.trace_now(), 0);
                     // Exponential backoff in simulated time before the
                     // retransmit, plus the retransmit's own α–β cost.
                     let backoff = self.cost.alpha * (1u64 << attempt.min(20)) as f64;
@@ -508,10 +575,14 @@ impl<T: Msg> Rank<T> {
     /// timeout — the deadlock trap. Time spent here is recorded in the
     /// machine's comm-wait counter.
     pub fn recv(&self, src: RankId, tag: Tag) -> Vec<T> {
+        let start_ns = self.trace_now();
         let t0 = std::time::Instant::now();
         let out = self.recv_inner(src, tag);
-        self.stats
-            .record_comm_wait_ns(t0.elapsed().as_nanos() as u64);
+        let waited_ns = t0.elapsed().as_nanos() as u64;
+        self.stats.record_comm_wait_ns(waited_ns);
+        let n = out.len() as u64;
+        self.trace_span(SpanKind::CommWait, Some(src), tag, n, start_ns, waited_ns);
+        self.trace_span(SpanKind::Recv, Some(src), tag, n, start_ns + waited_ns, 0);
         out
     }
 
@@ -608,11 +679,15 @@ impl<T: Msg> Rank<T> {
     /// Returns `(source, data)`. Time spent here is recorded in the
     /// machine's comm-wait counter.
     pub fn recv_any(&self, tag: Tag) -> (RankId, Vec<T>) {
+        let start_ns = self.trace_now();
         let t0 = std::time::Instant::now();
-        let out = self.recv_any_inner(tag);
-        self.stats
-            .record_comm_wait_ns(t0.elapsed().as_nanos() as u64);
-        out
+        let (src, out) = self.recv_any_inner(tag);
+        let waited_ns = t0.elapsed().as_nanos() as u64;
+        self.stats.record_comm_wait_ns(waited_ns);
+        let n = out.len() as u64;
+        self.trace_span(SpanKind::CommWait, Some(src), tag, n, start_ns, waited_ns);
+        self.trace_span(SpanKind::Recv, Some(src), tag, n, start_ns + waited_ns, 0);
+        (src, out)
     }
 
     fn recv_any_inner(&self, tag: Tag) -> (RankId, Vec<T>) {

@@ -1,0 +1,179 @@
+//! Chrome trace-event JSON export (the `chrome://tracing` / Perfetto
+//! "JSON Array Format"), built on the in-tree `distconv_cost::json`
+//! writer — no external serializer, the build stays hermetic.
+//!
+//! Mapping: one process (`pid` 0) per run, one thread (`tid`) per rank.
+//! Spans with a duration (compute, comm-wait) become complete events
+//! (`ph: "X"`, `ts`/`dur` in microseconds); point events (send, recv,
+//! retransmit, checkpoint-restore) become thread-scoped instants
+//! (`ph: "i"`, `s: "t"`). Schedule facts travel in `args`.
+
+use crate::span::{SpanEvent, SpanKind};
+use crate::trace::RunTrace;
+use distconv_cost::json::{JsonArray, JsonObject};
+use distconv_cost::ToJson;
+
+/// `args` payload of one exported event.
+struct SpanArgs<'a>(&'a SpanEvent);
+
+impl ToJson for SpanArgs<'_> {
+    fn to_json(&self) -> String {
+        let ev = self.0;
+        let mut o = JsonObject::new()
+            .field_usize("step", ev.step as usize)
+            .field_usize("elems", ev.elems as usize);
+        if let Some(peer) = ev.peer {
+            o = o
+                .field_usize("peer", peer)
+                .field_usize("tag", ev.tag as usize);
+        }
+        o.finish()
+    }
+}
+
+fn event_json(rank: usize, ev: &SpanEvent) -> String {
+    let durational = matches!(ev.kind, SpanKind::Compute | SpanKind::CommWait);
+    let mut o = JsonObject::new()
+        .field_str("name", ev.kind.name())
+        .field_str("cat", "distconv")
+        .field_str("ph", if durational { "X" } else { "i" })
+        .field_usize("pid", 0)
+        .field_usize("tid", rank)
+        .field_f64("ts", ev.start_ns as f64 / 1e3);
+    if durational {
+        o = o.field_f64("dur", ev.dur_ns as f64 / 1e3);
+    } else {
+        o = o.field_str("s", "t");
+    }
+    o.field_json("args", &SpanArgs(ev)).finish()
+}
+
+impl RunTrace {
+    /// Export the timeline as Chrome trace-event JSON. Open the file in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events = JsonArray::new();
+        for r in &self.per_rank {
+            for ev in &r.events {
+                events = events.push_raw(&event_json(r.rank, ev));
+            }
+        }
+        JsonObject::new()
+            .field_str("displayTimeUnit", "ms")
+            .field_raw_into("traceEvents", events.finish())
+            .finish()
+    }
+}
+
+/// Append a pre-rendered JSON value as an object field. Lives here (as
+/// a tiny extension trait) rather than in `distconv_cost::json` to keep
+/// that writer's surface minimal.
+trait FieldRaw {
+    fn field_raw_into(self, name: &str, rendered: String) -> Self;
+}
+
+impl FieldRaw for JsonObject {
+    fn field_raw_into(self, name: &str, rendered: String) -> Self {
+        struct Raw(String);
+        impl ToJson for Raw {
+            fn to_json(&self) -> String {
+                self.0.clone()
+            }
+        }
+        self.field_json(name, &Raw(rendered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+    use distconv_cost::json::JsonValue;
+
+    fn sample_trace() -> RunTrace {
+        let t = Tracer::new(2, 16);
+        t.record(
+            0,
+            SpanEvent {
+                kind: SpanKind::Compute,
+                step: 0,
+                peer: None,
+                tag: 0,
+                elems: 0,
+                start_ns: 1_000,
+                dur_ns: 2_500,
+            },
+        );
+        t.record(
+            0,
+            SpanEvent {
+                kind: SpanKind::Send,
+                step: 1,
+                peer: Some(1),
+                tag: 42,
+                elems: 64,
+                start_ns: 4_000,
+                dur_ns: 0,
+            },
+        );
+        t.record(
+            1,
+            SpanEvent {
+                kind: SpanKind::CommWait,
+                step: 1,
+                peer: Some(0),
+                tag: 42,
+                elems: 64,
+                start_ns: 500,
+                dur_ns: 3_700,
+            },
+        );
+        t.into_run_trace()
+    }
+
+    #[test]
+    fn export_parses_and_has_one_event_per_span() {
+        let json = sample_trace().to_chrome_json();
+        let v = JsonValue::parse(&json).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            v.get("displayTimeUnit").and_then(|d| d.as_str()),
+            Some("ms")
+        );
+    }
+
+    #[test]
+    fn durational_and_instant_phases() {
+        let json = sample_trace().to_chrome_json();
+        let v = JsonValue::parse(&json).unwrap();
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let compute = &events[0];
+        assert_eq!(compute.get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert_eq!(compute.get("ts").and_then(|t| t.as_f64()), Some(1.0));
+        assert_eq!(compute.get("dur").and_then(|d| d.as_f64()), Some(2.5));
+        let send = &events[1];
+        assert_eq!(send.get("ph").and_then(|p| p.as_str()), Some("i"));
+        assert_eq!(send.get("s").and_then(|s| s.as_str()), Some("t"));
+        assert_eq!(send.get("tid").and_then(|t| t.as_f64()), Some(0.0));
+        let wait = &events[2];
+        assert_eq!(wait.get("tid").and_then(|t| t.as_f64()), Some(1.0));
+        assert_eq!(wait.get("name").and_then(|n| n.as_str()), Some("comm-wait"));
+    }
+
+    #[test]
+    fn args_carry_schedule_facts() {
+        let json = sample_trace().to_chrome_json();
+        let v = JsonValue::parse(&json).unwrap();
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let args = events[1].get("args").expect("args object");
+        assert_eq!(args.get("step").and_then(|s| s.as_f64()), Some(1.0));
+        assert_eq!(args.get("peer").and_then(|p| p.as_f64()), Some(1.0));
+        assert_eq!(args.get("elems").and_then(|e| e.as_f64()), Some(64.0));
+        // Compute spans have no peer/tag.
+        assert!(events[0].get("args").unwrap().get("peer").is_none());
+    }
+}

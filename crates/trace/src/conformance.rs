@@ -1,0 +1,233 @@
+//! The cost-model conformance checker: measured traffic vs the
+//! analytic predictions (Eqs. 4, 6–9 via the per-algorithm closed
+//! forms, Eq. 10 as an aggregate upper bound).
+//!
+//! Each comparison is a named [`ConformanceRow`] with an explicit
+//! [`Tolerance`]; a failing row names itself, so a communication-volume
+//! regression fails CI with "cannon/total-volume deviated", not a
+//! diffed table.
+
+use distconv_cost::json::{JsonArray, JsonObject};
+
+/// How close measured must be to predicted for a row to pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Tolerance {
+    /// Bit-exact: the algorithmic schedules are deterministic integer
+    /// element counts, so their totals must match the closed forms
+    /// element for element.
+    Exact,
+    /// Relative deviation at most this fraction (e.g. `0.05` = 5%).
+    Relative(f64),
+    /// The prediction is an upper bound: measured must not exceed it
+    /// (the Eq. 10 aggregate rows — the realized schedule may beat the
+    /// model's simplifications, never the other way).
+    UpperBound,
+}
+
+impl Tolerance {
+    /// Human-readable description for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Tolerance::Exact => "exact".to_string(),
+            Tolerance::Relative(r) => format!("rel<={r}"),
+            Tolerance::UpperBound => "upper-bound".to_string(),
+        }
+    }
+}
+
+/// One measured-vs-predicted comparison.
+#[derive(Clone, Debug)]
+pub struct ConformanceRow {
+    /// What is being compared (algorithm/quantity, e.g.
+    /// `"cannon/total-volume"` or `"conv/rank3-sent-elems"`).
+    pub name: String,
+    /// The measured value (element counts as `f64` — exact below 2^53,
+    /// far beyond any shape in the suites).
+    pub measured: f64,
+    /// The analytic prediction.
+    pub predicted: f64,
+    /// The pass criterion.
+    pub tol: Tolerance,
+}
+
+impl ConformanceRow {
+    /// A named comparison row.
+    pub fn new(name: impl Into<String>, measured: f64, predicted: f64, tol: Tolerance) -> Self {
+        ConformanceRow {
+            name: name.into(),
+            measured,
+            predicted,
+            tol,
+        }
+    }
+
+    /// Absolute deviation `|measured − predicted|`.
+    pub fn abs_dev(&self) -> f64 {
+        (self.measured - self.predicted).abs()
+    }
+
+    /// Relative deviation `|measured − predicted| / max(|predicted|, 1)`.
+    pub fn rel_dev(&self) -> f64 {
+        self.abs_dev() / self.predicted.abs().max(1.0)
+    }
+
+    /// Does this row meet its tolerance?
+    pub fn pass(&self) -> bool {
+        match self.tol {
+            Tolerance::Exact => self.measured == self.predicted,
+            Tolerance::Relative(r) => self.rel_dev() <= r,
+            Tolerance::UpperBound => self.measured <= self.predicted,
+        }
+    }
+}
+
+/// A full conformance report: every row of one run (or one suite).
+#[derive(Clone, Debug, Default)]
+pub struct ConformanceReport {
+    /// The comparisons, in presentation order.
+    pub rows: Vec<ConformanceRow>,
+}
+
+impl ConformanceReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        ConformanceReport::default()
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: ConformanceRow) {
+        self.rows.push(row);
+    }
+
+    /// Append every row of `other`.
+    pub fn extend(&mut self, other: ConformanceReport) {
+        self.rows.extend(other.rows);
+    }
+
+    /// True iff every row passes.
+    pub fn pass(&self) -> bool {
+        self.rows.iter().all(ConformanceRow::pass)
+    }
+
+    /// The failing rows (empty on a passing report).
+    pub fn failures(&self) -> Vec<&ConformanceRow> {
+        self.rows.iter().filter(|r| !r.pass()).collect()
+    }
+
+    /// Machine-readable JSON (`distconv-conformance-v1`).
+    pub fn to_json(&self) -> String {
+        let mut rows = JsonArray::new();
+        for r in &self.rows {
+            rows = rows.push_raw(
+                &JsonObject::new()
+                    .field_str("name", &r.name)
+                    .field_f64("measured", r.measured)
+                    .field_f64("predicted", r.predicted)
+                    .field_f64("abs_dev", r.abs_dev())
+                    .field_f64("rel_dev", r.rel_dev())
+                    .field_str("tolerance", &r.tol.describe())
+                    .field_str("status", if r.pass() { "pass" } else { "FAIL" })
+                    .finish(),
+            );
+        }
+        JsonObject::new()
+            .field_str("schema", "distconv-conformance-v1")
+            .field_str("status", if self.pass() { "pass" } else { "FAIL" })
+            .field_json("rows", &RawJson(rows.finish()))
+            .finish()
+    }
+}
+
+struct RawJson(String);
+impl distconv_cost::ToJson for RawJson {
+    fn to_json(&self) -> String {
+        self.0.clone()
+    }
+}
+
+impl std::fmt::Display for ConformanceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<34}  {:>16}  {:>16}  {:>10}  {:>11}  {:>6}",
+            "row", "measured", "predicted", "rel_dev", "tolerance", "status"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<34}  {:>16}  {:>16}  {:>10.3e}  {:>11}  {:>6}",
+                r.name,
+                r.measured,
+                r.predicted,
+                r.rel_dev(),
+                r.tol.describe(),
+                if r.pass() { "pass" } else { "FAIL" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_rows_demand_equality() {
+        assert!(ConformanceRow::new("a", 100.0, 100.0, Tolerance::Exact).pass());
+        assert!(!ConformanceRow::new("a", 100.0, 101.0, Tolerance::Exact).pass());
+    }
+
+    #[test]
+    fn relative_rows_allow_the_stated_slack() {
+        let row = |m| ConformanceRow::new("r", m, 1000.0, Tolerance::Relative(0.05));
+        assert!(row(1050.0).pass());
+        assert!(row(950.0).pass());
+        assert!(!row(1051.0).pass());
+        assert!((row(1050.0).rel_dev() - 0.05).abs() < 1e-12);
+        assert_eq!(row(1050.0).abs_dev(), 50.0);
+    }
+
+    #[test]
+    fn upper_bound_rows_are_one_sided() {
+        assert!(ConformanceRow::new("u", 10.0, 100.0, Tolerance::UpperBound).pass());
+        assert!(ConformanceRow::new("u", 100.0, 100.0, Tolerance::UpperBound).pass());
+        assert!(!ConformanceRow::new("u", 100.1, 100.0, Tolerance::UpperBound).pass());
+    }
+
+    #[test]
+    fn report_names_the_failing_row() {
+        let mut rep = ConformanceReport::new();
+        rep.push(ConformanceRow::new("good", 5.0, 5.0, Tolerance::Exact));
+        rep.push(ConformanceRow::new("bad-row", 6.0, 5.0, Tolerance::Exact));
+        assert!(!rep.pass());
+        let fails = rep.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].name, "bad-row");
+        let text = rep.to_string();
+        assert!(text.contains("bad-row"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_in_tree_parser() {
+        use distconv_cost::json::JsonValue;
+        let mut rep = ConformanceReport::new();
+        rep.push(ConformanceRow::new("x", 4.0, 4.0, Tolerance::Exact));
+        let v = JsonValue::parse(&rep.to_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("distconv-conformance-v1")
+        );
+        assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("pass"));
+        let rows = v.get("rows").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(rows[0].get("name").and_then(|n| n.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn rel_dev_guards_divide_by_zero() {
+        let r = ConformanceRow::new("z", 3.0, 0.0, Tolerance::Relative(0.1));
+        assert_eq!(r.rel_dev(), 3.0);
+        assert!(!r.pass());
+    }
+}

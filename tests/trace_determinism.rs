@@ -1,0 +1,93 @@
+//! Trace determinism: the canonical (wall-clock-stripped) span trace
+//! of a run is a pure function of the schedule — identical across
+//! `CommMode::{Blocking,Overlapped}` and across `DISTCONV_THREADS`
+//! settings.
+//!
+//! Cross-mode equality is asserted directly. Cross-thread-count
+//! equality is asserted via the committed golden digests below: CI runs
+//! this suite in both the `DISTCONV_THREADS=1` and `DISTCONV_THREADS=4`
+//! legs, and both must reproduce the same numbers.
+
+use distconv_core::DistConv;
+use distconv_cost::{Conv2dProblem, MachineSpec, Planner};
+use distconv_distmm::{summa_rank_body_mode, MatmulDims};
+use distconv_par::CommMode;
+use distconv_simnet::{Machine, MachineConfig};
+use distconv_trace::RunTrace;
+
+/// Golden digest of the representative conv layer's canonical trace.
+/// If a deliberate schedule change moves this, update it and say why in
+/// the commit message — an *unexplained* move is a trace regression.
+const CONV_GOLDEN_DIGEST: u64 = 0x7872_a055_3ccd_7382;
+
+/// Golden digest of the SUMMA canonical trace.
+const SUMMA_GOLDEN_DIGEST: u64 = 0x96b1_8902_610d_41f7;
+
+fn conv_trace(mode: CommMode) -> RunTrace {
+    let p = Conv2dProblem::square(4, 16, 16, 8, 3);
+    let plan = Planner::new(p, MachineSpec::new(8, 1 << 20))
+        .plan()
+        .unwrap();
+    DistConv::<f64>::new(plan)
+        .with_comm_mode(mode)
+        .run_verified(23)
+        .unwrap()
+        .trace
+}
+
+fn summa_trace(mode: CommMode) -> RunTrace {
+    let d = MatmulDims::new(30, 20, 25);
+    Machine::try_run::<f64, _, _>(6, MachineConfig::default(), move |rank| {
+        summa_rank_body_mode(rank, &d, 2, 3, mode)
+    })
+    .unwrap()
+    .trace
+}
+
+#[test]
+fn conv_canonical_trace_is_mode_independent() {
+    let blocking = conv_trace(CommMode::Blocking);
+    let overlapped = conv_trace(CommMode::Overlapped);
+    assert!(!blocking.is_empty(), "tracing is on by default");
+    assert_eq!(blocking.total_dropped(), 0, "ring must not wrap");
+    assert_eq!(
+        blocking.canonical(),
+        overlapped.canonical(),
+        "canonical conv trace differs between comm modes"
+    );
+    assert_eq!(
+        blocking.digest(),
+        CONV_GOLDEN_DIGEST,
+        "conv trace digest moved (got {:#018x}) — schedule change or trace regression",
+        blocking.digest()
+    );
+}
+
+#[test]
+fn summa_canonical_trace_is_mode_independent() {
+    let blocking = summa_trace(CommMode::Blocking);
+    let overlapped = summa_trace(CommMode::Overlapped);
+    assert!(!blocking.is_empty(), "tracing is on by default");
+    assert_eq!(blocking.total_dropped(), 0, "ring must not wrap");
+    assert_eq!(
+        blocking.canonical(),
+        overlapped.canonical(),
+        "canonical SUMMA trace differs between comm modes"
+    );
+    assert_eq!(
+        blocking.digest(),
+        SUMMA_GOLDEN_DIGEST,
+        "SUMMA trace digest moved (got {:#018x}) — schedule change or trace regression",
+        blocking.digest()
+    );
+}
+
+#[test]
+fn repeat_runs_reproduce_the_digest() {
+    // Same mode, two runs: the digest is a pure function of the
+    // schedule, not of thread interleaving or wall-clock.
+    let a = conv_trace(CommMode::Overlapped);
+    let b = conv_trace(CommMode::Overlapped);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.canonical(), b.canonical());
+}
