@@ -1,0 +1,5 @@
+//! Event-backend scale sweep: Eq. 10/11 and the constant-gap theorem
+//! validated against measured traffic at P up to 4096 (E15).
+fn main() {
+    println!("{}", distconv_bench::e15_scale_sweep());
+}

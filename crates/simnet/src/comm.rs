@@ -49,6 +49,35 @@ enum Op {
     SendRecv = 9,
 }
 
+/// Broadcast algorithm selector for [`Communicator::bcast_algo`]. All
+/// three move the same total volume `(n−1)·v`; they differ in how the
+/// α–β makespan scales with the member count `n` and payload `v`:
+///
+/// | algorithm | makespan (α–β model)          | regime it wins        |
+/// |-----------|-------------------------------|-----------------------|
+/// | linear    | `(n−1)·(α + β·v)`             | never (baseline)      |
+/// | binomial  | `≈ ⌈log₂ n⌉·(α + β·v)`        | small payloads        |
+/// | ring      | `(n+S−2)·(α + β·v/S)`         | large payloads        |
+///
+/// (`S` = segment count of the pipelined ring.) `bench_collectives`
+/// measures all three against the paper's rotating-root schedule on the
+/// discrete-event backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BcastAlgo {
+    /// Root sends to every other member directly: `n−1` serialized
+    /// sends at the root — the point-to-point baseline, and exactly the
+    /// shape of one step of the paper's rotating owner-broadcast
+    /// schedule (each step's owner plays root).
+    Linear,
+    /// Binomial tree — what [`Communicator::bcast`] uses. Latency-
+    /// optimal: `⌈log₂ n⌉` dependent hops.
+    Binomial,
+    /// Pipelined chain `root → root+1 → … → root+n−1`, payload split
+    /// into `min(v, n)` segments. Bandwidth-optimal for large `v`: the
+    /// per-member cost approaches `β·v` regardless of `n`.
+    Ring,
+}
+
 /// Error constructing a [`Communicator`]: the member list is unusable.
 /// Planner-generated lists surface these as errors instead of aborts.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -246,6 +275,68 @@ impl<'a, T: Msg> Communicator<'a, T> {
                 root,
                 tag,
                 payload: None,
+            }
+        }
+    }
+
+    /// Broadcast from member index `root` using an explicit algorithm
+    /// (see [`BcastAlgo`]); `BcastAlgo::Binomial` is bit-identical to
+    /// [`Communicator::bcast`]. Same contract: all members pass buffers
+    /// of identical length, non-root contents are replaced. All
+    /// algorithms move exactly `(n−1)·len` elements — they differ only
+    /// in dependency structure, i.e. in the α–β makespan.
+    #[allow(clippy::ptr_arg)]
+    pub fn bcast_algo(&self, root: usize, buf: &mut Vec<T>, algo: BcastAlgo) {
+        let n = self.size();
+        assert!(root < n, "bcast root {root} out of range");
+        if n == 1 {
+            return;
+        }
+        match algo {
+            BcastAlgo::Binomial => self.bcast(root, buf),
+            BcastAlgo::Linear => {
+                let tag = self.next_tag(Op::Bcast);
+                if self.me == root {
+                    // Rotated send order (root+1, root+2, … wrapping):
+                    // irrelevant for a single broadcast, but composing
+                    // rotating-root rounds (the paper's schedule) then
+                    // pipelines — each round's first message feeds the
+                    // next round's root instead of rank 0.
+                    for off in 1..n {
+                        self.send_m((root + off) % n, tag, buf);
+                    }
+                } else {
+                    *buf = self.recv_m(root, tag);
+                }
+            }
+            BcastAlgo::Ring => {
+                let tag = self.next_tag(Op::Bcast);
+                // Pipelined segments: enough to hide the chain depth,
+                // never more than the payload can be split into.
+                let segs = buf.len().min(n).max(1);
+                let counts = even_counts(buf.len(), segs);
+                let pos = (self.me + n - root) % n; // position along the chain
+                let next = (pos + 1 < n).then(|| (self.me + 1) % n);
+                if pos == 0 {
+                    let offsets = prefix_sums(&counts);
+                    if let Some(nx) = next {
+                        for (&off, &cnt) in offsets.iter().zip(&counts) {
+                            self.send_m(nx, tag, &buf[off..off + cnt]);
+                        }
+                    }
+                } else {
+                    let prev = (self.me + n - 1) % n;
+                    let mut out = Vec::with_capacity(buf.len());
+                    for &cnt in &counts {
+                        let seg = self.recv_m(prev, tag);
+                        assert_eq!(seg.len(), cnt, "ring bcast segment mismatch");
+                        if let Some(nx) = next {
+                            self.send_m(nx, tag, &seg);
+                        }
+                        out.extend_from_slice(&seg);
+                    }
+                    *buf = out;
+                }
             }
         }
     }
@@ -943,6 +1034,75 @@ mod tests {
         assert_eq!(r.results[0], vec![1.0; 4]);
         assert_eq!(r.results[1], vec![0.0; 4]);
         assert_eq!(r.stats.total_elems(), 8);
+    }
+
+    #[test]
+    fn bcast_algo_all_algorithms_agree_on_data_and_volume() {
+        for algo in [BcastAlgo::Linear, BcastAlgo::Binomial, BcastAlgo::Ring] {
+            for p in [2usize, 3, 5, 8] {
+                for root in [0, p / 2, p - 1] {
+                    let r = run_world(p, move |comm| {
+                        let mut buf = if comm.me() == root {
+                            (0..10).map(|i| i as f64 * 0.5).collect()
+                        } else {
+                            vec![0.0; 10]
+                        };
+                        comm.bcast_algo(root, &mut buf, algo);
+                        buf
+                    });
+                    let expect: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
+                    for (i, res) in r.results.iter().enumerate() {
+                        assert_eq!(res, &expect, "{algo:?} p={p} root={root} rank={i}");
+                    }
+                    // Every algorithm moves exactly (p−1)·len elements.
+                    assert_eq!(
+                        r.stats.total_elems(),
+                        10 * (p as u64 - 1),
+                        "{algo:?} p={p} root={root}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_algo_makespans_order_as_the_alpha_beta_model_predicts() {
+        // Large payload, 8 members: linear is (n−1) serialized full-
+        // payload hops; the tree cuts that to ⌈log₂ n⌉ dependent hops;
+        // the pipelined ring approaches a single payload time. The
+        // Lamport makespan must reproduce this ordering exactly.
+        // Payload large enough that β·v/S dominates α, else the ring's
+        // extra message count costs more latency than it saves.
+        let p = 8usize;
+        let v = 1usize << 18;
+        let cfg = MachineConfig::default();
+        let run = move |algo: BcastAlgo| {
+            Machine::run::<f64, _, _>(p, cfg, move |rank| {
+                let comm = Communicator::world(rank);
+                let mut buf = vec![1.0; v];
+                comm.bcast_algo(0, &mut buf, algo);
+            })
+            .makespan
+        };
+        let linear = run(BcastAlgo::Linear);
+        let tree = run(BcastAlgo::Binomial);
+        let ring = run(BcastAlgo::Ring);
+        let hop = cfg.cost.alpha + cfg.cost.beta * v as f64;
+        assert!(
+            (linear - 7.0 * hop).abs() < 1e-12,
+            "linear {linear} vs {}",
+            7.0 * hop
+        );
+        // Binomial: depth 3 for p = 8 (root's serialized sends add < 1 hop).
+        assert!(tree >= 2.99 * hop && tree <= 4.0 * hop, "tree {tree}");
+        // Ring with S = 8 segments: (n+S−2)·(α+β·v/8) ≈ 1.75·β·v.
+        let seg_hop = cfg.cost.alpha + cfg.cost.beta * (v as f64 / 8.0);
+        assert!(
+            (ring - 14.0 * seg_hop).abs() < 1e-12,
+            "ring {ring} vs {}",
+            14.0 * seg_hop
+        );
+        assert!(ring < tree && tree < linear, "{ring} < {tree} < {linear}");
     }
 
     #[test]

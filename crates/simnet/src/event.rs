@@ -1,0 +1,309 @@
+//! Discrete-event execution backend: virtual time instead of wall time.
+//!
+//! The thread-per-rank backend caps simulated machine sizes at what the
+//! host can schedule comfortably; the paper's Eq. 10/11 claims only get
+//! interesting at `P` in the hundreds-to-thousands. This module makes
+//! those sizes cheap: the same `P` OS threads are spawned (rank bodies
+//! are plain closures and cannot be suspended mid-stack any other way
+//! without external coroutine machinery), but an [`EventScheduler`]
+//! gates them cooperatively so **exactly one rank body runs at a time**.
+//! A rank keeps the floor until it would block in a receive with an
+//! empty mailbox; it then parks and the scheduler hands the floor to the
+//! runnable rank with the smallest `(virtual clock, rank id)` — a
+//! classic discrete-event loop whose "event list" is the set of blocked
+//! ranks and whose clock is the Lamport α–β clock every rank already
+//! carries (see `Rank::clock`).
+//!
+//! ## Why observables are backend-independent
+//!
+//! Nothing observable depends on *which* runnable rank goes first:
+//!
+//! * **Results** — message matching is by `(source, tag)` with per-pair
+//!   FIFO, so the value each receive returns is a pure function of the
+//!   program, not of arrival interleaving. (`recv_any` is the one
+//!   order-sensitive primitive; no algorithm in the workspace uses it.)
+//! * **Counters** — `Stats` records logical sends at the sender, keyed
+//!   by nothing temporal.
+//! * **Virtual time** — the Lamport clock advances by `α + β·n` per
+//!   send and to `max(own, sender's departure)` per matched receive;
+//!   both rules are schedule-independent, so per-rank clocks and the
+//!   makespan are bitwise identical to the thread backend's.
+//! * **Canonical traces** — `RunTrace::canonical` strips wall-clock
+//!   fields and sorts spans deterministically.
+//!
+//! The scheduling *policy* (smallest clock first) therefore only decides
+//! wall-time locality, never output; the backend-equivalence suite at
+//! the workspace root pins all four properties.
+//!
+//! ## Deadlock detection
+//!
+//! The thread backend discovers deadlocks with a receive timeout. Under
+//! virtual time the scheduler knows the truth exactly: if no rank is
+//! runnable and at least one is blocked, the run is deadlocked *now*.
+//! The scheduler poisons itself and releases every blocked rank, each of
+//! which raises the same "deadlock trap" panic the timeout path uses —
+//! so failure classification upstream is unchanged, and the trap fires
+//! in microseconds instead of after a 30 s timeout.
+
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+
+/// Which execution backend a [`crate::Machine`] run uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// One OS thread per rank, all runnable concurrently — the default.
+    /// Real parallelism (kernels and ranks overlap on the host's cores)
+    /// but machine sizes are bounded by what the OS schedules well.
+    #[default]
+    Thread,
+    /// Discrete-event: the same threads gated to one-at-a-time by an
+    /// [`EventScheduler`]. No rank-level host parallelism, but `P` in
+    /// the thousands simulates in seconds and all algorithmic
+    /// observables (results, counters, Lamport clocks, canonical
+    /// traces) are bitwise identical to [`Backend::Thread`].
+    Event,
+}
+
+impl Backend {
+    /// Parse a `DISTCONV_BACKEND` value.
+    pub fn parse(v: &str) -> Result<Backend, String> {
+        match v {
+            "thread" => Ok(Backend::Thread),
+            "event" => Ok(Backend::Event),
+            other => Err(format!(
+                "unrecognized backend {other:?} (expected \"thread\" or \"event\")"
+            )),
+        }
+    }
+
+    /// Backend selected by the `DISTCONV_BACKEND` environment variable
+    /// (`thread` | `event`); [`Backend::Thread`] when unset. Panics on
+    /// an unrecognized value — a typo must not silently fall back.
+    pub fn from_env() -> Backend {
+        match std::env::var("DISTCONV_BACKEND") {
+            Ok(v) => Backend::parse(&v).unwrap_or_else(|e| panic!("DISTCONV_BACKEND: {e}")),
+            Err(_) => Backend::Thread,
+        }
+    }
+}
+
+/// How compute sections ([`crate::Rank::time_compute`]) charge the
+/// virtual clock. Independent of the backend choice: the default keeps
+/// compute free on the clock (communication-only makespans, exactly the
+/// paper's cost model and bitwise identical across backends); the other
+/// variants let benches model compute/communication ratios.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum ComputeModel {
+    /// Compute costs nothing in virtual time (the default). Makespans
+    /// are pure α–β communication time — deterministic and
+    /// backend-independent.
+    #[default]
+    Off,
+    /// Charge the *measured* wall time of each compute section, scaled:
+    /// `virtual seconds = wall seconds × scale`. Host-dependent, so
+    /// makespans stop being deterministic — a benching knob, never for
+    /// goldens.
+    Measured {
+        /// Wall-to-virtual scale factor (1.0 = real time).
+        scale: f64,
+    },
+    /// Charge a fixed number of virtual seconds per compute section —
+    /// deterministic sampled compute for what-if studies.
+    Fixed {
+        /// Virtual seconds per `time_compute` call.
+        seconds: f64,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Runnable, waiting in the ready heap for the floor.
+    Ready,
+    /// Holds the floor (at most one rank at a time, pre-poison).
+    Running,
+    /// Parked in a receive with an empty mailbox; a message must arrive
+    /// before this rank can be scheduled again.
+    Blocked,
+    /// Rank body returned (or panicked and was caught).
+    Done,
+}
+
+/// The scheduler told a blocked rank that the run is deadlocked: no
+/// rank is runnable and no message can ever arrive.
+pub(crate) struct Poisoned;
+
+struct SchedState {
+    status: Vec<Status>,
+    /// Virtual clock each rank carried when it last blocked (scheduling
+    /// key only — the authoritative clock lives in the `Rank`).
+    clock: Vec<f64>,
+    /// Park handles, registered by each rank thread at startup.
+    threads: Vec<Option<std::thread::Thread>>,
+    /// Min-heap of `(clock bits, rank)` over Ready ranks. Entries are
+    /// lazily invalidated: pop checks the live status. Clocks are
+    /// non-negative, so `f64::to_bits` orders like the float.
+    ready: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    /// The rank currently holding the floor.
+    current: Option<usize>,
+    /// Rank threads that have registered their park handle.
+    registered: usize,
+    /// Deadlock declared: every blocked rank must trap.
+    poisoned: bool,
+}
+
+/// Cooperative one-runner-at-a-time scheduler for [`Backend::Event`].
+/// Created per machine run; every `Rank` of the run holds an `Arc`.
+pub(crate) struct EventScheduler {
+    state: Mutex<SchedState>,
+}
+
+impl EventScheduler {
+    pub(crate) fn new(p: usize) -> Self {
+        EventScheduler {
+            state: Mutex::new(SchedState {
+                status: vec![Status::Ready; p],
+                clock: vec![0.0; p],
+                threads: vec![None; p],
+                ready: (0..p).map(|id| std::cmp::Reverse((0, id))).collect(),
+                current: None,
+                registered: 0,
+                poisoned: false,
+            }),
+        }
+    }
+
+    /// Hand the floor to the Ready rank with the smallest
+    /// `(clock, id)`, or declare deadlock if none exists but blocked
+    /// ranks do. Caller holds the lock.
+    fn dispatch(st: &mut SchedState) {
+        st.current = None;
+        while let Some(std::cmp::Reverse((_, id))) = st.ready.pop() {
+            if st.status[id] != Status::Ready {
+                continue; // stale entry
+            }
+            st.status[id] = Status::Running;
+            st.current = Some(id);
+            if let Some(t) = &st.threads[id] {
+                t.unpark();
+            }
+            return;
+        }
+        if st.status.contains(&Status::Blocked) {
+            // No runnable rank, at least one waiting on a message that
+            // can never come: the run is deadlocked. Release everyone so
+            // each blocked rank raises its own deadlock trap.
+            st.poisoned = true;
+            for (id, t) in st.threads.iter().enumerate() {
+                if st.status[id] != Status::Done {
+                    if let Some(t) = t {
+                        t.unpark();
+                    }
+                }
+            }
+        }
+        // Else: every rank is Done and the run is over.
+    }
+
+    /// Park until this rank holds the floor (or the run is poisoned —
+    /// returned as `Err` so receive paths raise the deadlock trap).
+    fn wait_floor(&self, id: usize) -> Result<(), Poisoned> {
+        loop {
+            {
+                let st = self.state.lock().unwrap();
+                if st.current == Some(id) {
+                    return Ok(());
+                }
+                if st.poisoned {
+                    return Err(Poisoned);
+                }
+            }
+            std::thread::park();
+        }
+    }
+
+    /// Called once by each rank thread before its body runs: register
+    /// the park handle and wait for the first dispatch. The last
+    /// registrant starts the event loop.
+    pub(crate) fn start(&self, id: usize) {
+        {
+            let mut st = self.state.lock().unwrap();
+            st.threads[id] = Some(std::thread::current());
+            st.registered += 1;
+            if st.registered == st.threads.len() {
+                Self::dispatch(&mut st);
+            }
+        }
+        // A poisoned result is impossible before the first dispatch;
+        // tolerate it anyway by letting the body run into its first
+        // receive, which will trap.
+        let _ = self.wait_floor(id);
+    }
+
+    /// The running rank found its mailbox empty: give up the floor and
+    /// park until a message for it arrives *and* the scheduler hands
+    /// the floor back. `clock` is the rank's virtual time at the block,
+    /// the scheduling key for its eventual resumption.
+    pub(crate) fn yield_blocked(&self, id: usize, clock: f64) -> Result<(), Poisoned> {
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.poisoned {
+                return Err(Poisoned);
+            }
+            st.status[id] = Status::Blocked;
+            st.clock[id] = clock;
+            if st.current == Some(id) {
+                Self::dispatch(&mut st);
+            }
+        }
+        self.wait_floor(id)
+    }
+
+    /// A message was just enqueued for `dst`: if it is blocked, make it
+    /// runnable (it gets the floor when its clock comes up).
+    pub(crate) fn notify(&self, dst: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.status[dst] == Status::Blocked {
+            st.status[dst] = Status::Ready;
+            let key = st.clock[dst].to_bits();
+            st.ready.push(std::cmp::Reverse((key, dst)));
+        }
+    }
+
+    /// The rank body returned (or its panic was caught): release the
+    /// floor permanently.
+    pub(crate) fn retire(&self, id: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.status[id] = Status::Done;
+        if st.current == Some(id) {
+            Self::dispatch(&mut st);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parse_roundtrip() {
+        assert_eq!(Backend::parse("thread"), Ok(Backend::Thread));
+        assert_eq!(Backend::parse("event"), Ok(Backend::Event));
+        assert!(Backend::parse("fiber").is_err());
+        assert_eq!(Backend::default(), Backend::Thread);
+    }
+
+    #[test]
+    fn compute_model_default_is_off() {
+        assert_eq!(ComputeModel::default(), ComputeModel::Off);
+    }
+
+    #[test]
+    fn clock_bits_order_like_floats() {
+        // The ready heap keys on to_bits(); verify the monotonicity
+        // assumption for the non-negative clocks we feed it.
+        let xs = [0.0f64, 1e-9, 1e-6, 0.5, 1.0, 1e6];
+        for w in xs.windows(2) {
+            assert!(w[0].to_bits() < w[1].to_bits(), "{} vs {}", w[0], w[1]);
+        }
+    }
+}

@@ -51,6 +51,7 @@
 
 pub mod channel;
 pub mod comm;
+pub mod event;
 pub mod fault;
 pub mod grid;
 pub mod machine;
@@ -58,7 +59,8 @@ pub mod memory;
 pub mod rank;
 pub mod stats;
 
-pub use comm::{CommError, Communicator, PendingBcast, PendingRecv};
+pub use comm::{BcastAlgo, CommError, Communicator, PendingBcast, PendingRecv};
+pub use event::{Backend, ComputeModel};
 pub use fault::{CrashAt, FaultPlan, Straggler, CRASH_MARKER, MAX_SEND_ATTEMPTS};
 pub use grid::CartGrid;
 pub use machine::{

@@ -11,6 +11,7 @@
 //! collectives.
 
 use crate::channel::unbounded;
+use crate::event::{Backend, ComputeModel, EventScheduler};
 use crate::fault::{FaultPlan, CRASH_MARKER};
 use crate::memory::MemoryTracker;
 use crate::rank::{Msg, Packet, Rank, RankId};
@@ -37,6 +38,12 @@ pub struct MachineConfig {
     /// Structured span tracing (default: on, per-rank ring buffers;
     /// see `distconv_trace`).
     pub trace: TraceConfig,
+    /// Execution backend (default: thread-per-rank, overridable via
+    /// `DISTCONV_BACKEND`; see [`crate::event`]).
+    pub backend: Backend,
+    /// Virtual-clock charge for compute sections (default: off — the
+    /// clock is pure α–β communication time).
+    pub compute: ComputeModel,
 }
 
 impl Default for MachineConfig {
@@ -48,6 +55,8 @@ impl Default for MachineConfig {
             faults: FaultPlan::default(),
             link: LinkDelay::default(),
             trace: TraceConfig::default(),
+            backend: Backend::from_env(),
+            compute: ComputeModel::default(),
         }
     }
 }
@@ -90,6 +99,16 @@ impl LinkDelay {
     /// Wire time of an `n`-element message.
     pub fn wire_time(&self, n: usize) -> Duration {
         self.alpha + Duration::from_nanos((self.beta_ns_per_elem * n as f64) as u64)
+    }
+
+    /// The same α–β line expressed as [`CostParams`]: the bridge from
+    /// wall-clock link emulation (thread backend) to the virtual clock
+    /// (event backend), so one network description drives both.
+    pub fn cost_params(&self) -> CostParams {
+        CostParams {
+            alpha: self.alpha.as_secs_f64(),
+            beta: self.beta_ns_per_elem * 1e-9,
+        }
     }
 }
 
@@ -243,10 +262,14 @@ impl Machine {
         F: Fn(&Rank<T>) -> R + Send + Sync,
     {
         assert!(p > 0, "machine needs at least one rank");
-        // Register the P rank threads with the shared thread budget so
+        // Register the rank threads with the shared thread budget so
         // per-rank kernel pools size themselves to cores/P instead of
-        // oversubscribing (released when the run finishes).
-        let _budget = distconv_par::budget::enter_ranks(p);
+        // oversubscribing (released when the run finishes). The event
+        // backend runs one rank at a time, so it registers a single
+        // rank and each body's kernels keep the full core budget.
+        let event = cfg.backend == Backend::Event;
+        let _budget = distconv_par::budget::enter_ranks(if event { 1 } else { p });
+        let sched = event.then(|| Arc::new(EventScheduler::new(p)));
         let stats = Arc::new(Stats::new(p));
         let tracer: Option<Arc<Tracer>> = cfg
             .trace
@@ -278,11 +301,18 @@ impl Machine {
                     trackers[id].clone(),
                     &cfg,
                     tracer.clone(),
+                    sched.clone(),
                 );
                 let body = &body;
                 let panics = &panics;
                 let clock_slot = &clocks[id];
+                let sched = sched.clone();
                 handles.push(scope.spawn(move || {
+                    // Event backend: wait for the scheduler's first
+                    // dispatch before the body runs.
+                    if let Some(s) = &sched {
+                        s.start(id);
+                    }
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&rank))) {
                         Ok(r) => {
                             // Release any reorder-held packets before the
@@ -295,6 +325,11 @@ impl Machine {
                             );
                         }
                         Err(e) => panics.lock().unwrap().push((id, e)),
+                    }
+                    // Hand the floor off even when the body panicked —
+                    // otherwise one crashed rank would wedge the run.
+                    if let Some(s) = &sched {
+                        s.retire(id);
                     }
                 }));
             }
@@ -560,14 +595,151 @@ mod tests {
         }
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let p = cores * 2; // deliberately oversubscribed
-        let r =
-            Machine::run::<f32, _, _>(p, MachineConfig::default(), |_| distconv_par::num_threads());
+                           // Pinned to the thread backend: the event backend intentionally
+                           // registers a single rank (one body runs at a time), so its
+                           // pools keep the full budget and this assertion doesn't apply.
+        let cfg = MachineConfig {
+            backend: Backend::Thread,
+            ..MachineConfig::default()
+        };
+        let r = Machine::run::<f32, _, _>(p, cfg, |_| distconv_par::num_threads());
         // cores / (2·cores) rounds to 0 → clamped to 1 worker per rank.
         // Concurrent tests holding budget guards only shrink it further.
         assert!(
             r.results.iter().all(|&t| t == 1),
             "oversubscribed machine must budget pools down to 1 worker, got {:?}",
             r.results
+        );
+    }
+
+    #[test]
+    fn event_backend_matches_thread_backend_bitwise() {
+        // Same relay on both backends: results, counters, clocks.
+        let body = |rank: &crate::Rank<f64>| {
+            if rank.id() == 0 {
+                rank.send(1, 1, &[0.25; 100]);
+                Vec::new()
+            } else {
+                let v = rank.recv(rank.id() - 1, 1);
+                if rank.id() + 1 < rank.size() {
+                    rank.send(rank.id() + 1, 1, &v);
+                }
+                v
+            }
+        };
+        let thread_cfg = MachineConfig {
+            backend: Backend::Thread,
+            ..MachineConfig::default()
+        };
+        let event_cfg = MachineConfig {
+            backend: Backend::Event,
+            ..MachineConfig::default()
+        };
+        let a = Machine::run::<f64, _, _>(5, thread_cfg, body);
+        let b = Machine::run::<f64, _, _>(5, event_cfg, body);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.peak_mem, b.peak_mem);
+        assert_eq!(a.trace.canonical(), b.trace.canonical());
+    }
+
+    #[test]
+    fn event_backend_detects_deadlock_without_waiting_for_the_timeout() {
+        // The scheduler proves the deadlock; the 1-hour timeout is
+        // never consulted. (The thread backend would block here.)
+        let cfg = MachineConfig {
+            backend: Backend::Event,
+            recv_timeout: Duration::from_secs(3600),
+            ..MachineConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        let err = Machine::try_run::<f32, _, _>(3, cfg, |rank| {
+            if rank.id() == 0 {
+                let _ = rank.recv(1, 42); // nobody sends this
+            }
+        })
+        .expect_err("starved receive must fail the run");
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "trap must be immediate"
+        );
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].rank, 0);
+        assert_eq!(err.failures[0].kind, FailureKind::Deadlock);
+    }
+
+    #[test]
+    fn event_backend_survives_a_crashing_rank() {
+        // The crashed rank must hand the floor off so the survivor can
+        // reach its own (detected) starvation instead of wedging.
+        let cfg = MachineConfig {
+            backend: Backend::Event,
+            faults: FaultPlan::default().with_crash(1, 1),
+            ..MachineConfig::default()
+        };
+        let err = Machine::try_run::<u64, _, _>(3, cfg, |rank| {
+            if rank.id() == 1 {
+                rank.send(2, 5, &[1]);
+            }
+            if rank.id() == 2 {
+                let _ = rank.recv(1, 5);
+            }
+        })
+        .expect_err("crash must fail the run");
+        assert_eq!(err.failed_ranks(), vec![1, 2]);
+        assert_eq!(err.failures[0].kind, FailureKind::Crash);
+        assert_eq!(err.failures[1].kind, FailureKind::Deadlock);
+    }
+
+    #[test]
+    fn event_backend_runs_hundreds_of_ranks() {
+        // Far past the host's core count: a binomial bcast over 512
+        // ranks, with the analytic makespan check of the small cases.
+        use crate::comm::Communicator;
+        let cfg = MachineConfig {
+            backend: Backend::Event,
+            trace: TraceConfig::off(),
+            ..MachineConfig::default()
+        };
+        let p = 512usize;
+        let r = Machine::run::<f32, _, _>(p, cfg, move |rank| {
+            let comm = Communicator::world(rank);
+            let mut buf = vec![rank.id() as f32; 16];
+            if comm.me() != 3 {
+                buf = vec![0.0; 16];
+            }
+            comm.bcast(3, &mut buf);
+            buf[0]
+        });
+        assert!(r.results.iter().all(|&v| v == 3.0));
+        assert_eq!(r.stats.total_elems(), 16 * (p as u64 - 1));
+        let hop = cfg.cost.alpha + cfg.cost.beta * 16.0;
+        // Depth of the 512-member binomial tree is 9; the root's
+        // serialized child sends add at most one more hop.
+        assert!(r.makespan >= 9.0 * hop * 0.99 && r.makespan <= 10.0 * hop);
+    }
+
+    #[test]
+    fn fixed_compute_model_charges_the_virtual_clock() {
+        use crate::event::ComputeModel;
+        let cfg = MachineConfig {
+            compute: ComputeModel::Fixed { seconds: 0.5 },
+            ..MachineConfig::default()
+        };
+        let r = Machine::run::<f32, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                rank.time_compute(|| ());
+                rank.send(1, 1, &[1.0]);
+            } else {
+                let _ = rank.recv(0, 1);
+            }
+        });
+        let expect = 0.5 + cfg.cost.alpha + cfg.cost.beta;
+        assert!(
+            (r.makespan - expect).abs() < 1e-12,
+            "{} vs {expect}",
+            r.makespan
         );
     }
 

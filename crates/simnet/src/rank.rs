@@ -39,7 +39,8 @@
 //! network. With an all-zero plan the transport takes the exact
 //! pre-fault code path.
 
-use crate::channel::{Receiver, RecvTimeoutError, Sender};
+use crate::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crate::event::{ComputeModel, EventScheduler};
 use crate::fault::{FaultPlan, CRASH_MARKER, MAX_SEND_ATTEMPTS};
 use crate::machine::{LinkDelay, MachineConfig};
 use crate::memory::MemoryTracker;
@@ -131,6 +132,11 @@ pub struct Rank<T: Msg> {
     clock: Cell<f64>,
     /// Shared span tracer (`None` when tracing is disabled).
     tracer: Option<Arc<Tracer>>,
+    /// Cooperative scheduler of the discrete-event backend (`None` on
+    /// the thread backend — blocking receives use the OS instead).
+    sched: Option<Arc<EventScheduler>>,
+    /// Virtual-clock charge for compute sections (default: free).
+    compute: ComputeModel,
     /// Current schedule step, stamped onto every recorded span.
     /// Executors advance it via [`Rank::set_step`] so that blocking and
     /// pipelined schedules stamp the same traffic with the same step.
@@ -148,6 +154,7 @@ impl<T: Msg> Rank<T> {
         mem: MemoryTracker,
         cfg: &MachineConfig,
         tracer: Option<Arc<Tracer>>,
+        sched: Option<Arc<EventScheduler>>,
     ) -> Self {
         Rank {
             id,
@@ -170,6 +177,8 @@ impl<T: Msg> Rank<T> {
             holdback: RefCell::new(HashMap::new()),
             clock: Cell::new(0.0),
             tracer,
+            sched,
+            compute: cfg.compute,
             step: Cell::new(0),
         }
     }
@@ -332,6 +341,16 @@ impl<T: Msg> Rank<T> {
         let dur_ns = t0.elapsed().as_nanos() as u64;
         self.stats.record_compute_ns(dur_ns);
         self.trace_span(SpanKind::Compute, None, 0, 0, start_ns, dur_ns);
+        // Under a non-default ComputeModel the section also charges the
+        // virtual clock (straggler-scaled, like every other charge).
+        let virt = match self.compute {
+            ComputeModel::Off => 0.0,
+            ComputeModel::Measured { scale } => dur_ns as f64 * 1e-9 * scale,
+            ComputeModel::Fixed { seconds } => seconds,
+        };
+        if virt > 0.0 {
+            self.clock.set(self.clock.get() + self.straggle * virt);
+        }
         out
     }
 
@@ -493,6 +512,7 @@ impl<T: Msg> Rank<T> {
                 self.id
             );
         }
+        self.notify_sched(dst);
     }
 
     /// Best-effort enqueue for fire-and-forget traffic (acks, holdback
@@ -500,7 +520,21 @@ impl<T: Msg> Rank<T> {
     /// own; losing this packet is the realistic outcome, not a new
     /// failure.
     fn transmit_lossy(&self, dst: RankId, pkt: Packet<T>) {
-        let _ = self.senders[dst].send(pkt);
+        if self.senders[dst].send(pkt).is_ok() {
+            self.notify_sched(dst);
+        }
+    }
+
+    /// Event backend: a packet just landed in `dst`'s mailbox — mark a
+    /// blocked destination runnable. No-op on the thread backend (the
+    /// channel's condvar wakes the receiver) and for self-sends (we are
+    /// running, hence not blocked).
+    fn notify_sched(&self, dst: RankId) {
+        if let Some(s) = &self.sched {
+            if dst != self.id {
+                s.notify(dst);
+            }
+        }
     }
 
     /// Transmit every held-back (reorder-faulted) packet. Called before
@@ -586,6 +620,29 @@ impl<T: Msg> Rank<T> {
         out
     }
 
+    /// Pull the next packet from the mailbox, blocking in the
+    /// backend-appropriate way: the thread backend waits on the channel
+    /// (bounded by the deadlock-trap timeout), the event backend yields
+    /// the floor to the scheduler until a message arrives. A scheduler
+    /// poison (provable deadlock) surfaces as `Timeout`, so both
+    /// backends trip the identical deadlock-trap panic at the caller.
+    fn blocking_pull(&self, remaining: Duration) -> Result<Packet<T>, RecvTimeoutError> {
+        let Some(sched) = &self.sched else {
+            return self.rx.recv_timeout(remaining);
+        };
+        loop {
+            match self.rx.try_recv() {
+                Ok(pkt) => return Ok(pkt),
+                Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                Err(TryRecvError::Empty) => {
+                    if sched.yield_blocked(self.id, self.clock.get()).is_err() {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
     fn recv_inner(&self, src: RankId, tag: Tag) -> Vec<T> {
         if !self.faults.is_noop() {
             self.flush_holdbacks();
@@ -605,7 +662,7 @@ impl<T: Msg> Rank<T> {
         let deadline = std::time::Instant::now() + self.timeout;
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            match self.rx.recv_timeout(remaining) {
+            match self.blocking_pull(remaining) {
                 Ok(pkt) => {
                     let Some(pkt) = self.ingest(pkt) else {
                         continue;
@@ -642,7 +699,7 @@ impl<T: Msg> Rank<T> {
         let deadline = std::time::Instant::now() + self.timeout;
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            match self.rx.recv_timeout(remaining) {
+            match self.blocking_pull(remaining) {
                 Ok(pkt) => {
                     let Some(pkt) = self.ingest(pkt) else {
                         continue;
@@ -708,7 +765,7 @@ impl<T: Msg> Rank<T> {
         let deadline = std::time::Instant::now() + self.timeout;
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            match self.rx.recv_timeout(remaining) {
+            match self.blocking_pull(remaining) {
                 Ok(pkt) => {
                     let Some(pkt) = self.ingest(pkt) else {
                         continue;
@@ -739,7 +796,7 @@ impl<T: Msg> Rank<T> {
         let deadline = std::time::Instant::now() + self.timeout;
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            match self.rx.recv_timeout(remaining) {
+            match self.blocking_pull(remaining) {
                 Ok(pkt) => {
                     let Some(pkt) = self.ingest(pkt) else {
                         continue;

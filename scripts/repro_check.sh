@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Reproducibility gate: the analytical tables (Tables 1 and 2 of the
-# paper) must be bit-identical to the checked-in goldens. These tables
-# are pure closed-form/brute-force arithmetic — no timing, no thread
-# scheduling — so any diff is a real behavior change in the cost model,
-# never noise. Regenerate the goldens deliberately with:
+# paper) and the event-backend scale sweep must be bit-identical to the
+# checked-in goldens. The tables are pure closed-form/brute-force
+# arithmetic and the sweep runs on the deterministic discrete-event
+# backend — no wall timing, no thread scheduling — so any diff is a
+# real behavior change in the cost model or the schedule, never noise.
+# Regenerate the goldens deliberately with:
 #
 #   scripts/repro_check.sh --bless
 #
@@ -12,8 +14,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GOLDEN_DIR=tests/goldens
-BINS=(repro_table1 repro_table2)
-GOLDENS=(table1.txt table2.txt)
+BINS=(repro_table1 repro_table2 repro_scale)
+GOLDENS=(table1.txt table2.txt scale.txt)
 
 cargo build --release --offline --workspace -q
 

@@ -1,0 +1,194 @@
+//! Backend equivalence: every algorithmic observable of a run —
+//! results, communication counters, peak memory, Lamport makespan, and
+//! the canonical trace digest — must be **bitwise identical** between
+//! the thread-per-rank backend and the discrete-event backend.
+//!
+//! This is the contract that makes the event backend's thousand-rank
+//! sweeps evidence about the *algorithms* rather than about the
+//! simulator: DESIGN.md §10 explains why the property holds (FIFO
+//! `(src, tag)` matching, sender-side counters, schedule-independent
+//! Lamport clock rules); this suite pins it on the GVM conv executor,
+//! all four distmm algorithms, a baseline, and property-sampled shapes.
+//!
+//! Shapes are sampled from a seeded PRNG (override with
+//! `DISTCONV_PROPTEST_SEED` to explore; failures print the seed).
+
+use distconv_baselines::try_run_data_parallel;
+use distconv_core::DistConv;
+use distconv_cost::{Conv2dProblem, MachineSpec, Planner};
+use distconv_distmm::{try_run_25d, try_run_cannon, try_run_dns3d, try_run_summa, MatmulDims};
+use distconv_simnet::{Backend, MachineConfig};
+
+fn cfg_for(backend: Backend) -> MachineConfig {
+    MachineConfig {
+        backend,
+        ..MachineConfig::default()
+    }
+}
+
+/// Deterministic SplitMix64 (the workspace's standard PRNG idiom).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo + 1)
+    }
+}
+
+fn sample_seed() -> u64 {
+    std::env::var("DISTCONV_PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xD15C_0B0D)
+}
+
+#[test]
+fn conv_executor_is_backend_equivalent() {
+    // The representative layer of the trace-determinism golden, plus
+    // sampled layers: run on both backends, compare everything.
+    let seed = sample_seed();
+    let mut rng = Rng(seed);
+    let mut layers = vec![Conv2dProblem::square(4, 16, 16, 8, 3)];
+    for _ in 0..2 {
+        layers.push(Conv2dProblem::square(
+            rng.range(2, 4),
+            4 * rng.range(2, 4),
+            4 * rng.range(2, 4),
+            8,
+            3,
+        ));
+    }
+    for problem in layers {
+        let plan = Planner::new(problem, MachineSpec::new(8, 1 << 20))
+            .plan()
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: no plan for {problem:?}: {e}"));
+        let run = |backend| {
+            DistConv::<f64>::new(plan)
+                .with_config(cfg_for(backend))
+                .run_with_outputs(23)
+                .unwrap_or_else(|e| panic!("seed {seed:#x} {backend:?}: {e}"))
+        };
+        let (ra, outs_a) = run(Backend::Thread);
+        let (rb, outs_b) = run(Backend::Event);
+        assert_eq!(ra.stats, rb.stats, "seed {seed:#x} counters");
+        assert_eq!(ra.peak_mem, rb.peak_mem, "seed {seed:#x} peak memory");
+        assert_eq!(
+            ra.makespan.to_bits(),
+            rb.makespan.to_bits(),
+            "seed {seed:#x} makespan"
+        );
+        assert_eq!(
+            ra.trace.digest(),
+            rb.trace.digest(),
+            "seed {seed:#x} canonical trace digest"
+        );
+        assert_eq!(outs_a.len(), outs_b.len());
+        for (a, b) in outs_a.iter().zip(&outs_b) {
+            assert_eq!(a.coords, b.coords, "seed {seed:#x}");
+            assert_eq!(a.out_origin, b.out_origin, "seed {seed:#x}");
+            assert_eq!(a.slice, b.slice, "seed {seed:#x} output slices differ");
+        }
+    }
+}
+
+#[test]
+fn distmm_algorithms_are_backend_equivalent() {
+    // Sampled dims for all four matmul algorithms. `verified` already
+    // checks numerics against the sequential reference; the cross-
+    // backend assertions check counters, makespan, and trace digest.
+    let seed = sample_seed();
+    let mut rng = Rng(seed ^ 0xA11);
+    for case in 0..3 {
+        let d = MatmulDims::new(
+            6 * rng.range(2, 5),
+            6 * rng.range(2, 5),
+            6 * rng.range(2, 5),
+        );
+        type Runner = Box<dyn Fn(Backend) -> distconv_distmm::MmReport>;
+        let runs: Vec<(&str, Runner)> = vec![
+            (
+                "summa",
+                Box::new(move |b| try_run_summa(d, 2, 3, cfg_for(b)).unwrap()),
+            ),
+            (
+                "cannon",
+                Box::new(move |b| try_run_cannon(d, 3, cfg_for(b)).unwrap()),
+            ),
+            (
+                "dns3d",
+                Box::new(move |b| try_run_dns3d(d, 2, cfg_for(b)).unwrap()),
+            ),
+            (
+                "s25d",
+                Box::new(move |b| try_run_25d(d, 2, 2, cfg_for(b)).unwrap()),
+            ),
+        ];
+        for (name, run) in runs {
+            let a = run(Backend::Thread);
+            let b = run(Backend::Event);
+            assert!(
+                a.verified && b.verified,
+                "seed {seed:#x} {name} case {case}"
+            );
+            assert_eq!(a.stats, b.stats, "seed {seed:#x} {name} counters");
+            assert_eq!(
+                a.max_peak_mem, b.max_peak_mem,
+                "seed {seed:#x} {name} peak memory"
+            );
+            assert_eq!(
+                a.makespan.to_bits(),
+                b.makespan.to_bits(),
+                "seed {seed:#x} {name} makespan"
+            );
+            assert_eq!(
+                a.trace.digest(),
+                b.trace.digest(),
+                "seed {seed:#x} {name} canonical trace digest"
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_is_backend_equivalent() {
+    let p = Conv2dProblem::square(8, 8, 8, 8, 3);
+    let run = |backend| try_run_data_parallel(p, 4, 7, true, cfg_for(backend)).unwrap();
+    let a = run(Backend::Thread);
+    let b = run(Backend::Event);
+    assert!(a.verified && b.verified);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.max_peak_mem, b.max_peak_mem);
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert_eq!(a.trace.digest(), b.trace.digest());
+}
+
+#[test]
+fn event_backend_reproduces_the_golden_trace_digests() {
+    // The committed goldens of tests/trace_determinism.rs, reproduced
+    // on the event backend: the strongest single equivalence statement,
+    // because the digest covers every span of every rank.
+    const CONV_GOLDEN_DIGEST: u64 = 0x7872_a055_3ccd_7382;
+    let p = Conv2dProblem::square(4, 16, 16, 8, 3);
+    let plan = Planner::new(p, MachineSpec::new(8, 1 << 20))
+        .plan()
+        .unwrap();
+    let report = DistConv::<f64>::new(plan)
+        .with_config(cfg_for(Backend::Event))
+        .run_verified(23)
+        .unwrap();
+    assert!(report.verified);
+    assert_eq!(
+        report.trace.digest(),
+        CONV_GOLDEN_DIGEST,
+        "event backend moved the conv golden digest (got {:#018x})",
+        report.trace.digest()
+    );
+}
