@@ -1,0 +1,7 @@
+//! Chaos at scale: sampled fault plans at P ∈ {256, 1024} on the
+//! discrete-event backend, plus degraded recovery from a persistent
+//! crash (E16). Every row is a pure function of the pinned chaos seed.
+fn main() {
+    println!("{}", distconv_bench::e16_chaos_sweep());
+    println!("{}", distconv_bench::e16_degraded_recovery());
+}

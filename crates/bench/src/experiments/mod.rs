@@ -1,11 +1,13 @@
 //! Experiment drivers, one `eN_*` function per DESIGN.md §4 entry.
 
 pub mod analytic;
+pub mod chaos;
 pub mod faults;
 pub mod simulated;
 pub mod trace;
 
 pub use analytic::{e1_table1, e2_table2, e4_property5, e5_ml_deflation, e8_regime_sweep};
+pub use chaos::{e16_chaos_sweep, e16_degraded_recovery, E16_CHAOS_SEED};
 pub use faults::{e13_fault_sweep, E13_FAULT_SEED};
 pub use simulated::{
     e10_scaling, e11_alpha_beta, e12_network, e15_scale_sweep, e3_gvm_exactness, e6_distributed,

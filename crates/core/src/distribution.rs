@@ -91,8 +91,31 @@ pub fn ker_c_dist(plan: &DistPlan) -> BlockDist {
     BlockDist::new(plan.w.wc, plan.grid.pbhw())
 }
 
-/// Materialize rank `rank_id`'s initial data for `plan` from `seed`.
-pub fn distribute<T: Scalar>(plan: &DistPlan, rank_id: usize, seed: u64) -> RankData<T> {
+/// A rank's shard *geometry*: the global regions its initial `In` and
+/// `Ker` sub-slices cover, without materializing any data. Pure
+/// function of `(plan, rank_id)` — the degraded-recovery layer uses it
+/// to compute redistribution volumes between an old and a shrunken grid
+/// by region intersection, exactly like the inter-layer accounting in
+/// [`crate::network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardGeometry {
+    /// Grid coordinates `[i_b, i_k, i_c, i_h, i_w]`.
+    pub coords: [usize; 5],
+    /// Linear position along the `bhw` fiber (see [`RankData::bhw_pos`]).
+    pub bhw_pos: usize,
+    /// Global `In` region `(b, c, x, y)` of the rank's sub-slice.
+    pub in_region: Range4,
+    /// Channels (relative to `W_c`) of the `In` sub-slice: `[lo, hi)`.
+    pub in_c_range: (usize, usize),
+    /// Global `Ker` region `(k, c, r, s)` of the rank's sub-slice.
+    pub ker_region: Range4,
+    /// Channels (relative to `W_c`) of the `Ker` sub-slice.
+    pub ker_c_range: (usize, usize),
+}
+
+/// Compute rank `rank_id`'s shard geometry for `plan` (data-free twin
+/// of [`distribute`] — kept in lockstep by a unit test).
+pub fn shard_geometry(plan: &DistPlan, rank_id: usize) -> ShardGeometry {
     let p = &plan.problem;
     let w = plan.w;
     let grid = plan_grid(plan);
@@ -107,41 +130,81 @@ pub fn distribute<T: Scalar>(plan: &DistPlan, rank_id: usize, seed: u64) -> Rank
     let [ib, ik, ic, ih, iw] = coords;
     let bhw_pos = (ib * plan.grid.ph + ih) * plan.grid.pw + iw;
 
+    // In sub-slice: channels of the slice split over the k fiber.
+    let (c_lo, c_hi) = in_c_dist(plan).range(ik);
+    let in_origin = [
+        ib * w.wb,
+        ic * w.wc + c_lo,
+        p.sw * (iw * w.ww),
+        p.sh * (ih * w.wh),
+    ];
+    let in_extents = [
+        w.wb,
+        c_hi - c_lo,
+        conv_input_extent(w.ww, p.sw, p.nr),
+        conv_input_extent(w.wh, p.sh, p.ns),
+    ];
+
+    // Ker sub-slice: channels of the slice split over the bhw fiber.
+    let (kc_lo, kc_hi) = ker_c_dist(plan).range(bhw_pos);
+    let ker_origin = [ik * w.wk, ic * w.wc + kc_lo, 0, 0];
+    let ker_extents = [w.wk, kc_hi - kc_lo, p.nr, p.ns];
+
+    let hi = |o: [usize; 4], e: [usize; 4]| [o[0] + e[0], o[1] + e[1], o[2] + e[2], o[3] + e[3]];
+    ShardGeometry {
+        coords,
+        bhw_pos,
+        in_region: Range4::new(in_origin, hi(in_origin, in_extents)),
+        in_c_range: (c_lo, c_hi),
+        ker_region: Range4::new(ker_origin, hi(ker_origin, ker_extents)),
+        ker_c_range: (kc_lo, kc_hi),
+    }
+}
+
+/// Materialize rank `rank_id`'s initial data for `plan` from `seed`.
+pub fn distribute<T: Scalar>(plan: &DistPlan, rank_id: usize, seed: u64) -> RankData<T> {
+    let p = &plan.problem;
+    let w = plan.w;
+    let geom = shard_geometry(plan, rank_id);
+    let [ib, ik, _ic, ih, iw] = geom.coords;
+
     // --- Out slice: the full work-partition output, zeroed. ---
     let out_origin = [ib * w.wb, ik * w.wk, iw * w.ww, ih * w.wh];
     let out_slice = Tensor4::zeros(Shape4::new(w.wb, w.wk, w.ww, w.wh));
 
     // --- In sub-slice: channels of the slice split over the k fiber. ---
     let global_in_shape = Shape4::new(p.nb, p.nc, p.in_w(), p.in_h());
-    let (c_lo, c_hi) = in_c_dist(plan).range(ik);
-    let b0 = ib * w.wb;
-    let x0 = p.sw * (iw * w.ww);
-    let y0 = p.sh * (ih * w.wh);
-    let x_ext = conv_input_extent(w.ww, p.sw, p.nr);
-    let y_ext = conv_input_extent(w.wh, p.sh, p.ns);
-    let in_origin = [b0, ic * w.wc + c_lo, x0, y0];
-    let in_shape = Shape4::new(w.wb, c_hi - c_lo, x_ext, y_ext);
-    let in_shard = Tensor4::random_window(in_shape, seed, in_origin, global_in_shape);
+    let in_origin = geom.in_region.lo;
+    let [eb, ec, ex, ey] = geom.in_region.extents();
+    let in_shard = Tensor4::random_window(
+        Shape4::new(eb, ec, ex, ey),
+        seed,
+        in_origin,
+        global_in_shape,
+    );
 
     // --- Ker sub-slice: channels of the slice split over the bhw fiber. ---
     let global_ker_shape = Shape4::new(p.nk, p.nc, p.nr, p.ns);
-    let (kc_lo, kc_hi) = ker_c_dist(plan).range(bhw_pos);
-    let ker_origin = [ik * w.wk, ic * w.wc + kc_lo, 0, 0];
-    let ker_shape = Shape4::new(w.wk, kc_hi - kc_lo, p.nr, p.ns);
-    let ker_shard =
-        Tensor4::random_window(ker_shape, seed ^ KER_SEED_XOR, ker_origin, global_ker_shape);
+    let ker_origin = geom.ker_region.lo;
+    let [kk, kc, kr, ks] = geom.ker_region.extents();
+    let ker_shard = Tensor4::random_window(
+        Shape4::new(kk, kc, kr, ks),
+        seed ^ KER_SEED_XOR,
+        ker_origin,
+        global_ker_shape,
+    );
 
     RankData {
-        coords,
-        bhw_pos,
+        coords: geom.coords,
+        bhw_pos: geom.bhw_pos,
         out_slice,
         out_origin,
         in_shard,
         in_origin,
-        in_c_range: (c_lo, c_hi),
+        in_c_range: geom.in_c_range,
         ker_shard,
         ker_origin,
-        ker_c_range: (kc_lo, kc_hi),
+        ker_c_range: geom.ker_c_range,
     }
 }
 
@@ -283,6 +346,25 @@ mod tests {
         }
         // Every output element covered exactly P_c times.
         assert!(count.iter().all(|&c| c == plan.grid.pc));
+    }
+
+    #[test]
+    fn geometry_matches_distribute() {
+        // shard_geometry is the data-free twin of distribute: same
+        // coords, same origins, same shapes, for every rank.
+        let plan = plan16();
+        for r in 0..16 {
+            let geom = shard_geometry(&plan, r);
+            let data = distribute::<f32>(&plan, r, 7);
+            assert_eq!(geom.coords, data.coords);
+            assert_eq!(geom.bhw_pos, data.bhw_pos);
+            assert_eq!(geom.in_region.lo, data.in_origin);
+            assert_eq!(geom.in_region.shape(), data.in_shard.shape());
+            assert_eq!(geom.in_c_range, data.in_c_range);
+            assert_eq!(geom.ker_region.lo, data.ker_origin);
+            assert_eq!(geom.ker_region.shape(), data.ker_shard.shape());
+            assert_eq!(geom.ker_c_range, data.ker_c_range);
+        }
     }
 
     #[test]

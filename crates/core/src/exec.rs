@@ -2,10 +2,11 @@
 //! rotating-broadcast communication schedule, and the high-level
 //! [`DistConv`] driver.
 
-use crate::distribution::{self, distribute, plan_grid, RankData};
+use crate::distribution::{self, distribute, plan_grid, shard_geometry, RankData};
 use crate::model::{eq10_aggregate, expected_volumes, ExpectedVolumes};
 use distconv_conv::kernels::{conv2d_direct_par, workload};
-use distconv_cost::DistPlan;
+use distconv_cost::planner::GridShape;
+use distconv_cost::{DistPlan, Planner};
 use distconv_par::CommMode;
 use distconv_simnet::{Machine, MachineConfig, Rank, RunError, StatsSnapshot};
 use distconv_tensor::{Scalar, Shape4, Tensor4};
@@ -59,6 +60,23 @@ impl From<RunError> for CoreError {
     }
 }
 
+/// What degraded-grid recovery did: the grid shrink and the checkpoint
+/// redistribution it required (see [`DistConv::run_recovering`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradeInfo {
+    /// The grid the run started on.
+    pub old_grid: GridShape,
+    /// The shrunken grid the run finished on.
+    pub new_grid: GridShape,
+    /// Ranks declared dead (crashed / OOM'd — *not* merely starved).
+    pub dead_ranks: Vec<usize>,
+    /// Elements of checkpoint state a survivor had to fetch from peers
+    /// because its new shard is not covered by its old one. Accounted
+    /// separately from both `stats` (algorithmic) and `retry_elems`
+    /// (aborted-attempt traffic), like ARQ overhead.
+    pub redist_elems: u64,
+}
+
 /// Everything a distributed run reports.
 #[derive(Clone, Debug)]
 pub struct DistConvReport {
@@ -88,9 +106,18 @@ pub struct DistConvReport {
     /// Elements moved by the aborted attempts — the retry cost, kept
     /// out of `stats` so volume tables still match the fault-free run.
     pub retry_elems: u64,
+    /// Whether the run finished on a *shrunken* grid after a persistent
+    /// crash exhausted the step retries (see
+    /// [`DistConv::run_recovering`]). When `true`, `plan` is the
+    /// re-planned grid over the survivors and `degrade` has the details.
+    pub degraded: bool,
+    /// Degraded-recovery details (`None` unless `degraded`).
+    pub degrade: Option<DegradeInfo>,
     /// Per-rank span trace of the successful run (empty when tracing
     /// was disabled). Recovery appends a `CheckpointRestore` marker per
-    /// aborted attempt.
+    /// aborted attempt; degraded recovery additionally appends a
+    /// `FailureDetect` marker per dead rank and a `Redistribute` marker
+    /// carrying the redistribution volume.
     pub trace: RunTrace,
 }
 
@@ -211,6 +238,14 @@ impl<T: Scalar> DistConv<T> {
     /// transient rank faults cleared — modelling a replaced process on
     /// the same faulty network — and report `recovered: true` with the
     /// aborted attempts' traffic in `retry_elems`.
+    ///
+    /// A *persistent* crash survives the retry-time fault clearing, so
+    /// [`MAX_STEP_RETRIES`] is eventually exhausted. Rather than fail,
+    /// the driver then degrades: it re-plans the grid over the
+    /// surviving ranks, redistributes the checkpoint onto the shrunken
+    /// grid (volume accounted in [`DegradeInfo::redist_elems`], like
+    /// ARQ overhead), finishes the run there, and reports
+    /// `degraded: true` with old and new grids.
     pub fn run_recovering(&self, seed: u64) -> Result<DistConvReport, CoreError> {
         let mut cfg = self.machine_cfg();
         let mut retries = 0u32;
@@ -223,6 +258,12 @@ impl<T: Scalar> DistConv<T> {
                     retries += 1;
                     wasted += e.wasted_elems;
                     cfg.faults = cfg.faults.without_rank_faults();
+                }
+                Err(CoreError::Machine(e)) if e.has_injected_crash() => {
+                    // Retries exhausted with the crash still firing: the
+                    // rank is permanently gone. Shrink the grid over the
+                    // survivors and finish degraded.
+                    return self.run_degraded(cfg, seed, retries + 1, wasted + e.wasted_elems, &e);
                 }
                 Err(e) => return Err(e),
                 Ok(mut r) => {
@@ -267,7 +308,7 @@ impl<T: Scalar> DistConv<T> {
         &self,
         seed: u64,
     ) -> Result<(DistConvReport, Vec<RankOut<T>>), CoreError> {
-        self.run_full(self.machine_cfg(), seed, false)
+        self.run_full(self.plan, self.machine_cfg(), seed, false)
     }
 
     fn run_inner(
@@ -276,16 +317,140 @@ impl<T: Scalar> DistConv<T> {
         seed: u64,
         verify: bool,
     ) -> Result<DistConvReport, CoreError> {
-        self.run_full(cfg, seed, verify).map(|(r, _)| r)
+        self.run_full(self.plan, cfg, seed, verify).map(|(r, _)| r)
+    }
+
+    /// Retries exhausted with a persistent crash: re-plan over the
+    /// survivors, account the checkpoint redistribution, and finish the
+    /// run on the shrunken grid. `attempts` counts every aborted
+    /// attempt (including the one that exhausted the retries) and
+    /// `wasted` their cumulative traffic.
+    fn run_degraded(
+        &self,
+        cfg: MachineConfig,
+        seed: u64,
+        attempts: u32,
+        wasted: u64,
+        err: &RunError,
+    ) -> Result<DistConvReport, CoreError> {
+        let old_plan = self.plan;
+        let dead = err.dead_ranks();
+        let survivors: Vec<usize> = (0..old_plan.grid.total())
+            .filter(|r| !dead.contains(r))
+            .collect();
+
+        // Re-plan over P' survivors. P' itself may be unfactorable for
+        // this problem (e.g. a prime), so scan downward and idle the
+        // remainder — a smaller feasible grid beats no run at all.
+        let new_plan = (1..=survivors.len())
+            .rev()
+            .find_map(|p| {
+                Planner::new(
+                    old_plan.problem,
+                    distconv_cost::MachineSpec::new(p, old_plan.machine.mem),
+                )
+                .plan()
+                .ok()
+            })
+            .ok_or_else(|| CoreError::Machine(err.clone()))?;
+
+        // Checkpoint redistribution: survivor j restarts as new rank j.
+        // Its checkpoint shard covers its *old* global region; whatever
+        // the new shard needs beyond the overlap must be fetched from
+        // peers (every element is held by some survivor — shards are
+        // pure functions of seed and global coordinates).
+        let mut redist_elems = 0u64;
+        for (new_rank, &old_rank) in survivors.iter().enumerate().take(new_plan.grid.total()) {
+            let old = shard_geometry(&old_plan, old_rank);
+            let new = shard_geometry(&new_plan, new_rank);
+            let in_hit = new
+                .in_region
+                .intersect(&old.in_region)
+                .map_or(0, |r| r.len());
+            let ker_hit = new
+                .ker_region
+                .intersect(&old.ker_region)
+                .map_or(0, |r| r.len());
+            redist_elems += (new.in_region.len() - in_hit) as u64;
+            redist_elems += (new.ker_region.len() - ker_hit) as u64;
+        }
+
+        // The dead rank no longer exists on the shrunken machine: drop
+        // its faults rather than crash a (re-numbered) innocent rank.
+        let mut cfg = cfg;
+        cfg.faults.crash = None;
+        if cfg
+            .faults
+            .straggler
+            .is_some_and(|s| s.rank >= new_plan.grid.total())
+        {
+            cfg.faults.straggler = None;
+        }
+
+        let (mut r, _) = self.run_full(new_plan, cfg, seed, true)?;
+        r.recovered = true;
+        r.retries = attempts;
+        r.retry_elems = wasted;
+        r.degraded = true;
+        r.degrade = Some(DegradeInfo {
+            old_grid: old_plan.grid,
+            new_grid: new_plan.grid,
+            dead_ranks: dead.clone(),
+            redist_elems,
+        });
+        // Timeline markers on rank 0: one restart per aborted attempt
+        // (wasted traffic on the last), the death verdicts, and the
+        // redistribution onto the shrunken grid.
+        for attempt in 0..attempts {
+            r.trace.push(
+                0,
+                SpanEvent {
+                    kind: SpanKind::CheckpointRestore,
+                    step: attempt as u64,
+                    peer: None,
+                    tag: 0,
+                    elems: if attempt + 1 == attempts { wasted } else { 0 },
+                    start_ns: 0,
+                    dur_ns: 0,
+                },
+            );
+        }
+        for &d in &dead {
+            r.trace.push(
+                0,
+                SpanEvent {
+                    kind: SpanKind::FailureDetect,
+                    step: attempts as u64,
+                    peer: Some(d),
+                    tag: 0,
+                    elems: 0,
+                    start_ns: 0,
+                    dur_ns: 0,
+                },
+            );
+        }
+        r.trace.push(
+            0,
+            SpanEvent {
+                kind: SpanKind::Redistribute,
+                step: attempts as u64,
+                peer: None,
+                tag: 0,
+                elems: redist_elems,
+                start_ns: 0,
+                dur_ns: 0,
+            },
+        );
+        Ok(r)
     }
 
     fn run_full(
         &self,
+        plan: DistPlan,
         cfg: MachineConfig,
         seed: u64,
         verify: bool,
     ) -> Result<(DistConvReport, Vec<RankOut<T>>), CoreError> {
-        let plan = self.plan;
         let comm = self.comm;
         let procs = plan.grid.total();
         let report = Machine::try_run::<T, _, _>(procs, cfg, |rank| {
@@ -316,6 +481,8 @@ impl<T: Scalar> DistConv<T> {
                 recovered: false,
                 retries: 0,
                 retry_elems: 0,
+                degraded: false,
+                degrade: None,
                 trace: report.trace,
             },
             report.results.into_iter().map(|(out, ())| out).collect(),
@@ -630,6 +797,83 @@ mod tests {
             .collect();
         assert_eq!(restores.len(), 1);
         assert_eq!(restores[0].elems, r.retry_elems);
+    }
+
+    #[test]
+    fn persistent_crash_degrades_to_survivor_grid() {
+        use distconv_simnet::FaultPlan;
+        let p = Conv2dProblem::square(4, 8, 8, 8, 3);
+        let plan = Planner::new(p, MachineSpec::new(8, 1 << 20))
+            .plan()
+            .unwrap();
+        let cfg = MachineConfig {
+            recv_timeout: std::time::Duration::from_millis(300),
+            faults: FaultPlan::default().with_persistent_crash(0, 2),
+            ..MachineConfig::default()
+        };
+        let r = DistConv::<f64>::new(plan)
+            .with_config(cfg)
+            .run_recovering(5)
+            .expect("must finish degraded");
+        assert!(r.degraded && r.recovered && r.verified);
+        // Every attempt on the full grid aborted (initial + retries).
+        assert_eq!(r.retries, MAX_STEP_RETRIES + 1);
+        assert!(r.retry_elems > 0);
+        let info = r.degrade.as_ref().expect("degrade details");
+        assert_eq!(info.old_grid, plan.grid);
+        assert_eq!(info.dead_ranks, vec![0]);
+        // 7 survivors, but 7/6/5 don't factor this problem: P' = 4.
+        assert_eq!(info.new_grid, r.plan.grid);
+        assert_eq!(r.plan.grid.total(), 4);
+        assert!(info.redist_elems > 0, "the shrink must move checkpoints");
+        // Conformance validates at P': the report's plan IS the new one.
+        let rep = r.conformance();
+        assert!(rep.pass(), "degraded conformance failed:\n{rep}");
+        // Trace carries the full story on rank 0.
+        let kinds = |k: SpanKind| {
+            r.trace.per_rank[0]
+                .events
+                .iter()
+                .filter(|e| e.kind == k)
+                .count()
+        };
+        assert_eq!(
+            kinds(SpanKind::CheckpointRestore),
+            (MAX_STEP_RETRIES + 1) as usize
+        );
+        assert_eq!(kinds(SpanKind::FailureDetect), 1);
+        assert_eq!(kinds(SpanKind::Redistribute), 1);
+        let redist = r.trace.per_rank[0]
+            .events
+            .iter()
+            .find(|e| e.kind == SpanKind::Redistribute)
+            .unwrap();
+        assert_eq!(redist.elems, info.redist_elems);
+    }
+
+    #[test]
+    fn degraded_result_matches_clean_small_grid_run() {
+        use distconv_simnet::FaultPlan;
+        // The degraded run on P' ranks must produce the same verified
+        // result and traffic as a clean run planned at P' directly.
+        let p = Conv2dProblem::square(4, 8, 8, 8, 3);
+        let plan8 = Planner::new(p, MachineSpec::new(8, 1 << 20))
+            .plan()
+            .unwrap();
+        let cfg = MachineConfig {
+            recv_timeout: std::time::Duration::from_millis(300),
+            faults: FaultPlan::default().with_persistent_crash(1, 3),
+            ..MachineConfig::default()
+        };
+        let degraded = DistConv::<f64>::new(plan8)
+            .with_config(cfg)
+            .run_recovering(9)
+            .unwrap();
+        let p_new = degraded.plan.grid.total();
+        let clean = run_plan(p, p_new, 1 << 20);
+        assert_eq!(degraded.plan.grid, clean.plan.grid);
+        assert_eq!(degraded.measured_volume(), clean.measured_volume());
+        assert_eq!(degraded.stats.per_rank_elems, clean.stats.per_rank_elems);
     }
 
     #[test]

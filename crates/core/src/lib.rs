@@ -48,7 +48,7 @@ pub mod model;
 pub mod network;
 pub mod train;
 
-pub use exec::{CoreError, DistConv, DistConvReport, MAX_STEP_RETRIES};
+pub use exec::{CoreError, DegradeInfo, DistConv, DistConvReport, MAX_STEP_RETRIES};
 pub use model::{expected_volumes, ExpectedVolumes};
 pub use network::{run_network, NetworkError, NetworkPlan, NetworkReport};
 pub use train::{

@@ -1,0 +1,192 @@
+//! Virtual-time failure detector.
+//!
+//! A real distributed runtime cannot see a peer's panic — it sees
+//! *silence*, and must decide from heartbeat timeouts whether the peer
+//! crashed, is merely slow, or whether the whole group is deadlocked.
+//! This module models that decision in **simulated seconds** on the α–β
+//! Lamport clock, so detections are deterministic, backend-independent
+//! facts of the schedule rather than wall-clock accidents:
+//!
+//! * **Crash** — a rank died mid-run; the detector flags it one
+//!   heartbeat timeout after the victim's last clock advance
+//!   (`clock_at_death + heartbeat_timeout` — the survivors' clocks keep
+//!   running, the victim's stops).
+//! * **Straggler** — the run finished, but a rank's final clock exceeds
+//!   [`DetectorConfig::straggler_threshold`] × the median final clock:
+//!   the fault plan's straggler factor (or a pathological schedule)
+//!   made it an outlier worth flagging even though nothing failed.
+//! * **Deadlock** — the run failed with starved receives and *no* crash
+//!   anywhere: the silence is mutual, so the detector classifies the
+//!   group as deadlocked rather than blaming a dead peer.
+//!
+//! When a crash **is** present, ranks that died in the deadlock trap
+//! were not themselves at fault — they starved waiting on the corpse.
+//! With the detector enabled, [`crate::Machine::try_run`] reclassifies
+//! them as [`crate::FailureKind::Starved`], which is what lets the
+//! recovery layer in `distconv-core` count *survivors* correctly when
+//! shrinking the grid (a starved rank is recoverable; a crashed one is
+//! not).
+//!
+//! The detector is **off by default**: detection timestamps ride on the
+//! failure path of every run, and goldens pinned before this module
+//! existed must stay byte-identical.
+
+use crate::rank::RankId;
+
+/// Failure-detector configuration (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetectorConfig {
+    /// Master switch; `false` (the default) records no detections and
+    /// performs no reclassification.
+    pub enabled: bool,
+    /// Simulated seconds of silence after which a dead rank is flagged.
+    pub heartbeat_timeout: f64,
+    /// Flag a rank as a straggler when its final clock is at least this
+    /// multiple of the median final clock.
+    pub straggler_threshold: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            enabled: false,
+            heartbeat_timeout: 1.0,
+            straggler_threshold: 4.0,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// An enabled detector with the given heartbeat timeout (simulated
+    /// seconds) and the default straggler threshold.
+    pub fn with_timeout(heartbeat_timeout: f64) -> Self {
+        DetectorConfig {
+            enabled: true,
+            heartbeat_timeout,
+            ..DetectorConfig::default()
+        }
+    }
+}
+
+/// What the detector decided about a rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetectionKind {
+    /// The rank died; flagged one heartbeat timeout after its clock
+    /// stopped.
+    Crash,
+    /// The rank finished, but far behind the group (clock outlier).
+    Straggler,
+    /// The group starved with no crash anywhere: a true deadlock.
+    Deadlock,
+}
+
+/// One detector verdict: which rank, what, and *when* in simulated
+/// seconds the detector could first have known.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detection {
+    /// The detected rank.
+    pub rank: RankId,
+    /// The verdict.
+    pub kind: DetectionKind,
+    /// Simulated time of the detection on the α–β clock.
+    pub at: f64,
+}
+
+/// Classify a *failed* run: crashes are detected a heartbeat timeout
+/// after the victim's clock stopped; starved (deadlock-trapped) ranks
+/// are reported as deadlocks only when no crash explains the silence.
+/// `crashed`/`starved` are rank-id lists from the failure aggregation;
+/// `clocks` is every rank's final clock (a victim's clock at death).
+pub(crate) fn classify_failed_run(
+    cfg: &DetectorConfig,
+    crashed: &[RankId],
+    starved: &[RankId],
+    clocks: &[f64],
+) -> Vec<Detection> {
+    let mut out = Vec::new();
+    for &r in crashed {
+        out.push(Detection {
+            rank: r,
+            kind: DetectionKind::Crash,
+            at: clocks[r] + cfg.heartbeat_timeout,
+        });
+    }
+    if crashed.is_empty() {
+        for &r in starved {
+            out.push(Detection {
+                rank: r,
+                kind: DetectionKind::Deadlock,
+                at: clocks[r] + cfg.heartbeat_timeout,
+            });
+        }
+    }
+    out
+}
+
+/// Flag stragglers on a *successful* run: ranks whose final clock is at
+/// least `straggler_threshold` × the median final clock (median must be
+/// positive — an all-idle run has no meaningful baseline).
+pub(crate) fn detect_stragglers(cfg: &DetectorConfig, clocks: &[f64]) -> Vec<Detection> {
+    let mut sorted: Vec<f64> = clocks.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    if median <= 0.0 {
+        return Vec::new();
+    }
+    clocks
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c >= cfg.straggler_threshold * median)
+        .map(|(rank, &c)| Detection {
+            rank,
+            kind: DetectionKind::Straggler,
+            at: c,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let d = DetectorConfig::default();
+        assert!(!d.enabled);
+        assert!(DetectorConfig::with_timeout(2.0).enabled);
+    }
+
+    #[test]
+    fn crash_detected_a_timeout_after_the_clock_stopped() {
+        let cfg = DetectorConfig::with_timeout(0.5);
+        let dets = classify_failed_run(&cfg, &[1], &[2], &[0.0, 3.0, 4.0]);
+        assert_eq!(dets.len(), 1, "starved ranks are explained by the crash");
+        assert_eq!(dets[0].rank, 1);
+        assert_eq!(dets[0].kind, DetectionKind::Crash);
+        assert!((dets[0].at - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_starvation_is_a_deadlock() {
+        let cfg = DetectorConfig::with_timeout(1.0);
+        let dets = classify_failed_run(&cfg, &[], &[0, 2], &[1.0, 0.0, 2.0]);
+        assert_eq!(dets.len(), 2);
+        assert!(dets.iter().all(|d| d.kind == DetectionKind::Deadlock));
+        assert_eq!(dets[0].rank, 0);
+        assert!((dets[1].at - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_is_a_clock_outlier() {
+        let cfg = DetectorConfig::with_timeout(1.0);
+        let dets = detect_stragglers(&cfg, &[1.0, 1.1, 0.9, 5.0]);
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].rank, 3);
+        assert_eq!(dets[0].kind, DetectionKind::Straggler);
+        assert_eq!(dets[0].at, 5.0);
+        // An all-idle run has no baseline to be an outlier of.
+        assert!(detect_stragglers(&cfg, &[0.0, 0.0]).is_empty());
+        // A uniform group has no outliers.
+        assert!(detect_stragglers(&cfg, &[1.0, 1.0, 1.0]).is_empty());
+    }
+}

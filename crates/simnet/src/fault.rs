@@ -65,6 +65,12 @@ pub struct CrashAt {
     pub rank: usize,
     /// Which of its sends kills it (1 = the very first).
     pub at_send: u64,
+    /// A *persistent* crash survives [`FaultPlan::without_rank_faults`]:
+    /// it models a dead node that keeps killing its replacement process,
+    /// not a one-shot process death. Checkpoint/restart retries against
+    /// a persistent crash fail identically every time, which is what
+    /// drives the degraded-grid recovery path in `distconv-core`.
+    pub persistent: bool,
 }
 
 /// Slow one rank down by a multiplicative factor on its logical clock.
@@ -120,6 +126,66 @@ impl Default for FaultPlan {
     }
 }
 
+/// Why a [`FaultPlan`] field was rejected. Every probability must lie in
+/// `[0, 1]`, the delay skew must be finite and non-negative, and a
+/// straggler factor must be finite and positive — a NaN or out-of-range
+/// value would silently bias every downstream hash comparison (NaN
+/// compares false against everything, so `NaN < p` never drops and
+/// `factor = NaN` poisons every clock), which is exactly the silent
+/// misbehavior this typed error exists to prevent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// A probability field was outside `[0, 1]` (or NaN).
+    InvalidProbability {
+        /// Which field (`"drop_prob"`, `"dup_prob"`, …).
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The delay skew was NaN, infinite, or negative.
+    InvalidDelaySkew {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The straggler factor was NaN, infinite, zero, or negative.
+    InvalidStragglerFactor {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::InvalidProbability { field, value } => {
+                write!(
+                    f,
+                    "FaultPlan.{field} = {value} is not a probability in [0, 1]"
+                )
+            }
+            FaultPlanError::InvalidDelaySkew { value } => {
+                write!(f, "FaultPlan.delay_skew = {value} must be finite and >= 0")
+            }
+            FaultPlanError::InvalidStragglerFactor { value } => {
+                write!(
+                    f,
+                    "FaultPlan straggler factor = {value} must be finite and > 0"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+fn check_prob(field: &'static str, value: f64) -> Result<(), FaultPlanError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(FaultPlanError::InvalidProbability { field, value })
+    }
+}
+
 /// Decision salts: distinct per fault class so the per-class streams are
 /// independent functions of the same `(seed, src, dst, wire)` key.
 const SALT_DROP_DATA: u64 = 0xD80D;
@@ -139,41 +205,125 @@ impl FaultPlan {
         }
     }
 
-    /// Set the drop probability.
-    pub fn with_drops(mut self, p: f64) -> Self {
+    /// Validate every field; the checked `try_with_*` builders call this
+    /// incrementally, [`crate::Machine`] calls it once per run so a plan
+    /// assembled by hand cannot slip NaNs past the builders.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        check_prob("drop_prob", self.drop_prob)?;
+        check_prob("dup_prob", self.dup_prob)?;
+        check_prob("delay_prob", self.delay_prob)?;
+        check_prob("reorder_prob", self.reorder_prob)?;
+        if !self.delay_skew.is_finite() || self.delay_skew < 0.0 {
+            return Err(FaultPlanError::InvalidDelaySkew {
+                value: self.delay_skew,
+            });
+        }
+        if let Some(s) = self.straggler {
+            if !s.factor.is_finite() || s.factor <= 0.0 {
+                return Err(FaultPlanError::InvalidStragglerFactor { value: s.factor });
+            }
+        }
+        Ok(())
+    }
+
+    /// Set the drop probability, rejecting values outside `[0, 1]`.
+    pub fn try_with_drops(mut self, p: f64) -> Result<Self, FaultPlanError> {
+        check_prob("drop_prob", p)?;
         self.drop_prob = p;
-        self
+        Ok(self)
     }
 
-    /// Set the duplicate probability.
-    pub fn with_dups(mut self, p: f64) -> Self {
+    /// Set the duplicate probability, rejecting values outside `[0, 1]`.
+    pub fn try_with_dups(mut self, p: f64) -> Result<Self, FaultPlanError> {
+        check_prob("dup_prob", p)?;
         self.dup_prob = p;
-        self
+        Ok(self)
     }
 
-    /// Set the delay probability and skew.
-    pub fn with_delays(mut self, p: f64, skew: f64) -> Self {
+    /// Set the delay probability and skew, rejecting probabilities
+    /// outside `[0, 1]` and non-finite or negative skews.
+    pub fn try_with_delays(mut self, p: f64, skew: f64) -> Result<Self, FaultPlanError> {
+        check_prob("delay_prob", p)?;
+        if !skew.is_finite() || skew < 0.0 {
+            return Err(FaultPlanError::InvalidDelaySkew { value: skew });
+        }
         self.delay_prob = p;
         self.delay_skew = skew;
-        self
+        Ok(self)
     }
 
-    /// Set the reorder probability.
-    pub fn with_reorders(mut self, p: f64) -> Self {
+    /// Set the reorder probability, rejecting values outside `[0, 1]`.
+    pub fn try_with_reorders(mut self, p: f64) -> Result<Self, FaultPlanError> {
+        check_prob("reorder_prob", p)?;
         self.reorder_prob = p;
-        self
+        Ok(self)
     }
 
-    /// Crash `rank` at its `at_send`-th send.
-    pub fn with_crash(mut self, rank: usize, at_send: u64) -> Self {
-        self.crash = Some(CrashAt { rank, at_send });
-        self
-    }
-
-    /// Slow `rank` by `factor`.
-    pub fn with_straggler(mut self, rank: usize, factor: f64) -> Self {
+    /// Slow `rank` by `factor`, rejecting non-finite or non-positive
+    /// factors.
+    pub fn try_with_straggler(mut self, rank: usize, factor: f64) -> Result<Self, FaultPlanError> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(FaultPlanError::InvalidStragglerFactor { value: factor });
+        }
         self.straggler = Some(Straggler { rank, factor });
+        Ok(self)
+    }
+
+    /// Set the drop probability (panics on invalid values — use
+    /// [`FaultPlan::try_with_drops`] to handle them).
+    pub fn with_drops(self, p: f64) -> Self {
+        self.try_with_drops(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Set the duplicate probability (panicking variant of
+    /// [`FaultPlan::try_with_dups`]).
+    pub fn with_dups(self, p: f64) -> Self {
+        self.try_with_dups(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Set the delay probability and skew (panicking variant of
+    /// [`FaultPlan::try_with_delays`]).
+    pub fn with_delays(self, p: f64, skew: f64) -> Self {
+        self.try_with_delays(p, skew)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Set the reorder probability (panicking variant of
+    /// [`FaultPlan::try_with_reorders`]).
+    pub fn with_reorders(self, p: f64) -> Self {
+        self.try_with_reorders(p).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Crash `rank` at its `at_send`-th send (a *transient* crash: a
+    /// checkpoint/restart retry clears it via
+    /// [`FaultPlan::without_rank_faults`]).
+    pub fn with_crash(mut self, rank: usize, at_send: u64) -> Self {
+        self.crash = Some(CrashAt {
+            rank,
+            at_send,
+            persistent: false,
+        });
         self
+    }
+
+    /// Crash `rank` at its `at_send`-th send *persistently*: the crash
+    /// survives [`FaultPlan::without_rank_faults`], so every
+    /// checkpoint/restart retry dies the same way — the scenario that
+    /// forces `distconv-core` to shrink the grid and run degraded.
+    pub fn with_persistent_crash(mut self, rank: usize, at_send: u64) -> Self {
+        self.crash = Some(CrashAt {
+            rank,
+            at_send,
+            persistent: true,
+        });
+        self
+    }
+
+    /// Slow `rank` by `factor` (panicking variant of
+    /// [`FaultPlan::try_with_straggler`]).
+    pub fn with_straggler(self, rank: usize, factor: f64) -> Self {
+        self.try_with_straggler(rank, factor)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// True when the plan injects nothing and requests no reliable
@@ -193,9 +343,14 @@ impl FaultPlan {
     /// The same plan with transient rank faults cleared — what a
     /// checkpoint/restart re-runs with after replacing a crashed rank.
     /// Link faults and stragglers persist (they model the network and
-    /// hardware, not a one-shot process death).
+    /// hardware, not a one-shot process death), and so does a
+    /// *persistent* crash ([`FaultPlan::with_persistent_crash`]): a dead
+    /// node kills its replacement too, which is what exhausts the retry
+    /// budget and triggers degraded-grid recovery.
     pub fn without_rank_faults(mut self) -> Self {
-        self.crash = None;
+        if self.crash.is_some_and(|c| !c.persistent) {
+            self.crash = None;
+        }
         self
     }
 
@@ -337,5 +492,98 @@ mod tests {
         let cleared = p.without_rank_faults();
         assert_eq!(cleared.crashes_at(2), None);
         assert_eq!(cleared.straggle_factor(1), 3.0, "straggler persists");
+    }
+
+    #[test]
+    fn persistent_crash_survives_rank_fault_clearing() {
+        let p = FaultPlan::default().with_persistent_crash(2, 5);
+        assert_eq!(p.crashes_at(2), Some(5));
+        let retried = p.without_rank_faults();
+        assert_eq!(
+            retried.crashes_at(2),
+            Some(5),
+            "a persistent crash must survive checkpoint/restart retries"
+        );
+    }
+
+    #[test]
+    fn builders_reject_invalid_fields() {
+        let base = FaultPlan::reliable(1);
+        assert_eq!(
+            base.try_with_drops(1.5),
+            Err(FaultPlanError::InvalidProbability {
+                field: "drop_prob",
+                value: 1.5
+            })
+        );
+        assert!(matches!(
+            base.try_with_dups(-0.1),
+            Err(FaultPlanError::InvalidProbability {
+                field: "dup_prob",
+                ..
+            })
+        ));
+        assert!(matches!(
+            base.try_with_delays(f64::NAN, 1.0),
+            Err(FaultPlanError::InvalidProbability {
+                field: "delay_prob",
+                ..
+            })
+        ));
+        assert!(matches!(
+            base.try_with_delays(0.1, f64::NAN),
+            Err(FaultPlanError::InvalidDelaySkew { .. })
+        ));
+        assert!(matches!(
+            base.try_with_delays(0.1, -1.0),
+            Err(FaultPlanError::InvalidDelaySkew { .. })
+        ));
+        assert!(matches!(
+            base.try_with_reorders(2.0),
+            Err(FaultPlanError::InvalidProbability {
+                field: "reorder_prob",
+                ..
+            })
+        ));
+        assert!(matches!(
+            base.try_with_straggler(0, -3.0),
+            Err(FaultPlanError::InvalidStragglerFactor { .. })
+        ));
+        assert!(matches!(
+            base.try_with_straggler(0, f64::INFINITY),
+            Err(FaultPlanError::InvalidStragglerFactor { .. })
+        ));
+        // Boundary values are valid probabilities.
+        assert!(base.try_with_drops(0.0).is_ok());
+        assert!(base.try_with_drops(1.0).is_ok());
+        // The error message names the field and value.
+        let msg = base.try_with_drops(1.5).unwrap_err().to_string();
+        assert!(msg.contains("drop_prob") && msg.contains("1.5"), "{msg}");
+    }
+
+    #[test]
+    fn validate_checks_hand_assembled_plans() {
+        let mut p = FaultPlan::reliable(9).with_drops(0.2);
+        assert_eq!(p.validate(), Ok(()));
+        p.delay_skew = f64::NAN;
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::InvalidDelaySkew { .. })
+        ));
+        p.delay_skew = 0.0;
+        p.straggler = Some(Straggler {
+            rank: 1,
+            factor: 0.0,
+        });
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::InvalidStragglerFactor { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob")]
+    fn panicking_builder_names_the_field() {
+        let _ = FaultPlan::reliable(1).with_drops(7.0);
     }
 }

@@ -51,6 +51,7 @@
 
 pub mod channel;
 pub mod comm;
+pub mod detect;
 pub mod event;
 pub mod fault;
 pub mod grid;
@@ -60,8 +61,9 @@ pub mod rank;
 pub mod stats;
 
 pub use comm::{BcastAlgo, CommError, Communicator, PendingBcast, PendingRecv};
+pub use detect::{Detection, DetectionKind, DetectorConfig};
 pub use event::{Backend, ComputeModel};
-pub use fault::{CrashAt, FaultPlan, Straggler, CRASH_MARKER, MAX_SEND_ATTEMPTS};
+pub use fault::{CrashAt, FaultPlan, FaultPlanError, Straggler, CRASH_MARKER, MAX_SEND_ATTEMPTS};
 pub use grid::CartGrid;
 pub use machine::{
     FailureKind, LinkDelay, Machine, MachineConfig, RankFailure, RunError, RunReport,

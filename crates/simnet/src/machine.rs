@@ -11,12 +11,13 @@
 //! collectives.
 
 use crate::channel::unbounded;
+use crate::detect::{classify_failed_run, detect_stragglers, Detection, DetectorConfig};
 use crate::event::{Backend, ComputeModel, EventScheduler};
 use crate::fault::{FaultPlan, CRASH_MARKER};
 use crate::memory::MemoryTracker;
 use crate::rank::{Msg, Packet, Rank, RankId};
 use crate::stats::{CostParams, Stats, StatsSnapshot, TimingSnapshot};
-use distconv_trace::{RunTrace, TraceConfig, Tracer};
+use distconv_trace::{RunTrace, SpanEvent, SpanKind, TraceConfig, Tracer};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -44,6 +45,9 @@ pub struct MachineConfig {
     /// Virtual-clock charge for compute sections (default: off — the
     /// clock is pure α–β communication time).
     pub compute: ComputeModel,
+    /// Virtual-time failure detector (default: off — see
+    /// [`crate::detect`]).
+    pub detector: DetectorConfig,
 }
 
 impl Default for MachineConfig {
@@ -57,6 +61,7 @@ impl Default for MachineConfig {
             trace: TraceConfig::default(),
             backend: Backend::from_env(),
             compute: ComputeModel::default(),
+            detector: DetectorConfig::default(),
         }
     }
 }
@@ -136,6 +141,9 @@ pub struct RunReport<R> {
     /// Wall-clock fields are host-dependent; the canonical view
     /// (`RunTrace::canonical`) is deterministic.
     pub trace: RunTrace,
+    /// Failure-detector verdicts on a run that *finished* (stragglers
+    /// only — a crash fails the run). Empty with the detector disabled.
+    pub detections: Vec<Detection>,
 }
 
 impl<R> RunReport<R> {
@@ -154,6 +162,13 @@ pub enum FailureKind {
     Deadlock,
     /// Memory capacity exceeded.
     OutOfMemory,
+    /// The deadlock trap fired, but a crashed peer explains the
+    /// silence: this rank starved waiting on a corpse, it did not
+    /// deadlock. Only produced with the failure detector enabled —
+    /// with it off, classification is textual and these ranks report
+    /// [`FailureKind::Deadlock`], exactly as before the detector
+    /// existed.
+    Starved,
     /// Any other panic out of the rank body.
     Other,
 }
@@ -171,7 +186,7 @@ pub struct RankFailure {
 
 /// Aggregate of every rank failure in one run, with the fault seed for
 /// replay. `Display` lists all of them — no failure is swallowed.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunError {
     /// Every failed rank, sorted by rank id.
     pub failures: Vec<RankFailure>,
@@ -182,6 +197,9 @@ pub struct RunError {
     pub wasted_msgs: u64,
     /// Elements recorded before the run died.
     pub wasted_elems: u64,
+    /// Failure-detector verdicts with simulated-time timestamps (empty
+    /// with the detector disabled — the default).
+    pub detections: Vec<Detection>,
 }
 
 impl RunError {
@@ -194,6 +212,18 @@ impl RunError {
     /// Ids of all failed ranks.
     pub fn failed_ranks(&self) -> Vec<RankId> {
         self.failures.iter().map(|f| f.rank).collect()
+    }
+
+    /// Ids of the ranks that actually *died* (crashed / OOMed /
+    /// panicked), excluding ranks that merely starved waiting on them —
+    /// the set the degraded-recovery layer must replace, as opposed to
+    /// the starved ranks it can simply restart.
+    pub fn dead_ranks(&self) -> Vec<RankId> {
+        self.failures
+            .iter()
+            .filter(|f| !matches!(f.kind, FailureKind::Deadlock | FailureKind::Starved))
+            .map(|f| f.rank)
+            .collect()
     }
 }
 
@@ -262,6 +292,12 @@ impl Machine {
         F: Fn(&Rank<T>) -> R + Send + Sync,
     {
         assert!(p > 0, "machine needs at least one rank");
+        // A malformed plan (NaN skew, probability outside [0, 1]) is a
+        // programming error that would otherwise silently bias every
+        // fault decision; fail loudly before spawning anything.
+        if let Err(e) = cfg.faults.validate() {
+            panic!("invalid FaultPlan: {e}");
+        }
         // Register the rank threads with the shared thread budget so
         // per-rank kernel pools size themselves to cores/P instead of
         // oversubscribing (released when the run finishes). The event
@@ -319,13 +355,13 @@ impl Machine {
                             // rank retires (a crashed rank's are lost).
                             rank.flush_holdbacks();
                             *slot = Some(r);
-                            clock_slot.store(
-                                rank.clock().to_bits(),
-                                std::sync::atomic::Ordering::Relaxed,
-                            );
                         }
                         Err(e) => panics.lock().unwrap().push((id, e)),
                     }
+                    // Store the final clock on the panic path too: a
+                    // victim's clock-at-death is what the failure
+                    // detector timestamps its detection from.
+                    clock_slot.store(rank.clock().to_bits(), std::sync::atomic::Ordering::Relaxed);
                     // Hand the floor off even when the body panicked —
                     // otherwise one crashed rank would wedge the run.
                     if let Some(s) = &sched {
@@ -339,6 +375,10 @@ impl Machine {
             }
         });
 
+        let final_clocks: Vec<f64> = clocks
+            .iter()
+            .map(|c| f64::from_bits(c.load(std::sync::atomic::Ordering::Relaxed)))
+            .collect();
         let panics = panics.into_inner().unwrap();
         if !panics.is_empty() {
             let mut failures: Vec<RankFailure> = panics
@@ -353,30 +393,77 @@ impl Machine {
                 })
                 .collect();
             failures.sort_by_key(|f| f.rank);
+            let detections = if cfg.detector.enabled {
+                let crashed: Vec<RankId> = failures
+                    .iter()
+                    .filter(|f| f.kind == FailureKind::Crash)
+                    .map(|f| f.rank)
+                    .collect();
+                let starved: Vec<RankId> = failures
+                    .iter()
+                    .filter(|f| f.kind == FailureKind::Deadlock)
+                    .map(|f| f.rank)
+                    .collect();
+                if !crashed.is_empty() {
+                    // A crash explains the silence: deadlock-trapped
+                    // survivors starved on a corpse, they did not
+                    // deadlock among themselves.
+                    for f in &mut failures {
+                        if f.kind == FailureKind::Deadlock {
+                            f.kind = FailureKind::Starved;
+                        }
+                    }
+                }
+                classify_failed_run(&cfg.detector, &crashed, &starved, &final_clocks)
+            } else {
+                Vec::new()
+            };
             let partial = stats.snapshot();
             return Err(RunError {
                 failures,
                 fault_seed: cfg.faults.seed,
                 wasted_msgs: partial.total_msgs(),
                 wasted_elems: partial.total_elems(),
+                detections,
             });
         }
 
         let snapshot = stats.snapshot();
         let sim_time = snapshot.simulated_time(&cfg.cost);
-        let makespan = clocks
-            .iter()
-            .map(|c| f64::from_bits(c.load(std::sync::atomic::Ordering::Relaxed)))
-            .fold(0.0, f64::max);
+        let makespan = final_clocks.iter().copied().fold(0.0, f64::max);
         // All rank threads have joined, so the Arc is unique again; a
         // disabled tracer yields an empty (but correctly-shaped) trace.
-        let trace = tracer
+        let mut trace = tracer
             .map(|t| {
                 Arc::try_unwrap(t)
                     .map(Tracer::into_run_trace)
                     .unwrap_or_else(|_| RunTrace::empty(p))
             })
             .unwrap_or_else(|| RunTrace::empty(p));
+        let detections = if cfg.detector.enabled {
+            detect_stragglers(&cfg.detector, &final_clocks)
+        } else {
+            Vec::new()
+        };
+        if cfg.trace.enabled {
+            // Detections become spans on rank 0 (the detector is the
+            // runtime's verdict, not any one rank's work) — same
+            // convention as the recovery markers in `distconv-core`.
+            for d in &detections {
+                trace.push(
+                    0,
+                    SpanEvent {
+                        kind: SpanKind::FailureDetect,
+                        step: 0,
+                        peer: Some(d.rank),
+                        tag: 0,
+                        elems: 0,
+                        start_ns: 0,
+                        dur_ns: 0,
+                    },
+                );
+            }
+        }
         Ok(RunReport {
             results: results
                 .into_iter()
@@ -388,6 +475,7 @@ impl Machine {
             makespan,
             timing: stats.timing(),
             trace,
+            detections,
         })
     }
 
@@ -838,6 +926,130 @@ mod tests {
         assert_eq!(sends, 10, "logical sends only");
         assert_eq!(retrans as u64, r.stats.fault.retrans_msgs);
         assert!(retrans > 0, "p=0.5 over 10 messages certainly dropped");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FaultPlan")]
+    fn malformed_fault_plan_fails_before_spawning() {
+        let mut faults = FaultPlan::reliable(1);
+        faults.drop_prob = f64::NAN; // bypasses the checked builders
+        let cfg = MachineConfig {
+            faults,
+            ..MachineConfig::default()
+        };
+        let _ = Machine::run::<f32, _, _>(2, cfg, |_| ());
+    }
+
+    #[test]
+    fn detector_classifies_crash_and_reclassifies_starvation() {
+        use crate::detect::{DetectionKind, DetectorConfig};
+        let cfg = MachineConfig {
+            recv_timeout: Duration::from_millis(100),
+            faults: FaultPlan::default().with_crash(1, 1),
+            detector: DetectorConfig::with_timeout(0.25),
+            ..MachineConfig::default()
+        };
+        let err = Machine::try_run::<u64, _, _>(3, cfg, |rank| {
+            if rank.id() == 1 {
+                rank.send(2, 5, &[1]);
+            }
+            if rank.id() == 2 {
+                let _ = rank.recv(1, 5); // starves: rank 1 died first
+            }
+        })
+        .expect_err("crash must fail the run");
+        // The crash explains rank 2's silence: starved, not deadlocked.
+        assert_eq!(err.failures[0].kind, FailureKind::Crash);
+        assert_eq!(err.failures[1].kind, FailureKind::Starved);
+        assert_eq!(err.dead_ranks(), vec![1]);
+        assert_eq!(err.failed_ranks(), vec![1, 2]);
+        // One detection: the crash, a heartbeat after the victim's
+        // clock stopped (it died *before* its first send completed, so
+        // its clock at death is 0).
+        assert_eq!(err.detections.len(), 1);
+        assert_eq!(err.detections[0].rank, 1);
+        assert_eq!(err.detections[0].kind, DetectionKind::Crash);
+        assert!((err.detections[0].at - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detector_classifies_pure_starvation_as_deadlock() {
+        use crate::detect::{DetectionKind, DetectorConfig};
+        let cfg = MachineConfig {
+            backend: Backend::Event,
+            detector: DetectorConfig::with_timeout(1.0),
+            ..MachineConfig::default()
+        };
+        let err = Machine::try_run::<f32, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                let _ = rank.recv(1, 42); // nobody sends this
+            }
+        })
+        .expect_err("starved receive must fail the run");
+        assert_eq!(err.failures[0].kind, FailureKind::Deadlock);
+        assert!(err.dead_ranks().is_empty());
+        assert_eq!(err.detections.len(), 1);
+        assert_eq!(err.detections[0].kind, DetectionKind::Deadlock);
+    }
+
+    #[test]
+    fn detector_flags_stragglers_on_success() {
+        use crate::detect::{DetectionKind, DetectorConfig};
+        use distconv_trace::SpanKind;
+        let cfg = MachineConfig {
+            faults: FaultPlan {
+                seed: 0,
+                straggler: Some(crate::fault::Straggler {
+                    rank: 1,
+                    factor: 10.0,
+                }),
+                ..FaultPlan::default()
+            },
+            detector: DetectorConfig::with_timeout(1.0), // threshold 4.0
+            ..MachineConfig::default()
+        };
+        let r = Machine::run::<f32, _, _>(3, cfg, |rank| {
+            // Every rank issues the same fire-and-forget send (never
+            // received, so the straggler's skewed clock cannot
+            // propagate via Lamport max); rank 1's clock runs 10× —
+            // an outlier the detector must flag.
+            rank.send((rank.id() + 1) % rank.size(), 1, &[0.0f32; 64]);
+        });
+        assert_eq!(r.detections.len(), 1);
+        assert_eq!(r.detections[0].rank, 1);
+        assert_eq!(r.detections[0].kind, DetectionKind::Straggler);
+        // The verdict is also visible in the trace.
+        let detects: Vec<_> = r
+            .trace
+            .canonical()
+            .into_iter()
+            .filter(|s| s.kind == SpanKind::FailureDetect)
+            .collect();
+        assert_eq!(detects.len(), 1);
+        assert_eq!(detects[0].peer, Some(1));
+    }
+
+    #[test]
+    fn detector_disabled_reports_nothing() {
+        let cfg = MachineConfig {
+            faults: FaultPlan {
+                seed: 0,
+                straggler: Some(crate::fault::Straggler {
+                    rank: 0,
+                    factor: 100.0,
+                }),
+                ..FaultPlan::default()
+            },
+            ..MachineConfig::default()
+        };
+        let r = Machine::run::<f32, _, _>(2, cfg, |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, &[1.0]);
+            } else {
+                let _ = rank.recv(0, 1);
+            }
+        });
+        assert!(r.detections.is_empty());
     }
 
     #[test]

@@ -86,9 +86,13 @@ pub(crate) struct Packet<T> {
     pub tag: Tag,
     pub data: Vec<T>,
     pub sent_at: f64,
-    /// Wall-clock transmit instant — only consulted when the machine's
-    /// [`crate::LinkDelay`] emulation is on.
-    pub sent_wall: std::time::Instant,
+    /// Wall-clock transmit instant — stamped and consulted only when the
+    /// machine's [`crate::LinkDelay`] emulation is on (thread backend).
+    /// `None` everywhere else: on the event backend time is *virtual*,
+    /// so a wall-clock stamp would be meaningless — retransmit backoff
+    /// and delivery eligibility are derived from `sent_at` (the α–β
+    /// Lamport clock) instead.
+    pub sent_wall: Option<std::time::Instant>,
     pub kind: PacketKind,
     /// Per-`(src → dst, tag)` sequence number: FIFO reassembly and
     /// duplicate suppression under the reliable transport.
@@ -186,6 +190,17 @@ impl<T: Msg> Rank<T> {
     /// This rank's current logical communication clock (seconds).
     pub fn clock(&self) -> f64 {
         self.clock.get()
+    }
+
+    /// Wall-clock stamp for an outgoing packet: taken only when the
+    /// [`LinkDelay`] emulation will actually read it. With emulation
+    /// off — the event backend's normal configuration — packets carry
+    /// no wall time at all: the clock is virtual, retransmit timing is
+    /// analytic, and `Instant::now()` per packet would be a pointless
+    /// syscall on the hot path. When `LinkDelay` is explicitly on it
+    /// still sleeps real time on either backend (DESIGN.md §10).
+    fn wall_stamp(&self) -> Option<std::time::Instant> {
+        (!self.link.is_off()).then(std::time::Instant::now)
     }
 
     /// Set the schedule step stamped onto subsequently recorded spans.
@@ -286,7 +301,7 @@ impl<T: Msg> Rank<T> {
                 tag,
                 data,
                 sent_at: self.clock.get(),
-                sent_wall: std::time::Instant::now(),
+                sent_wall: self.wall_stamp(),
                 kind: PacketKind::Data,
                 seq: 0,
                 wire: 0,
@@ -452,11 +467,17 @@ impl<T: Msg> Rank<T> {
             }
         }
         if f.reliable {
-            // Every delivered copy gets acknowledged by the receiver;
-            // count them analytically here — the receiver's side would
-            // race with its own body exit for late extra copies.
+            // Every delivered copy gets acknowledged by the receiver,
+            // and every delivered copy beyond the first is a duplicate
+            // the receiver suppresses; count both analytically here —
+            // the receiver's side would race with its own body exit for
+            // late extra copies, making the counters schedule-dependent
+            // and breaking bitwise thread↔event backend equivalence.
             for _ in &copies {
                 self.stats.record_ack();
+            }
+            for _ in 1..copies.len() {
+                self.stats.record_dup_suppressed();
             }
         }
         if !copies.is_empty()
@@ -495,7 +516,7 @@ impl<T: Msg> Rank<T> {
             tag,
             data,
             sent_at,
-            sent_wall: std::time::Instant::now(),
+            sent_wall: self.wall_stamp(),
             kind: PacketKind::Data,
             seq,
             wire,
@@ -593,7 +614,7 @@ impl<T: Msg> Rank<T> {
                 tag: pkt.tag,
                 data: Vec::new(),
                 sent_at: self.clock.get(),
-                sent_wall: std::time::Instant::now(),
+                sent_wall: self.wall_stamp(),
                 kind: PacketKind::Ack,
                 seq: pkt.seq,
                 wire: pkt.wire,
@@ -709,7 +730,8 @@ impl<T: Msg> Rank<T> {
                             return self.deliver(pkt);
                         }
                         if pkt.seq < expected {
-                            self.stats.record_dup_suppressed();
+                            // Stale duplicate (already counted at the
+                            // sender): suppress.
                             continue;
                         }
                         // A future sequence (retransmit overtook the
@@ -808,7 +830,7 @@ impl<T: Msg> Rank<T> {
                             return (src, self.deliver(pkt));
                         }
                         if pkt.seq < expected {
-                            self.stats.record_dup_suppressed();
+                            // Stale duplicate (counted at the sender).
                             continue;
                         }
                     }
@@ -854,8 +876,8 @@ impl<T: Msg> Rank<T> {
                     continue;
                 }
                 if p.seq < expected {
+                    // Stale duplicate (counted at the sender).
                     pending.remove(i);
-                    self.stats.record_dup_suppressed();
                     continue;
                 }
             }
@@ -877,8 +899,8 @@ impl<T: Msg> Rank<T> {
                     return pending.remove(i);
                 }
                 if p.seq < expected {
+                    // Stale duplicate (counted at the sender).
                     pending.remove(i);
-                    self.stats.record_dup_suppressed();
                     continue;
                 }
             }
@@ -918,7 +940,12 @@ impl<T: Msg> Rank<T> {
         if self.link.is_off() || pkt.src == self.id {
             return;
         }
-        let deadline = pkt.sent_wall + self.link.wire_time(pkt.data.len());
+        // Unstamped packets come from the event backend, where the wire
+        // is already charged on the virtual clock — nothing to emulate.
+        let Some(sent_wall) = pkt.sent_wall else {
+            return;
+        };
+        let deadline = sent_wall + self.link.wire_time(pkt.data.len());
         let now = std::time::Instant::now();
         if deadline > now {
             std::thread::sleep(deadline - now);

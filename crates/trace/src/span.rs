@@ -22,17 +22,28 @@ pub enum SpanKind {
     /// A checkpoint/restart retry boundary, appended by the recovery
     /// layer after a crashed attempt.
     CheckpointRestore,
+    /// The virtual-time failure detector flagged a rank (crash,
+    /// straggler, or deadlock — `peer` carries the detected rank).
+    /// Appended after `CheckpointRestore` so existing canonical digests
+    /// of detector-free runs are unchanged.
+    FailureDetect,
+    /// Degraded-grid recovery moved checkpoint shards onto a shrunken
+    /// grid; `elems` is the redistribution volume (overhead traffic,
+    /// accounted like ARQ retransmits — never algorithmic volume).
+    Redistribute,
 }
 
 impl SpanKind {
     /// All kinds, in canonical order.
-    pub const ALL: [SpanKind; 6] = [
+    pub const ALL: [SpanKind; 8] = [
         SpanKind::Compute,
         SpanKind::Send,
         SpanKind::Recv,
         SpanKind::CommWait,
         SpanKind::Retransmit,
         SpanKind::CheckpointRestore,
+        SpanKind::FailureDetect,
+        SpanKind::Redistribute,
     ];
 
     /// Short display name (also the Chrome trace event name).
@@ -44,6 +55,8 @@ impl SpanKind {
             SpanKind::CommWait => "comm-wait",
             SpanKind::Retransmit => "retransmit",
             SpanKind::CheckpointRestore => "checkpoint-restore",
+            SpanKind::FailureDetect => "failure-detect",
+            SpanKind::Redistribute => "redistribute",
         }
     }
 }
@@ -121,7 +134,9 @@ mod tests {
                 "recv",
                 "comm-wait",
                 "retransmit",
-                "checkpoint-restore"
+                "checkpoint-restore",
+                "failure-detect",
+                "redistribute"
             ]
         );
     }

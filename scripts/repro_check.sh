@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Reproducibility gate: the analytical tables (Tables 1 and 2 of the
-# paper) and the event-backend scale sweep must be bit-identical to the
-# checked-in goldens. The tables are pure closed-form/brute-force
+# paper), the event-backend scale sweep, and the chaos sweep must be
+# bit-identical to the checked-in goldens. The tables are pure closed-form/brute-force
 # arithmetic and the sweep runs on the deterministic discrete-event
 # backend — no wall timing, no thread scheduling — so any diff is a
 # real behavior change in the cost model or the schedule, never noise.
@@ -14,8 +14,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GOLDEN_DIR=tests/goldens
-BINS=(repro_table1 repro_table2 repro_scale)
-GOLDENS=(table1.txt table2.txt scale.txt)
+BINS=(repro_table1 repro_table2 repro_scale repro_chaos)
+GOLDENS=(table1.txt table2.txt scale.txt chaos.txt)
 
 cargo build --release --offline --workspace -q
 

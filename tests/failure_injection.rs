@@ -148,6 +148,38 @@ fn crashed_training_step_recovers_to_the_fault_free_result() {
 }
 
 #[test]
+fn persistent_crash_finishes_degraded_on_the_event_backend() {
+    // A persistent crash survives every checkpoint/restart retry; once
+    // MAX_STEP_RETRIES is exhausted the driver must re-plan over the
+    // survivors, redistribute the checkpoint, and finish correct on the
+    // shrunken grid — on the discrete-event backend, in virtual time.
+    use distconv::simnet::Backend;
+    let p = Conv2dProblem::square(4, 8, 8, 8, 3);
+    let plan = Planner::new(p, MachineSpec::new(8, 1 << 20))
+        .plan()
+        .unwrap();
+    let cfg = MachineConfig {
+        recv_timeout: Duration::from_millis(300),
+        faults: FaultPlan::reliable(0xC4A5).with_persistent_crash(0, 2),
+        backend: Backend::Event,
+        ..MachineConfig::default()
+    };
+    let r = DistConv::<f64>::new(plan)
+        .with_config(cfg)
+        .run_recovering(7)
+        .expect("must finish degraded, not fail");
+    assert!(r.degraded && r.recovered && r.verified);
+    let info = r.degrade.as_ref().expect("degrade details");
+    assert_eq!(info.old_grid, plan.grid);
+    assert_eq!(info.dead_ranks, vec![0]);
+    assert!(r.plan.grid.total() < 8, "grid must have shrunk");
+    assert!(info.redist_elems > 0);
+    // Conformance validates the measured traffic at P', not P.
+    let rep = r.conformance();
+    assert!(rep.pass(), "degraded conformance failed:\n{rep}");
+}
+
+#[test]
 fn every_failed_rank_is_enumerated_in_the_panic() {
     // Two independent rank failures: the machine's panic must name both,
     // not just whichever thread died first.
