@@ -1,10 +1,22 @@
 //! Wall-clock bench: local convolution kernels — the paper-literal
-//! reference loops vs the packed im2col-GEMM fast path, with a
-//! GFLOP/s column and a machine-readable trajectory.
+//! reference loops vs the packed im2col-GEMM fast path, the
+//! runtime-dispatched SIMD micro-kernel, and the Winograd `F(2×2,3×3)`
+//! bilinear kernel, with a GFLOP/s column and a machine-readable
+//! trajectory.
+//!
+//! **Record policy:** the legacy labels (`conv_tile/reference`,
+//! `conv_tile_fast/packed`, `conv2d_fast/whole`, the sweep's
+//! `direct`/`direct_par`/`im2col`/`fast`) are pinned to the **scalar**
+//! micro-kernel so their GFLOP/s trajectory stays comparable across
+//! commits and hosts; the new `*_simd` and `winograd` labels run on
+//! the active (env + CPUID resolved) path. A startup note names the
+//! selected ISA so a scalar-host (or `DISTCONV_SIMD=off`) run is never
+//! mistaken for a vectorized one.
 //!
 //! `cargo bench -p distconv-bench --bench bench_kernels -- --json [PATH]`
 //! additionally writes the measurements (plus the headline
-//! `speedup_fast_over_reference` on the representative ResNet-style
+//! `speedup_fast_over_reference` / `speedup_simd_over_scalar` /
+//! `speedup_winograd_over_fast` on the representative ResNet-style
 //! layer) to `PATH` (default `BENCH_kernels.json`) in the
 //! `distconv-bench-v1` schema — see `scripts/bench_compare.sh` for
 //! diffing two such files across commits.
@@ -13,8 +25,9 @@ use distconv_bench::{bench_report_json, BenchRecord, Suite};
 use distconv_conv::kernels::{
     conv2d_direct, conv2d_direct_par, conv2d_im2col, conv_tile, out_shape, workload,
 };
-use distconv_conv::{conv2d_fast, conv_tile_fast, ConvScratch};
+use distconv_conv::{conv2d_fast, conv_tile_fast, conv_tile_winograd, ConvScratch};
 use distconv_cost::Conv2dProblem;
+use distconv_tensor::simd::{self, SimdPath};
 use distconv_tensor::Tensor4;
 use std::hint::black_box;
 
@@ -29,44 +42,85 @@ fn representative() -> Conv2dProblem {
     Conv2dProblem::new(4, 64, 64, 56, 56, 3, 3, 1, 1)
 }
 
-/// Headline suite: `conv_tile` vs `conv_tile_fast` on the
-/// representative layer (single tile covering the problem, f32), plus
-/// the whole-problem entry points.
-fn bench_conv_kernels(records: &mut Vec<BenchRecord>) -> Option<f64> {
+/// Pin the scalar micro-kernel, run `f`, restore env+CPUID dispatch.
+fn pinned_scalar<R>(f: impl FnOnce() -> R) -> R {
+    simd::force(Some(SimdPath::Scalar));
+    let r = f();
+    simd::force(None);
+    r
+}
+
+/// Headline suite on the representative layer (single tile covering
+/// the problem, f32): reference and scalar-pinned fast baselines, then
+/// the SIMD-dispatched fast path and the Winograd kernel.
+fn bench_conv_kernels(records: &mut Vec<BenchRecord>) -> Vec<(&'static str, f64)> {
     let p = representative();
     let flops = conv_flops(&p);
     let (input, ker) = workload::<f32>(&p, 1);
     let mut g = Suite::new("conv_kernels_rep_56x56");
-    let mut out = Tensor4::<f32>::zeros(out_shape(&p));
-    g.bench_flops("conv_tile/reference", flops, || {
-        conv_tile(&p, &mut out, &input, &ker);
-        black_box(out.as_slice()[0])
+    pinned_scalar(|| {
+        let mut out = Tensor4::<f32>::zeros(out_shape(&p));
+        g.bench_flops("conv_tile/reference", flops, || {
+            conv_tile(&p, &mut out, &input, &ker);
+            black_box(out.as_slice()[0])
+        });
+        let mut out_fast = Tensor4::<f32>::zeros(out_shape(&p));
+        let mut scratch = ConvScratch::new();
+        g.bench_flops("conv_tile_fast/packed", flops, || {
+            conv_tile_fast(&p, &mut out_fast, &input, &ker, &mut scratch);
+            black_box(out_fast.as_slice()[0])
+        });
+        g.bench_flops("conv2d_fast/whole", flops, || {
+            black_box(conv2d_fast(&p, &input, &ker))
+        });
     });
-    let mut out_fast = Tensor4::<f32>::zeros(out_shape(&p));
-    let mut scratch = ConvScratch::new();
-    g.bench_flops("conv_tile_fast/packed", flops, || {
-        conv_tile_fast(&p, &mut out_fast, &input, &ker, &mut scratch);
-        black_box(out_fast.as_slice()[0])
-    });
-    g.bench_flops("conv2d_fast/whole", flops, || {
-        black_box(conv2d_fast(&p, &input, &ker))
-    });
+    {
+        let mut out_simd = Tensor4::<f32>::zeros(out_shape(&p));
+        let mut scratch = ConvScratch::new();
+        g.bench_flops("conv_tile_fast_simd", flops, || {
+            conv_tile_fast(&p, &mut out_simd, &input, &ker, &mut scratch);
+            black_box(out_simd.as_slice()[0])
+        });
+        let mut out_wino = Tensor4::<f32>::zeros(out_shape(&p));
+        let mut scratch = ConvScratch::new();
+        // Same effective-FLOP accounting as every other record: the
+        // GFLOP/s column reports *direct-conv-equivalent* throughput,
+        // so the 2.25× multiply reduction shows up as speed.
+        g.bench_flops("conv_tile_winograd", flops, || {
+            conv_tile_winograd(&p, &mut out_wino, &input, &ker, &mut scratch);
+            black_box(out_wino.as_slice()[0])
+        });
+    }
     let recs = g.finish();
     let median = |label: &str| -> Option<f64> {
         recs.iter().find(|r| r.label == label).map(|r| r.median_ns)
     };
-    let speedup = match (
-        median("conv_tile/reference"),
-        median("conv_tile_fast/packed"),
-    ) {
+    let mut derived = Vec::new();
+    let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
         (Some(a), Some(b)) if b > 0.0 => Some(a / b),
         _ => None,
     };
+    if let Some(s) = ratio(
+        median("conv_tile/reference"),
+        median("conv_tile_fast/packed"),
+    ) {
+        derived.push(("speedup_fast_over_reference", s));
+    }
+    if let Some(s) = ratio(
+        median("conv_tile_fast/packed"),
+        median("conv_tile_fast_simd"),
+    ) {
+        derived.push(("speedup_simd_over_scalar", s));
+    }
+    if let Some(s) = ratio(median("conv_tile_fast_simd"), median("conv_tile_winograd")) {
+        derived.push(("speedup_winograd_over_fast", s));
+    }
     records.extend(recs);
-    speedup
+    derived
 }
 
-/// Smaller layer shapes: all four local kernels side by side.
+/// Smaller layer shapes: the four scalar-pinned local kernels side by
+/// side, plus the SIMD fast path and (on 3×3 stride-1 shapes) Winograd.
 fn bench_layer_sweep(records: &mut Vec<BenchRecord>) {
     let layers = [
         ("early_16x16", Conv2dProblem::square(2, 8, 8, 16, 3)),
@@ -77,22 +131,32 @@ fn bench_layer_sweep(records: &mut Vec<BenchRecord>) {
         let flops = conv_flops(&p);
         let (input, ker) = workload::<f32>(&p, 1);
         let mut g = Suite::new(format!("conv_{name}"));
-        g.bench_flops("direct", flops, || {
-            black_box(conv2d_direct(&p, &input, &ker))
+        pinned_scalar(|| {
+            g.bench_flops("direct", flops, || {
+                black_box(conv2d_direct(&p, &input, &ker))
+            });
+            g.bench_flops("direct_par", flops, || {
+                black_box(conv2d_direct_par(&p, &input, &ker))
+            });
+            g.bench_flops("im2col", flops, || {
+                black_box(conv2d_im2col(&p, &input, &ker))
+            });
+            g.bench_flops("fast", flops, || black_box(conv2d_fast(&p, &input, &ker)));
         });
-        g.bench_flops("direct_par", flops, || {
-            black_box(conv2d_direct_par(&p, &input, &ker))
+        g.bench_flops("fast_simd", flops, || {
+            black_box(conv2d_fast(&p, &input, &ker))
         });
-        g.bench_flops("im2col", flops, || {
-            black_box(conv2d_im2col(&p, &input, &ker))
-        });
-        g.bench_flops("fast", flops, || black_box(conv2d_fast(&p, &input, &ker)));
+        if distconv_conv::winograd::winograd_applicable(&p) {
+            g.bench_flops("winograd", flops, || {
+                black_box(distconv_conv::conv2d_winograd(&p, &input, &ker))
+            });
+        }
         records.extend(g.finish());
     }
 }
 
 /// Strided layers exercise the gather (σ_h > 1) and implicit (σ_h = 1)
-/// column paths.
+/// column paths (Winograd does not apply; `fast_simd` still does).
 fn bench_strided(records: &mut Vec<BenchRecord>) {
     let layers = [
         ("s2x2", Conv2dProblem::new(2, 16, 16, 8, 8, 3, 3, 2, 2)),
@@ -102,10 +166,15 @@ fn bench_strided(records: &mut Vec<BenchRecord>) {
         let flops = conv_flops(&p);
         let (input, ker) = workload::<f32>(&p, 2);
         let mut g = Suite::new(format!("conv_strided_{name}"));
-        g.bench_flops("direct", flops, || {
-            black_box(conv2d_direct(&p, &input, &ker))
+        pinned_scalar(|| {
+            g.bench_flops("direct", flops, || {
+                black_box(conv2d_direct(&p, &input, &ker))
+            });
+            g.bench_flops("fast", flops, || black_box(conv2d_fast(&p, &input, &ker)));
         });
-        g.bench_flops("fast", flops, || black_box(conv2d_fast(&p, &input, &ker)));
+        g.bench_flops("fast_simd", flops, || {
+            black_box(conv2d_fast(&p, &input, &ker))
+        });
         records.extend(g.finish());
     }
 }
@@ -119,18 +188,25 @@ fn main() {
             .unwrap_or_else(|| "BENCH_kernels.json".to_string())
     });
 
+    // One-line ISA note: which micro-kernel path the unpinned records
+    // (fast_simd / winograd) actually ran on.
+    println!(
+        "micro-kernel ISA path: {} ({}={}; host supports {})",
+        simd::active().name(),
+        simd::SIMD_ENV,
+        std::env::var(simd::SIMD_ENV).unwrap_or_else(|_| "unset".into()),
+        simd::detect().name(),
+    );
+
     let mut records = Vec::new();
-    let speedup = bench_conv_kernels(&mut records);
+    let derived = bench_conv_kernels(&mut records);
     bench_layer_sweep(&mut records);
     bench_strided(&mut records);
 
-    if let Some(s) = speedup {
-        println!("\nspeedup conv_tile_fast over conv_tile (rep shape): {s:.2}x");
+    for (k, v) in &derived {
+        println!("{k}: {v:.2}x");
     }
     if let Some(path) = json_path {
-        let derived: Vec<(&str, f64)> = speedup
-            .map(|s| vec![("speedup_fast_over_reference", s)])
-            .unwrap_or_default();
         let json = bench_report_json(&records, &derived);
         std::fs::write(&path, json + "\n").expect("write bench json");
         println!("wrote {path}");

@@ -1,9 +1,18 @@
 //! Compare (or validate) `BENCH_*.json` bench-trajectory files.
 //!
 //! ```text
-//! bench_compare --validate FILE        # schema check, exit 1 on failure
+//! bench_compare --validate FILE [--require SUBSTR]...
+//!                                      # schema + sanity checks, exit 1 on failure
 //! bench_compare OLD.json NEW.json      # per-case speedup table
 //! ```
+//!
+//! Each `--require SUBSTR` demands that some `suite/label` case key
+//! contains `SUBSTR` — CI uses this to pin the presence of the
+//! `fast_simd` and `winograd` records in `BENCH_kernels.json`.
+//! Validation of non-quick files also enforces the `direct_par`
+//! regression guard: in every suite carrying both labels, `direct_par`
+//! must not be slower than `direct` by more than 10% (the serial
+//! fallback below `PAR_MADD_CUTOFF` makes small shapes free).
 //!
 //! Usually invoked through `scripts/bench_compare.sh`. Files are the
 //! `distconv-bench-v1` schema written by
@@ -73,10 +82,28 @@ fn load(path: &str) -> Result<Report, String> {
     })
 }
 
-fn validate(path: &str) -> Result<(), String> {
+/// Suites where both `direct` and `direct_par` appear may see the
+/// parallel kernel at most this factor slower than the serial one —
+/// the `PAR_MADD_CUTOFF` serial fallback guarantees small shapes never
+/// pay pool-dispatch overhead.
+const DIRECT_PAR_SLOWDOWN_LIMIT: f64 = 1.10;
+
+fn validate(path: &str, require: &[String]) -> Result<(), String> {
     let rep = load(path)?;
     if rep.cases.is_empty() {
         return Err(format!("{path}: no bench records"));
+    }
+    for want in require {
+        if !rep.cases.iter().any(|c| c.key.contains(want.as_str())) {
+            return Err(format!(
+                "{path}: no case key contains required substring {want:?}"
+            ));
+        }
+    }
+    if rep.quick {
+        println!("{path}: quick-mode file — skipping direct_par/direct timing guard");
+    } else {
+        check_direct_par_guard(path, &rep)?;
     }
     println!(
         "{path}: ok — {} records{}, derived: {}",
@@ -92,6 +119,36 @@ fn validate(path: &str) -> Result<(), String> {
                 .join(", ")
         }
     );
+    Ok(())
+}
+
+/// The satellite regression guard: `direct_par` must never be slower
+/// than `direct` by more than [`DIRECT_PAR_SLOWDOWN_LIMIT`] in any
+/// suite that records both.
+fn check_direct_par_guard(path: &str, rep: &Report) -> Result<(), String> {
+    for c in &rep.cases {
+        let Some(suite) = c.key.strip_suffix("/direct_par") else {
+            continue;
+        };
+        let direct_key = format!("{suite}/direct");
+        let Some(d) = rep.cases.iter().find(|o| o.key == direct_key) else {
+            continue;
+        };
+        let ratio = c.median_ns / d.median_ns;
+        if ratio > DIRECT_PAR_SLOWDOWN_LIMIT {
+            return Err(format!(
+                "{path}: {key} is {ratio:.2}x slower than {direct_key} \
+                 (limit {DIRECT_PAR_SLOWDOWN_LIMIT:.2}x) — the serial \
+                 fallback below PAR_MADD_CUTOFF should make small shapes \
+                 free; re-measure or fix the cutoff",
+                key = c.key,
+            ));
+        }
+        println!(
+            "{path}: {key} vs {direct_key}: {ratio:.2}x (ok)",
+            key = c.key
+        );
+    }
     Ok(())
 }
 
@@ -167,12 +224,36 @@ fn ms(ns: f64) -> String {
     }
 }
 
+/// Parse trailing `--require SUBSTR` pairs after `--validate FILE`.
+fn parse_requires(rest: &[String]) -> Result<Vec<String>, String> {
+    let mut require = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag != "--require" {
+            return Err(format!(
+                "unexpected argument {flag:?} (want --require SUBSTR)"
+            ));
+        }
+        match it.next() {
+            Some(s) => require.push(s.clone()),
+            None => return Err("--require needs a substring argument".into()),
+        }
+    }
+    Ok(require)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
-        [flag, path] if flag == "--validate" => validate(path),
+        [flag, path, rest @ ..] if flag == "--validate" => {
+            parse_requires(rest).and_then(|require| validate(path, &require))
+        }
         [old, new] => compare(old, new),
-        _ => Err("usage: bench_compare --validate FILE | bench_compare OLD.json NEW.json".into()),
+        _ => Err(
+            "usage: bench_compare --validate FILE [--require SUBSTR]... \
+             | bench_compare OLD.json NEW.json"
+                .into(),
+        ),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -23,10 +23,11 @@
 //!   (`σ_h > 1`) gather their column rows into a reusable, L1-sized
 //!   scratch buffer. The `1×1` stride-1 case degenerates to a pure
 //!   GEMM on the raw input rows — no packing, no halo arithmetic.
-//! * **Register blocking** — [`gemm_acc_rows`] updates `MR = 4` output
-//!   rows per pass over a column row, and the `crs` dimension is walked
-//!   in L1-sized blocks so the streamed column rows are reused across
-//!   all `T_k` output channels while hot.
+//! * **Register blocking** — [`gemm_acc_rows`] updates
+//!   [`mr_block`]`()` output rows (8 on the runtime-detected AVX2
+//!   path, 4 scalar) per pass over a column row, and the `crs`
+//!   dimension is walked in L1-sized blocks so the streamed column
+//!   rows are reused across all `T_k` output channels while hot.
 //!
 //! All scratch (kernel panel, column buffer, offset table) lives in a
 //! caller-held [`ConvScratch`] arena, so tiled executors pay zero
@@ -41,7 +42,7 @@
 
 use distconv_cost::Conv2dProblem;
 use distconv_par::{pool, LocalKernel};
-use distconv_tensor::gemm::{gemm_acc_rows, pack_transposed, MR};
+use distconv_tensor::gemm::{gemm_acc_rows, mr_block, pack_transposed};
 use distconv_tensor::{Scalar, Tensor4};
 
 use crate::kernels::{conv2d_direct_par, in_shape, ker_shape, out_shape};
@@ -62,6 +63,8 @@ pub struct ConvScratch<T> {
     col: Vec<T>,
     /// Column-row offset table for the current `(b, w)` GEMM.
     boff: Vec<usize>,
+    /// Winograd transform buffers (used only by the Winograd kernel).
+    pub(crate) wino: crate::winograd::WinoScratch<T>,
 }
 
 impl<T: Scalar> ConvScratch<T> {
@@ -71,6 +74,7 @@ impl<T: Scalar> ConvScratch<T> {
             at: Vec::new(),
             col: Vec::new(),
             boff: Vec::new(),
+            wino: Default::default(),
         }
     }
 }
@@ -164,6 +168,10 @@ fn im2col_gemm<T: Scalar>(
 ) {
     let (nr, ns, sw, sh) = (p.nr, p.ns, p.sw, p.sh);
     let crs = tc * nr * ns;
+    // Register-block height for the active micro-kernel path (8 on the
+    // AVX2 path, 4 scalar) — a perf hint only; results are blocking-
+    // independent (see gemm module docs).
+    let mrb = mr_block();
     boff.clear();
     boff.resize(crs, 0);
     if sh > 1 {
@@ -210,7 +218,7 @@ fn im2col_gemm<T: Scalar>(
                 let kk = KC.min(crs - j0);
                 let mut k0 = 0;
                 while k0 < tk {
-                    let mr = MR.min(tk - k0);
+                    let mr = mrb.min(tk - k0);
                     gemm_acc_rows(
                         &mut out[cb + k0 * ostr[1]..],
                         ostr[1],
@@ -285,6 +293,7 @@ pub fn conv2d<T: Scalar>(
     match kernel {
         LocalKernel::Reference => conv2d_direct_par(p, input, ker),
         LocalKernel::Fast => conv2d_fast(p, input, ker),
+        LocalKernel::Winograd => crate::winograd::conv2d_winograd(p, input, ker),
     }
 }
 

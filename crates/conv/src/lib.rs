@@ -26,16 +26,24 @@
 //!   [`fast::conv_tile_fast`] lowers a tile to an implicit-im2col ×
 //!   packed-kernel GEMM on the shared register-blocked micro-kernel,
 //!   bitwise identical to `conv_tile` but several times faster.
-//!   Executors dispatch between the two via
-//!   [`LocalKernel`](distconv_par::LocalKernel) (DESIGN.md §7).
+//! * [`winograd`] — `F(2×2, 3×3)` fast bilinear convolution: 2.25×
+//!   fewer multiplies on 3×3 stride-1 layers, batched through the same
+//!   SIMD-dispatched micro-kernel; reference-equal within a documented
+//!   tolerance rather than bitwise (DESIGN.md §7's two-tier policy).
+//!
+//! Executors dispatch between kernels via
+//! [`LocalKernel`](distconv_par::LocalKernel) (DESIGN.md §7).
 
 #![warn(missing_docs)]
 
 pub mod fast;
 pub mod gvm;
 pub mod kernels;
+mod wino_simd;
+pub mod winograd;
 
 pub use distconv_par::LocalKernel;
 pub use fast::{conv2d, conv2d_fast, conv_tile_fast, conv_tile_fast_rows, ConvScratch};
 pub use gvm::{GvmExecutor, GvmMeasurement};
 pub use kernels::{conv2d_direct, conv2d_direct_par, conv2d_im2col, conv_tile, grad_ker};
+pub use winograd::{conv2d_winograd, conv_tile_winograd, conv_tile_winograd_rows};

@@ -1,0 +1,253 @@
+//! AVX2 fast paths for the Winograd `F(2×2, 3×3)` input/output
+//! transforms (f32), dispatched through the same runtime switch as the
+//! GEMM micro-kernel (`distconv_tensor::simd::active`, i.e. the
+//! `DISTCONV_SIMD` knob).
+//!
+//! **Bitwise contract.** Like the micro-kernel, the vector transforms
+//! are *bit-for-bit identical* to the scalar ones: vector lanes map to
+//! distinct spatial tiles, every per-element expression tree matches
+//! the scalar code's association order, and no FMA contraction is used
+//! — the transforms contain only additions/subtractions, so there is
+//! nothing to contract. Lane shuffles (the stride-2 deinterleave on
+//! load, the 2×2-pair interleave on store) are pure data movement.
+//!
+//! Only the f32 interior-tile paths are vectorized: f64 transforms
+//! stay scalar (the pointwise GEMMs, where most f64 time goes, are
+//! already vectorized in the micro-kernel), and clipped boundary tiles
+//! always take the scalar gather. Each entry point returns how many
+//! tiles it handled; the caller finishes the rest on the scalar path.
+
+use distconv_tensor::Scalar;
+use std::any::TypeId;
+
+/// Vectorized slice of [`crate::winograd`]'s input transform: tiles
+/// `ty ∈ 0..done` of one `(c, tx)` row quad, where tile `ty` reads
+/// `rows[ax][2·ty + ay]` and writes
+/// `v[(ax·4 + ay)·xi_stride + base + ty]`. Returns `done` (0 when the
+/// AVX2 path is unavailable or `T` is not f32); the caller must
+/// process tiles `done..n_tiles` itself.
+pub(crate) fn input_rows<T: Scalar>(
+    rows: &[&[T]; 4],
+    n_tiles: usize,
+    v: &mut [T],
+    xi_stride: usize,
+    base: usize,
+) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if distconv_tensor::simd::active() == distconv_tensor::simd::SimdPath::Avx2
+            && TypeId::of::<T>() == TypeId::of::<f32>()
+        {
+            // Sound: T == f32 (checked above), and &[T] / &[f32] have
+            // identical layout for the same T.
+            let rows32 = unsafe { &*(rows as *const [&[T]; 4] as *const [&[f32]; 4]) };
+            let v32 = unsafe { &mut *(v as *mut [T] as *mut [f32]) };
+            return x86::input_rows_f32(rows32, n_tiles, v32, xi_stride, base);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (rows, n_tiles, v, xi_stride, base);
+    0
+}
+
+/// Vectorized slice of the output transform for one `(k, tx)` pair:
+/// tile `ty ∈ 0..done` reads `m[(ax·4 + ay)·xi_stride + mbase + ty]`
+/// and accumulates its 2×2 result at `out[base0 + 2·ty ..]` (first
+/// output row) and `out[base1 + 2·ty ..]` (second row). Returns `done`
+/// as in [`input_rows`].
+pub(crate) fn output_rows<T: Scalar>(
+    m: &[T],
+    xi_stride: usize,
+    mbase: usize,
+    n_tiles: usize,
+    out: &mut [T],
+    base0: usize,
+    base1: usize,
+) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if distconv_tensor::simd::active() == distconv_tensor::simd::SimdPath::Avx2
+            && TypeId::of::<T>() == TypeId::of::<f32>()
+        {
+            let m32 = unsafe { &*(m as *const [T] as *const [f32]) };
+            let out32 = unsafe { &mut *(out as *mut [T] as *mut [f32]) };
+            return x86::output_rows_f32(m32, xi_stride, mbase, n_tiles, out32, base0, base1);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (m, xi_stride, mbase, n_tiles, out, base0, base1);
+    0
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// f32 lanes per vector: one AVX2 register covers 8 spatial tiles.
+    const LANES: usize = 8;
+
+    /// Safe wrapper: checks every bound the unsafe kernel relies on,
+    /// then processes `n_tiles / 8` full vector blocks.
+    pub(super) fn input_rows_f32(
+        rows: &[&[f32]; 4],
+        n_tiles: usize,
+        v: &mut [f32],
+        xi_stride: usize,
+        base: usize,
+    ) -> usize {
+        let blocks = n_tiles / LANES;
+        if blocks == 0 {
+            return 0;
+        }
+        let done = blocks * LANES;
+        for r in rows {
+            // Block ty0 loads rows[ax][2·ty0 .. 2·ty0 + 18]; the last
+            // block starts at done - 8.
+            assert!(r.len() >= 2 * (done - LANES) + 18, "input row too short");
+        }
+        assert!(v.len() >= 15 * xi_stride + base + done, "v panel too short");
+        // SAFETY: avx2 is dynamically detected (simd::active() ==
+        // Avx2 implies the CPUID check passed); all accesses are
+        // bounds-checked above.
+        unsafe { input_blocks(rows, blocks, v, xi_stride, base) };
+        done
+    }
+
+    /// Deinterleave 16 consecutive f32 at `p` into (evens, odds):
+    /// `(p[0],p[2],…,p[14])` and `(p[1],p[3],…,p[15])`. Pure data
+    /// movement — no arithmetic.
+    #[inline]
+    unsafe fn deinterleave(p: *const f32) -> (__m256, __m256) {
+        let a = _mm256_loadu_ps(p);
+        let b = _mm256_loadu_ps(p.add(8));
+        // Within each 128-bit lane: [a0 a2 b0 b2 | a4 a6 b4 b6], then
+        // reorder 64-bit chunks (0,2,1,3) to restore tile order.
+        let ev = _mm256_shuffle_ps(a, b, 0b10_00_10_00);
+        let od = _mm256_shuffle_ps(a, b, 0b11_01_11_01);
+        let ev = _mm256_castpd_ps(_mm256_permute4x64_pd(_mm256_castps_pd(ev), 0b11_01_10_00));
+        let od = _mm256_castpd_ps(_mm256_permute4x64_pd(_mm256_castps_pd(od), 0b11_01_10_00));
+        (ev, od)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn input_blocks(
+        rows: &[&[f32]; 4],
+        blocks: usize,
+        v: &mut [f32],
+        xi_stride: usize,
+        base: usize,
+    ) {
+        let vp = v.as_mut_ptr();
+        for blk in 0..blocks {
+            let y0 = 2 * LANES * blk;
+            // d[ax][ay], each a vector over 8 tiles: tile i's element
+            // is rows[ax][y0 + 2i + ay]. ay ∈ {0,1} are the evens/odds
+            // of rows[ax][y0..], ay ∈ {2,3} the same shifted by 2.
+            let mut d = [[_mm256_setzero_ps(); 4]; 4];
+            for (ax, r) in rows.iter().enumerate() {
+                let p = r.as_ptr().add(y0);
+                let (e0, o0) = deinterleave(p);
+                let (e2, o2) = deinterleave(p.add(2));
+                d[ax] = [e0, o0, e2, o2];
+            }
+            // z = Bᵀ·d over the x axis — same expressions, same order
+            // as the scalar bt_d_b.
+            let mut z = [[_mm256_setzero_ps(); 4]; 4];
+            for ay in 0..4 {
+                z[0][ay] = _mm256_sub_ps(d[0][ay], d[2][ay]);
+                z[1][ay] = _mm256_add_ps(d[1][ay], d[2][ay]);
+                z[2][ay] = _mm256_sub_ps(d[2][ay], d[1][ay]);
+                z[3][ay] = _mm256_sub_ps(d[1][ay], d[3][ay]);
+            }
+            // w = z·B over the y axis (scalar apply_b_cols), stored
+            // contiguously into each ξ panel.
+            let t = base + LANES * blk;
+            for (ax, zr) in z.iter().enumerate() {
+                let w = [
+                    _mm256_sub_ps(zr[0], zr[2]),
+                    _mm256_add_ps(zr[1], zr[2]),
+                    _mm256_sub_ps(zr[2], zr[1]),
+                    _mm256_sub_ps(zr[1], zr[3]),
+                ];
+                for (ay, &wv) in w.iter().enumerate() {
+                    _mm256_storeu_ps(vp.add((ax * 4 + ay) * xi_stride + t), wv);
+                }
+            }
+        }
+    }
+
+    /// Safe wrapper for the output-transform blocks; same
+    /// check-then-dispatch shape as [`input_rows_f32`].
+    pub(super) fn output_rows_f32(
+        m: &[f32],
+        xi_stride: usize,
+        mbase: usize,
+        n_tiles: usize,
+        out: &mut [f32],
+        base0: usize,
+        base1: usize,
+    ) -> usize {
+        let blocks = n_tiles / LANES;
+        if blocks == 0 {
+            return 0;
+        }
+        let done = blocks * LANES;
+        assert!(
+            m.len() >= 15 * xi_stride + mbase + done,
+            "m panel too short"
+        );
+        assert!(
+            out.len() >= base0 + 2 * done && out.len() >= base1 + 2 * done,
+            "output rows too short"
+        );
+        // SAFETY: as in input_rows_f32.
+        unsafe { output_blocks(m, xi_stride, mbase, blocks, out, base0, base1) };
+        done
+    }
+
+    /// Interleave two tile vectors into the 16 consecutive output
+    /// elements `(y0[0], y1[0], y0[1], y1[1], …)` and accumulate them
+    /// onto `p[0..16]`.
+    #[inline]
+    unsafe fn interleave_acc(p: *mut f32, y0: __m256, y1: __m256) {
+        let lo = _mm256_unpacklo_ps(y0, y1);
+        let hi = _mm256_unpackhi_ps(y0, y1);
+        let first = _mm256_permute2f128_ps(lo, hi, 0x20);
+        let second = _mm256_permute2f128_ps(lo, hi, 0x31);
+        _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), first));
+        _mm256_storeu_ps(p.add(8), _mm256_add_ps(_mm256_loadu_ps(p.add(8)), second));
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn output_blocks(
+        m: &[f32],
+        xi_stride: usize,
+        mbase: usize,
+        blocks: usize,
+        out: &mut [f32],
+        base0: usize,
+        base1: usize,
+    ) {
+        let mp = m.as_ptr();
+        let op = out.as_mut_ptr();
+        for blk in 0..blocks {
+            let t = mbase + LANES * blk;
+            let mv = |ax: usize, ay: usize| _mm256_loadu_ps(mp.add((ax * 4 + ay) * xi_stride + t));
+            // a = Aᵀ·M over x — matches the scalar column expressions.
+            let mut a = [[_mm256_setzero_ps(); 4]; 2];
+            #[allow(clippy::needless_range_loop)]
+            for ay in 0..4 {
+                a[0][ay] = _mm256_add_ps(_mm256_add_ps(mv(0, ay), mv(1, ay)), mv(2, ay));
+                a[1][ay] = _mm256_sub_ps(_mm256_sub_ps(mv(1, ay), mv(2, ay)), mv(3, ay));
+            }
+            // y = a·A over y, then scatter each row's 2-wide pairs.
+            let h = 2 * LANES * blk;
+            for (i, ar) in a.iter().enumerate() {
+                let y0 = _mm256_add_ps(_mm256_add_ps(ar[0], ar[1]), ar[2]);
+                let y1 = _mm256_sub_ps(_mm256_sub_ps(ar[1], ar[2]), ar[3]);
+                let b = if i == 0 { base0 } else { base1 };
+                interleave_acc(op.add(b + h), y0, y1);
+            }
+        }
+    }
+}

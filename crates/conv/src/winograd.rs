@@ -1,0 +1,625 @@
+//! Winograd `F(2×2, 3×3)` fast convolution — the workspace's fast
+//! *bilinear* local kernel ([`LocalKernel::Winograd`]
+//! (distconv_par::LocalKernel)).
+//!
+//! For 3×3 stride-1 layers the minimal-filtering algorithm of Winograd
+//! (as popularized for CNNs by Lavin & Gray, and analyzed for the
+//! distributed setting by Ju & Solomonik, arXiv 1910.13367) computes
+//! each 2×2 output tile from a 4×4 input tile with **16 multiplies
+//! instead of 36** — a 2.25× reduction in the inner-product work:
+//!
+//! ```text
+//! Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//! ```
+//!
+//! with the F(2,3) transform matrices
+//!
+//! ```text
+//! Bᵀ = ⎡1  0 −1  0⎤   G = ⎡ 1    0    0 ⎤   Aᵀ = ⎡1 1  1  0⎤
+//!      ⎢0  1  1  0⎥       ⎢ ½    ½    ½ ⎥        ⎣0 1 −1 −1⎦
+//!      ⎢0 −1  1  0⎥       ⎢ ½   −½    ½ ⎥
+//!      ⎣0  1  0 −1⎦       ⎣ 0    0    1 ⎦
+//! ```
+//!
+//! The element-wise products over the 16 transform-domain positions
+//! `ξ` batch into 16 small GEMMs `M[ξ] = U[ξ] · V[ξ]` (a `T_k × T_c`
+//! kernel panel times a `T_c × P` tile panel, `P` = spatial tiles per
+//! batch image), which run on the same register-blocked, SIMD-
+//! dispatched micro-kernel ([`gemm_acc_rows`]) as the im2col path — so
+//! the 2.25× multiply reduction stacks on top of the vector width.
+//!
+//! **Numeric policy (two-tier).** Unlike `LocalKernel::Fast`, Winograd
+//! is *not* bitwise-equal to the reference kernels: it evaluates a
+//! different (algebraically equal) bilinear form, and 1910.13367 §5
+//! shows its error grows by a modest constant factor over direct
+//! convolution for F(2,3) (the growth is polynomial in the tile size;
+//! F(2,3) is the gentlest member of the family — all its transform
+//! constants are exact powers of two, so the transforms themselves
+//! round only on additions). Exact-match suites therefore stay pinned
+//! to `Reference`/`Fast`, and Winograd is validated against the
+//! reference under a relative tolerance (`assert_close`) chosen from
+//! that analysis: `5e-4` for f32, `1e-12` for f64 on the `O(1)`-
+//! magnitude workloads the suites generate. See DESIGN.md §7.
+//!
+//! Shapes the algorithm does not cover (kernels other than 3×3, or any
+//! stride > 1) fall back to the fast im2col path — bitwise identical
+//! to `Fast` there, so the env knob is safe to set globally.
+
+use distconv_cost::Conv2dProblem;
+use distconv_par::pool;
+use distconv_tensor::gemm::{gemm_acc_rows, mr_block};
+use distconv_tensor::{Scalar, Tensor4};
+
+use crate::fast::{conv2d_fast, conv_tile_fast_rows, ConvScratch};
+use crate::kernels::{in_shape, ker_shape, out_shape, PAR_MADD_CUTOFF};
+
+/// `c` (transform-reduction) block size for the 16 pointwise GEMMs —
+/// same L1 sizing rationale as the im2col path's `KC`.
+const KC: usize = 128;
+
+/// Does `F(2×2, 3×3)` apply to this layer? Anything else falls back to
+/// the fast im2col path.
+pub fn winograd_applicable(p: &Conv2dProblem) -> bool {
+    p.nr == 3 && p.ns == 3 && p.sw == 1 && p.sh == 1
+}
+
+/// Reusable scratch for the Winograd kernel, embedded in
+/// [`ConvScratch`] so tiled executors keep one arena per worker.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WinoScratch<T> {
+    /// Transformed kernel, `[ξ][T_c][T_k]` — already in the transposed
+    /// panel layout the micro-kernel consumes on its left side.
+    pub(crate) u: Vec<T>,
+    /// Transformed input tiles, `[ξ][T_c][P]`.
+    pub(crate) v: Vec<T>,
+    /// Transform-domain products, `[ξ][T_k][P]`.
+    pub(crate) m: Vec<T>,
+    /// Offset table `boff[c] = c·P` shared by all 16 GEMMs.
+    pub(crate) boff: Vec<usize>,
+}
+
+/// Kernel transform: `U[ξ][c][k] = (G · Ker[k,c,·,·] · Gᵀ)[ξ]` for the
+/// whole `T_k × T_c` kernel tile, written directly in the transposed
+/// `[ξ][c][k]` panel layout. `half` additions/multiplies by ½ are
+/// exact (powers of two), so this transform only rounds on the sums.
+fn transform_kernel<T: Scalar>(ker: &Tensor4<T>, u: &mut Vec<T>) {
+    let [tk, tc, nr, ns] = ker.shape().0;
+    debug_assert_eq!((nr, ns), (3, 3));
+    let half = T::from_f64(0.5);
+    u.clear();
+    u.resize(16 * tc * tk, T::zero());
+    for k in 0..tk {
+        for c in 0..tc {
+            let g0 = ker.row(k, c, 0);
+            let g1 = ker.row(k, c, 1);
+            let g2 = ker.row(k, c, 2);
+            // t = G·g: four rows of three (over the s axis).
+            let mut t = [[T::zero(); 3]; 4];
+            for s in 0..3 {
+                t[0][s] = g0[s];
+                t[1][s] = (g0[s] + g1[s] + g2[s]) * half;
+                t[2][s] = (g0[s] - g1[s] + g2[s]) * half;
+                t[3][s] = g2[s];
+            }
+            // U = t·Gᵀ: widen each row of three to four (over s).
+            for (ax, tr) in t.iter().enumerate() {
+                let row = [
+                    tr[0],
+                    (tr[0] + tr[1] + tr[2]) * half,
+                    (tr[0] - tr[1] + tr[2]) * half,
+                    tr[2],
+                ];
+                for (ay, &val) in row.iter().enumerate() {
+                    u[(ax * 4 + ay) * (tc * tk) + c * tk + k] = val;
+                }
+            }
+        }
+    }
+}
+
+/// Input transform for one batch image: gather every 4×4 tile `d`,
+/// compute `Bᵀ d B`, scatter into the `[ξ][T_c][P]` panel. Reads past
+/// the *semantic* input window (`tw+2 × th+2` for a `tw × th` output
+/// tile) are zero, even when the caller's buffer is larger — results
+/// must not depend on how much halo a caller happens to hand over.
+#[allow(clippy::too_many_arguments)]
+fn transform_input<T: Scalar>(
+    in_plane: &[T],
+    tc: usize,
+    xt: usize,
+    yt: usize,
+    tw: usize,
+    th: usize,
+    v: &mut [T],
+) {
+    let (tiles_w, tiles_h) = (tw.div_ceil(2), th.div_ceil(2));
+    let p_tiles = tiles_w * tiles_h;
+    let xi_stride = tc * p_tiles;
+    // Reads are bounded by the *semantic* window AND the buffer.
+    let (lim_x, lim_y) = ((tw + 2).min(xt), (th + 2).min(yt));
+    // Tiles fully inside the window take a branch-free path with the
+    // four input rows hoisted as slices; only the clipped boundary
+    // tiles (at most one per axis) pay the per-element gather.
+    let full_tx = tiles_w.min(lim_x.saturating_sub(3).div_ceil(2));
+    let full_ty = tiles_h.min(lim_y.saturating_sub(3).div_ceil(2));
+    for c in 0..tc {
+        let cbase = c * (xt * yt);
+        let vbase = c * p_tiles;
+        for tx in 0..tiles_w {
+            let x0 = 2 * tx;
+            let t0 = tx * tiles_h;
+            if tx < full_tx {
+                let r0 = &in_plane[cbase + x0 * yt..][..lim_y];
+                let r1 = &in_plane[cbase + (x0 + 1) * yt..][..lim_y];
+                let r2 = &in_plane[cbase + (x0 + 2) * yt..][..lim_y];
+                let r3 = &in_plane[cbase + (x0 + 3) * yt..][..lim_y];
+                let done = crate::wino_simd::input_rows(
+                    &[r0, r1, r2, r3],
+                    full_ty,
+                    v,
+                    xi_stride,
+                    vbase + t0,
+                );
+                for ty in done..full_ty {
+                    let y0 = 2 * ty;
+                    let d = [
+                        &r0[y0..y0 + 4],
+                        &r1[y0..y0 + 4],
+                        &r2[y0..y0 + 4],
+                        &r3[y0..y0 + 4],
+                    ];
+                    scatter_tile(&bt_d_b(&d), v, xi_stride, vbase + t0 + ty);
+                }
+                for ty in full_ty..tiles_h {
+                    let d = gather_clipped(in_plane, cbase, yt, lim_x, lim_y, x0, 2 * ty);
+                    scatter_tile(&bt_d_b_arr(&d), v, xi_stride, vbase + t0 + ty);
+                }
+            } else {
+                for ty in 0..tiles_h {
+                    let d = gather_clipped(in_plane, cbase, yt, lim_x, lim_y, x0, 2 * ty);
+                    scatter_tile(&bt_d_b_arr(&d), v, xi_stride, vbase + t0 + ty);
+                }
+            }
+        }
+    }
+}
+
+/// Gather one 4×4 input tile at `(x0, y0)`, zero outside the clipped
+/// window — the boundary-tile slow path of [`transform_input`].
+fn gather_clipped<T: Scalar>(
+    in_plane: &[T],
+    cbase: usize,
+    yt: usize,
+    lim_x: usize,
+    lim_y: usize,
+    x0: usize,
+    y0: usize,
+) -> [[T; 4]; 4] {
+    let mut d = [[T::zero(); 4]; 4];
+    for (ax, dr) in d.iter_mut().enumerate() {
+        let x = x0 + ax;
+        if x >= lim_x {
+            continue;
+        }
+        let rbase = cbase + x * yt;
+        for (ay, dv) in dr.iter_mut().enumerate() {
+            let y = y0 + ay;
+            if y < lim_y {
+                *dv = in_plane[rbase + y];
+            }
+        }
+    }
+    d
+}
+
+/// `Bᵀ · d · B` for one tile whose rows are borrowed slices.
+#[inline]
+fn bt_d_b<T: Scalar>(d: &[&[T]; 4]) -> [[T; 4]; 4] {
+    let mut z = [[T::zero(); 4]; 4];
+    for ay in 0..4 {
+        z[0][ay] = d[0][ay] - d[2][ay];
+        z[1][ay] = d[1][ay] + d[2][ay];
+        z[2][ay] = d[2][ay] - d[1][ay];
+        z[3][ay] = d[1][ay] - d[3][ay];
+    }
+    apply_b_cols(&z)
+}
+
+/// `Bᵀ · d · B` for one gathered (owned) tile.
+#[inline]
+fn bt_d_b_arr<T: Scalar>(d: &[[T; 4]; 4]) -> [[T; 4]; 4] {
+    let rows: [&[T]; 4] = [&d[0], &d[1], &d[2], &d[3]];
+    bt_d_b(&rows)
+}
+
+/// Right-multiply the half-transformed tile by `B` (over the y axis).
+#[inline]
+fn apply_b_cols<T: Scalar>(z: &[[T; 4]; 4]) -> [[T; 4]; 4] {
+    let mut w = [[T::zero(); 4]; 4];
+    for (wr, zr) in w.iter_mut().zip(z.iter()) {
+        wr[0] = zr[0] - zr[2];
+        wr[1] = zr[1] + zr[2];
+        wr[2] = zr[2] - zr[1];
+        wr[3] = zr[1] - zr[3];
+    }
+    w
+}
+
+/// Scatter one transformed tile into the 16 `ξ` panels at offset
+/// `base` (the tile's `c·P + t` slot; panels are `xi_stride` apart).
+#[inline]
+fn scatter_tile<T: Scalar>(w: &[[T; 4]; 4], v: &mut [T], xi_stride: usize, base: usize) {
+    for (ax, wr) in w.iter().enumerate() {
+        for (ay, &val) in wr.iter().enumerate() {
+            v[(ax * 4 + ay) * xi_stride + base] = val;
+        }
+    }
+}
+
+/// The transform-domain contraction: `M[ξ] += U[ξ] · V[ξ]` for all 16
+/// positions, on the shared (SIMD-dispatched) micro-kernel.
+fn pointwise_gemms<T: Scalar>(
+    tk: usize,
+    tc: usize,
+    p_tiles: usize,
+    u: &[T],
+    v: &[T],
+    m: &mut [T],
+    boff: &mut Vec<usize>,
+) {
+    boff.clear();
+    boff.extend((0..tc).map(|c| c * p_tiles));
+    let mrb = mr_block();
+    for xi in 0..16 {
+        let u_xi = &u[xi * (tc * tk)..(xi + 1) * (tc * tk)];
+        let v_xi = &v[xi * (tc * p_tiles)..(xi + 1) * (tc * p_tiles)];
+        let m_xi = &mut m[xi * (tk * p_tiles)..(xi + 1) * (tk * p_tiles)];
+        for c0 in (0..tc).step_by(KC) {
+            let c1 = (c0 + KC).min(tc);
+            let mut k0 = 0;
+            while k0 < tk {
+                let mr = mrb.min(tk - k0);
+                gemm_acc_rows(
+                    &mut m_xi[k0 * p_tiles..],
+                    p_tiles,
+                    mr,
+                    p_tiles,
+                    &u_xi[c0 * tk..],
+                    tk,
+                    k0,
+                    v_xi,
+                    &boff[c0..c1],
+                );
+                k0 += mr;
+            }
+        }
+    }
+}
+
+/// Output transform for one batch image: `Y = Aᵀ M A` per `(k, tile)`,
+/// accumulated (`+=`) into strided output rows with tiles clipped at
+/// the `tw × th` boundary (odd extents discard the ragged half-tile).
+#[allow(clippy::too_many_arguments)]
+fn transform_output<T: Scalar>(
+    m: &[T],
+    tk: usize,
+    tw: usize,
+    th: usize,
+    out: &mut [T],
+    out_base: usize,
+    kstride: usize,
+    wstride: usize,
+) {
+    let (tiles_w, tiles_h) = (tw.div_ceil(2), th.div_ceil(2));
+    let p_tiles = tiles_w * tiles_h;
+    let xi_stride = tk * p_tiles;
+    // Tiles whose 2×2 output lands fully inside tw × th skip the clip
+    // branches; only the ragged last row/column (odd extents) clips.
+    let (full_tx, full_ty) = (tw / 2, th / 2);
+    for k in 0..tk {
+        let kbase = k * p_tiles;
+        let obase = out_base + k * kstride;
+        for tx in 0..tiles_w {
+            let t0 = tx * tiles_h;
+            let w0 = 2 * tx;
+            // Interior tiles first try the AVX2 block path (f32); it
+            // returns how many ty tiles it consumed.
+            let done = if tx < full_tx {
+                let base0 = obase + w0 * wstride;
+                crate::wino_simd::output_rows(
+                    m,
+                    xi_stride,
+                    kbase + t0,
+                    full_ty,
+                    out,
+                    base0,
+                    base0 + wstride,
+                )
+            } else {
+                0
+            };
+            for ty in done..tiles_h {
+                let base = kbase + t0 + ty;
+                // a = Aᵀ·M over x, then ·A over y.
+                let mut a = [[T::zero(); 4]; 2];
+                for ay in 0..4 {
+                    let col = |ax: usize| m[(ax * 4 + ay) * xi_stride + base];
+                    a[0][ay] = col(0) + col(1) + col(2);
+                    a[1][ay] = col(1) - col(2) - col(3);
+                }
+                let h0 = 2 * ty;
+                if tx < full_tx && ty < full_ty {
+                    let y0 = [a[0][0] + a[0][1] + a[0][2], a[0][1] - a[0][2] - a[0][3]];
+                    let y1 = [a[1][0] + a[1][1] + a[1][2], a[1][1] - a[1][2] - a[1][3]];
+                    let r0 = obase + w0 * wstride + h0;
+                    out[r0] += y0[0];
+                    out[r0 + 1] += y0[1];
+                    let r1 = r0 + wstride;
+                    out[r1] += y1[0];
+                    out[r1 + 1] += y1[1];
+                } else {
+                    for (i, ar) in a.iter().enumerate() {
+                        let w = w0 + i;
+                        if w >= tw {
+                            continue;
+                        }
+                        let y = [ar[0] + ar[1] + ar[2], ar[1] - ar[2] - ar[3]];
+                        for (j, &val) in y.iter().enumerate() {
+                            let h = h0 + j;
+                            if h < th {
+                                out[obase + w * wstride + h] += val;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Winograd drop-in for [`crate::fast::conv_tile_fast`]: accumulate one
+/// tile's contribution via `F(2×2, 3×3)`, falling back to the fast
+/// im2col path (bitwise-identical to `Fast`) when the shape is not a
+/// 3×3 stride-1 convolution.
+pub fn conv_tile_winograd<T: Scalar>(
+    p: &Conv2dProblem,
+    out_tile: &mut Tensor4<T>,
+    in_tile: &Tensor4<T>,
+    ker_tile: &Tensor4<T>,
+    scratch: &mut ConvScratch<T>,
+) {
+    let [tb, tk, tw, th] = out_tile.shape().0;
+    let strides = [tk * tw * th, tw * th, th];
+    conv_tile_winograd_rows(
+        p,
+        out_tile.as_mut_slice(),
+        0,
+        strides,
+        [tb, tk, tw, th],
+        in_tile,
+        ker_tile,
+        scratch,
+    );
+}
+
+/// The row-addressed core, mirroring
+/// [`crate::fast::conv_tile_fast_rows`]' contract: output row
+/// `(b, k, w, ·)` lives at
+/// `out[out_base + b·strides[0] + k·strides[1] + w·strides[2] ..][..T_h]`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_tile_winograd_rows<T: Scalar>(
+    p: &Conv2dProblem,
+    out: &mut [T],
+    out_base: usize,
+    out_strides: [usize; 3],
+    out_extents: [usize; 4],
+    in_tile: &Tensor4<T>,
+    ker_tile: &Tensor4<T>,
+    scratch: &mut ConvScratch<T>,
+) {
+    if !winograd_applicable(p) {
+        return conv_tile_fast_rows(
+            p,
+            out,
+            out_base,
+            out_strides,
+            out_extents,
+            in_tile,
+            ker_tile,
+            scratch,
+        );
+    }
+    let [tb, tk, tw, th] = out_extents;
+    let [tb2, tc, xt, yt] = in_tile.shape().0;
+    let [tk2, tc2, nr, ns] = ker_tile.shape().0;
+    assert_eq!(tb, tb2, "batch tile mismatch");
+    assert_eq!(tk, tk2, "k tile mismatch");
+    assert_eq!(tc, tc2, "c tile mismatch");
+    assert_eq!((nr, ns), (p.nr, p.ns), "kernel extent mismatch");
+    assert!(
+        xt >= p.sw * (tw - 1) + p.nr && yt >= p.sh * (th - 1) + p.ns,
+        "input tile window too small: {xt}x{yt} for out {tw}x{th}"
+    );
+    if tb == 0 || tk == 0 || tw == 0 || th == 0 {
+        return;
+    }
+    let p_tiles = tw.div_ceil(2) * th.div_ceil(2);
+    let wino = &mut scratch.wino;
+    transform_kernel(ker_tile, &mut wino.u);
+    wino.v.clear();
+    wino.v.resize(16 * tc * p_tiles, T::zero());
+    for b in 0..tb {
+        transform_input(
+            &in_tile.as_slice()[b * tc * xt * yt..],
+            tc,
+            xt,
+            yt,
+            tw,
+            th,
+            &mut wino.v,
+        );
+        wino.m.clear();
+        wino.m.resize(16 * tk * p_tiles, T::zero());
+        pointwise_gemms(
+            tk,
+            tc,
+            p_tiles,
+            &wino.u,
+            &wino.v,
+            &mut wino.m,
+            &mut wino.boff,
+        );
+        transform_output(
+            &wino.m,
+            tk,
+            tw,
+            th,
+            out,
+            out_base + b * out_strides[0],
+            out_strides[1],
+            out_strides[2],
+        );
+    }
+}
+
+/// Whole-problem Winograd convolution: transform `Ker` once, then run
+/// the per-image transform → 16 GEMMs → inverse-transform pipeline in
+/// parallel over the worker pool (serial below the same work cutoff as
+/// the other whole-problem kernels). Falls back to [`conv2d_fast`]
+/// when `F(2×2, 3×3)` does not apply.
+pub fn conv2d_winograd<T: Scalar>(
+    p: &Conv2dProblem,
+    input: &Tensor4<T>,
+    ker: &Tensor4<T>,
+) -> Tensor4<T> {
+    if !winograd_applicable(p) {
+        return conv2d_fast(p, input, ker);
+    }
+    assert_eq!(input.shape(), in_shape(p), "In shape mismatch");
+    assert_eq!(ker.shape(), ker_shape(p), "Ker shape mismatch");
+    let mut out = Tensor4::zeros(out_shape(p));
+    let mut u = Vec::new();
+    transform_kernel(ker, &mut u);
+    let (xt, yt) = (p.in_w(), p.in_h());
+    let in_bstride = p.nc * xt * yt;
+    let plane = p.nk * p.nw * p.nh;
+    let p_tiles = p.nw.div_ceil(2) * p.nh.div_ceil(2);
+    let in_data = input.as_slice();
+    let u = &u;
+    let madds = p.nb * plane * p.nc * p.nr * p.ns;
+    let pool = if madds < PAR_MADD_CUTOFF {
+        pool::Pool::new(1)
+    } else {
+        pool::Pool::default()
+    };
+    pool.par_chunks_mut(out.as_mut_slice(), plane, |b, chunk| {
+        let mut v = vec![T::zero(); 16 * p.nc * p_tiles];
+        let mut m = vec![T::zero(); 16 * p.nk * p_tiles];
+        let mut boff = Vec::new();
+        transform_input(&in_data[b * in_bstride..], p.nc, xt, yt, p.nw, p.nh, &mut v);
+        pointwise_gemms(p.nk, p.nc, p_tiles, u, &v, &mut m, &mut boff);
+        transform_output(&m, p.nk, p.nw, p.nh, chunk, 0, p.nw * p.nh, p.nh);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{conv2d_direct, conv_tile, workload};
+    use distconv_tensor::assert_close;
+
+    #[test]
+    fn applicability_gate() {
+        assert!(winograd_applicable(&Conv2dProblem::square(1, 2, 2, 6, 3)));
+        assert!(!winograd_applicable(&Conv2dProblem::square(1, 2, 2, 6, 1)));
+        assert!(!winograd_applicable(&Conv2dProblem::new(
+            1, 2, 2, 6, 6, 3, 3, 2, 2
+        )));
+    }
+
+    #[test]
+    fn matches_reference_within_tolerance_even_and_odd() {
+        for p in [
+            Conv2dProblem::square(2, 3, 4, 6, 3),          // even spatial
+            Conv2dProblem::square(1, 2, 3, 5, 3),          // odd — clipped tiles
+            Conv2dProblem::new(2, 4, 2, 5, 7, 3, 3, 1, 1), // rectangular, both odd
+            Conv2dProblem::square(1, 1, 1, 1, 3),          // degenerate 1×1 output
+        ] {
+            let (input, ker) = workload::<f64>(&p, 11);
+            let want = conv2d_direct(&p, &input, &ker);
+            let got = conv2d_winograd(&p, &input, &ker);
+            assert_close(got.as_slice(), want.as_slice(), 1e-12, "f64 winograd");
+        }
+    }
+
+    #[test]
+    fn f32_within_analysis_tolerance() {
+        let p = Conv2dProblem::square(2, 4, 8, 14, 3);
+        let (input, ker) = workload::<f32>(&p, 23);
+        let want = conv2d_direct(&p, &input, &ker);
+        let got = conv2d_winograd(&p, &input, &ker);
+        assert_close(got.as_slice(), want.as_slice(), 5e-4, "f32 winograd");
+    }
+
+    #[test]
+    fn tile_path_accumulates_channel_splits() {
+        // Winograd tiles accumulate over c-splits like every tile
+        // kernel; the split sums land within tolerance of the whole.
+        let p = Conv2dProblem::square(2, 3, 4, 6, 3);
+        let (input, ker) = workload::<f64>(&p, 13);
+        let mut whole = Tensor4::zeros(out_shape(&p));
+        conv_tile(&p, &mut whole, &input, &ker);
+        let mut out = Tensor4::zeros(out_shape(&p));
+        let mut scratch = ConvScratch::new();
+        for c0 in [0usize, 2] {
+            let in_slice = input.slice(distconv_tensor::Range4::new(
+                [0, c0, 0, 0],
+                [p.nb, c0 + 2, p.in_w(), p.in_h()],
+            ));
+            let ker_slice = ker.slice(distconv_tensor::Range4::new(
+                [0, c0, 0, 0],
+                [p.nk, c0 + 2, 3, 3],
+            ));
+            conv_tile_winograd(&p, &mut out, &in_slice, &ker_slice, &mut scratch);
+        }
+        assert_close(out.as_slice(), whole.as_slice(), 1e-12, "c-split");
+    }
+
+    #[test]
+    fn oversized_halo_does_not_change_results() {
+        // A caller may hand a bigger input window than the semantic
+        // tw+2 × th+2 tile; the gather must zero-pad identically.
+        let p = Conv2dProblem::square(1, 2, 2, 5, 3);
+        let big = Conv2dProblem::square(1, 2, 2, 7, 3);
+        let (input_big, ker) = workload::<f64>(&big, 3);
+        // Exact-size window for the 5×5 problem …
+        let input = input_big.slice(distconv_tensor::Range4::new(
+            [0, 0, 0, 0],
+            [1, 2, p.in_w(), p.in_h()],
+        ));
+        let mut exact = Tensor4::zeros(out_shape(&p));
+        conv_tile_winograd(&p, &mut exact, &input, &ker, &mut ConvScratch::new());
+        // … vs the full 9×9 window of the 7×7 problem's input.
+        let mut over = Tensor4::zeros(out_shape(&p));
+        conv_tile_winograd(&p, &mut over, &input_big, &ker, &mut ConvScratch::new());
+        assert_eq!(exact.as_slice(), over.as_slice());
+    }
+
+    #[test]
+    fn fallback_is_bitwise_fast_path() {
+        // 5×5 kernel and strided shapes take the im2col path — bitwise
+        // equal to conv_tile_fast, not merely close.
+        for p in [
+            Conv2dProblem::square(1, 2, 3, 4, 5),
+            Conv2dProblem::new(2, 3, 2, 4, 4, 3, 3, 2, 2),
+        ] {
+            let (input, ker) = workload::<f64>(&p, 7);
+            let mut fast = Tensor4::zeros(out_shape(&p));
+            crate::fast::conv_tile_fast(&p, &mut fast, &input, &ker, &mut ConvScratch::new());
+            let mut wino = Tensor4::zeros(out_shape(&p));
+            conv_tile_winograd(&p, &mut wino, &input, &ker, &mut ConvScratch::new());
+            assert_eq!(fast.as_slice(), wino.as_slice(), "{p:?}");
+        }
+    }
+}

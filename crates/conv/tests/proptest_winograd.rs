@@ -1,0 +1,193 @@
+//! Property tests for the Winograd `F(2×2, 3×3)` kernel under the
+//! workspace's **two-tier numeric policy** (DESIGN.md §7): Winograd
+//! evaluates a different bilinear form than the reference, so it is
+//! validated with `proptest_mini::assert_close` under analytically
+//! justified tolerances (per Ju & Solomonik, arXiv 1910.13367) —
+//! `1e-12` for f64, `5e-4` for f32 on the `O(1)`-magnitude random
+//! workloads — while shapes outside `F(2×2, 3×3)`'s domain must take
+//! the fallback and stay **bitwise** equal to the fast path.
+//!
+//! Replay a failing case with `DISTCONV_PROPTEST_SEED=<seed from the
+//! failure report>`.
+
+use distconv_conv::kernels::{conv2d_direct, out_shape, workload};
+use distconv_conv::winograd::winograd_applicable;
+use distconv_conv::{
+    conv2d, conv2d_fast, conv2d_winograd, conv_tile_winograd, ConvScratch, LocalKernel,
+};
+use distconv_cost::Conv2dProblem;
+use distconv_par::proptest_mini::{assert_close, check, Config, Gen};
+use distconv_tensor::{Range4, Scalar, Tensor4};
+
+/// Random 3×3 stride-1 layers — the Winograd domain. Spatial extents
+/// 1..=7 cover even tilings, odd (clipped half-tile) edges, and the
+/// degenerate single-output case; `nk` crosses every register block.
+fn arb_wino_problem(g: &mut Gen) -> Conv2dProblem {
+    Conv2dProblem::new(
+        g.usize_in(1, 2), // nb
+        g.usize_in(1, 9), // nk (crosses MR=4 and MR_MAX=8 blocks)
+        g.usize_in(1, 4), // nc
+        g.usize_in(1, 7), // nh
+        g.usize_in(1, 7), // nw
+        3,
+        3,
+        1,
+        1,
+    )
+}
+
+/// Random layers *outside* the Winograd domain: wrong kernel extent
+/// and/or stride > 1.
+fn arb_fallback_problem(g: &mut Gen) -> Conv2dProblem {
+    loop {
+        let p = Conv2dProblem::new(
+            g.usize_in(1, 2),
+            g.usize_in(1, 5),
+            g.usize_in(1, 4),
+            g.usize_in(1, 5),
+            g.usize_in(1, 5),
+            g.usize_in(1, 4),
+            g.usize_in(1, 4),
+            g.usize_in(1, 2),
+            g.usize_in(1, 2),
+        );
+        if !winograd_applicable(&p) {
+            return p;
+        }
+    }
+}
+
+fn to_f64<T: Scalar>(v: &[T]) -> Vec<f64> {
+    v.iter().map(|&x| x.to_f64()).collect()
+}
+
+#[test]
+fn winograd_matches_direct_f64() {
+    check("winograd_matches_direct_f64", Config::with_cases(64), |g| {
+        let p = arb_wino_problem(g);
+        let (input, ker) = workload::<f64>(&p, g.u64());
+        let want = conv2d_direct(&p, &input, &ker);
+        let got = conv2d_winograd(&p, &input, &ker);
+        assert_close(
+            &format!("winograd f64 {p:?}"),
+            got.as_slice(),
+            want.as_slice(),
+            1e-12,
+        );
+    });
+}
+
+#[test]
+fn winograd_matches_direct_f32() {
+    check("winograd_matches_direct_f32", Config::with_cases(64), |g| {
+        let p = arb_wino_problem(g);
+        let (input, ker) = workload::<f32>(&p, g.u64());
+        let want = conv2d_direct(&p, &input, &ker);
+        let got = conv2d_winograd(&p, &input, &ker);
+        assert_close(
+            &format!("winograd f32 {p:?}"),
+            &to_f64(got.as_slice()),
+            &to_f64(want.as_slice()),
+            5e-4,
+        );
+    });
+}
+
+#[test]
+fn winograd_tile_accumulates_random_tc_splits() {
+    check("winograd_tc_splits", Config::with_cases(48), |g| {
+        // The c-innermost schedules accumulate partial-channel tile
+        // contributions; Winograd tiles must compose the same way.
+        let p = arb_wino_problem(g);
+        let (input, ker) = workload::<f64>(&p, g.u64());
+        let want = conv2d_direct(&p, &input, &ker);
+        let mut out = Tensor4::zeros(out_shape(&p));
+        let mut scratch = ConvScratch::new();
+        let mut c0 = 0;
+        while c0 < p.nc {
+            let c1 = (c0 + g.usize_in(1, p.nc)).min(p.nc);
+            let in_slice = input.slice(Range4::new([0, c0, 0, 0], [p.nb, c1, p.in_w(), p.in_h()]));
+            let ker_slice = ker.slice(Range4::new([0, c0, 0, 0], [p.nk, c1, p.nr, p.ns]));
+            conv_tile_winograd(&p, &mut out, &in_slice, &ker_slice, &mut scratch);
+            c0 = c1;
+        }
+        assert_close(
+            &format!("winograd tc-split {p:?}"),
+            out.as_slice(),
+            want.as_slice(),
+            1e-12,
+        );
+    });
+}
+
+#[test]
+fn winograd_on_output_subtiles_with_exact_halos() {
+    check("winograd_subtiles", Config::with_cases(48), |g| {
+        // Random output w/h sub-tiles with their exact halo windows —
+        // the geometry the GVM executor and distributed forward hand
+        // the tile kernel, including padding edges where the halo is
+        // clipped to the problem boundary.
+        let p = arb_wino_problem(g);
+        let (input, ker) = workload::<f64>(&p, g.u64());
+        let want = conv2d_direct(&p, &input, &ker);
+        let (w0, h0) = (g.usize_in(0, p.nw - 1), g.usize_in(0, p.nh - 1));
+        let (w1, h1) = (g.usize_in(w0 + 1, p.nw), g.usize_in(h0 + 1, p.nh));
+        let out_rng = Range4::new([0, 0, w0, h0], [p.nb, p.nk, w1, h1]);
+        let in_rng = distconv_tensor::conv_input_region(out_rng, 0, p.nc, p.sw, p.sh, p.nr, p.ns);
+        let mut out_tile = Tensor4::zeros(out_rng.shape());
+        conv_tile_winograd(
+            &p,
+            &mut out_tile,
+            &input.slice(in_rng),
+            &ker,
+            &mut ConvScratch::new(),
+        );
+        let expect = want.slice(out_rng);
+        assert_close(
+            &format!("winograd subtile {out_rng:?} of {p:?}"),
+            out_tile.as_slice(),
+            expect.as_slice(),
+            1e-12,
+        );
+    });
+}
+
+#[test]
+fn non_winograd_shapes_fall_back_bitwise_to_fast() {
+    check("winograd_fallback_bitwise", Config::with_cases(48), |g| {
+        let p = arb_fallback_problem(g);
+        let (input, ker) = workload::<f64>(&p, g.u64());
+        let fast = conv2d_fast(&p, &input, &ker);
+        let wino = conv2d_winograd(&p, &input, &ker);
+        // Outside F(2×2, 3×3)'s domain the Winograd entry points ARE
+        // the fast path — bitwise, not merely close.
+        assert_eq!(fast.as_slice(), wino.as_slice(), "fallback {p:?}");
+    });
+}
+
+#[test]
+fn dispatch_selects_winograd() {
+    // f32 on purpose: the deterministic workloads carry 21-bit
+    // mantissas, so in f64 every kernel's arithmetic is *exact* on
+    // small problems and all algorithms agree bitwise. In f32 the
+    // products round, so a genuinely different bilinear algorithm must
+    // leave a different rounding signature — which is how we verify
+    // the dispatch really took the Winograd path.
+    let p = Conv2dProblem::square(1, 3, 2, 6, 3);
+    let (input, ker) = workload::<f32>(&p, 5);
+    let via_dispatch = conv2d(&p, &input, &ker, LocalKernel::Winograd);
+    let direct = conv2d_winograd(&p, &input, &ker);
+    assert_eq!(via_dispatch.as_slice(), direct.as_slice());
+    let fast = conv2d_fast(&p, &input, &ker);
+    assert_ne!(
+        via_dispatch.as_slice(),
+        fast.as_slice(),
+        "winograd unexpectedly bitwise-equal to fast — dispatch suspect"
+    );
+    assert_close(
+        "winograd vs fast tolerance",
+        &to_f64(via_dispatch.as_slice()),
+        &to_f64(fast.as_slice()),
+        5e-4,
+    );
+}

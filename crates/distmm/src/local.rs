@@ -6,7 +6,8 @@
 //! The fast path packs `A` into a transposed `[k][m]` panel
 //! ([`pack_transposed`]) so the shared micro-kernel
 //! ([`gemm_acc_rows`], the same one behind `conv_tile_fast`) reads its
-//! `MR` row coefficients contiguously, then walks the reduction
+//! [`mr_block`]`()` row coefficients contiguously (8 on the
+//! runtime-detected AVX2 path, 4 scalar), then walks the reduction
 //! dimension in L1-sized blocks streaming rows of `B` directly from
 //! their natural layout — no `B` copy at all.
 //!
@@ -16,7 +17,7 @@
 //! identical** — to each other and across thread counts.
 
 use distconv_par::{pool, LocalKernel};
-use distconv_tensor::gemm::{gemm_acc_rows, pack_transposed, MR};
+use distconv_tensor::gemm::{gemm_acc_rows, mr_block, pack_transposed};
 use distconv_tensor::{Matrix, Scalar};
 
 /// Cache-blocking tile edge for the reference kernel. 64×64 f32 tiles
@@ -32,8 +33,9 @@ const KC: usize = 128;
 /// pool dispatch costs more than the whole product.
 const PAR_CUTOFF_FLOPS: usize = 64 * 64 * 64;
 
-/// Rows of `C` per parallel task: a multiple of `MR` big enough that
-/// task dispatch amortizes, small enough to balance ragged shapes.
+/// Rows of `C` per parallel task: a multiple of every register-block
+/// height ([`mr_block`] is 4 or 8) big enough that task dispatch
+/// amortizes, small enough to balance ragged shapes.
 const PAR_ROW_BLOCK: usize = 32;
 
 /// `C += A · B` with the paper-literal blocked ikj loop — the reference
@@ -101,7 +103,10 @@ pub fn local_matmul<T: Scalar>(
 ) {
     match kernel {
         LocalKernel::Reference => matmul_blocked_ref(c, a, b),
-        LocalKernel::Fast => matmul_blocked_par(c, a, b),
+        // Winograd is a convolution algorithm; matmuls have no fast
+        // bilinear analog here, so it means "the fast packed kernel" —
+        // bitwise identical to Fast, keeping the env knob global-safe.
+        LocalKernel::Fast | LocalKernel::Winograd => matmul_blocked_par(c, a, b),
     }
 }
 
@@ -121,11 +126,12 @@ fn packed_rows<T: Scalar>(
     b: &[T],
     boff: &[usize],
 ) {
+    let mrb = mr_block();
     for l0 in (0..k).step_by(KC) {
         let l1 = (l0 + KC).min(k);
         let mut i = 0;
         while i < rows {
-            let mr = MR.min(rows - i);
+            let mr = mrb.min(rows - i);
             gemm_acc_rows(
                 &mut c_rows[i * n..],
                 n,
@@ -235,7 +241,12 @@ mod tests {
     #[test]
     fn local_matmul_dispatch_agrees() {
         let (a, b, c_ref) = reference(33, 40, 29);
-        for kernel in [LocalKernel::Reference, LocalKernel::Fast] {
+        // Winograd is conv-only; for matmuls it must be bitwise Fast.
+        for kernel in [
+            LocalKernel::Reference,
+            LocalKernel::Fast,
+            LocalKernel::Winograd,
+        ] {
             let mut c = Matrix::zeros(33, 29);
             local_matmul(kernel, &mut c, &a, &b);
             assert_eq!(c.as_slice(), c_ref.as_slice(), "{kernel:?}");

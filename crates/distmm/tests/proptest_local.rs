@@ -65,7 +65,13 @@ fn all_kernels_agree_bitwise() {
         let mut c_par = Matrix::zeros(m, n);
         matmul_blocked_par(&mut c_par, &a, &b);
         assert_eq!(c_par.as_slice(), c_ref.as_slice(), "par {m}x{k}x{n}");
-        for kernel in [LocalKernel::Reference, LocalKernel::Fast] {
+        // Winograd included: matmuls have no fast-bilinear analog, so
+        // the variant must be bitwise-identical to Fast here.
+        for kernel in [
+            LocalKernel::Reference,
+            LocalKernel::Fast,
+            LocalKernel::Winograd,
+        ] {
             let mut c = Matrix::zeros(m, n);
             local_matmul(kernel, &mut c, &a, &b);
             assert_eq!(c.as_slice(), c_ref.as_slice(), "{kernel:?} {m}x{k}x{n}");

@@ -9,10 +9,14 @@
 //! policy of the execution substrate, not a property of any one
 //! algorithm.
 //!
-//! The two implementations compute identical sums in different
-//! association orders, so switching kernels never changes traffic
-//! counters or message schedules — only floating-point rounding within
-//! the documented verification tolerances.
+//! [`LocalKernel::Reference`] and [`LocalKernel::Fast`] compute
+//! identical sums in the identical per-element order, so switching
+//! between them is bitwise invisible. [`LocalKernel::Winograd`] is a
+//! *fast bilinear* algorithm (different arithmetic, fewer multiplies):
+//! it never changes traffic counters or message schedules, but its
+//! results match the references only within the documented relative
+//! tolerance — exact-match suites stay pinned to the other two (see
+//! DESIGN.md §7's numeric policy).
 
 /// Which local compute kernel executors dispatch to.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -25,6 +29,12 @@ pub enum LocalKernel {
     /// shared register-blocked micro-kernel (`distconv_tensor::gemm`).
     #[default]
     Fast,
+    /// Winograd `F(2×2, 3×3)` fast convolution (2.25× fewer multiplies
+    /// on 3×3 stride-1 layers; other shapes fall back to
+    /// [`LocalKernel::Fast`]). Matmuls have no Winograd analog and use
+    /// the fast kernel. **Not bitwise-equal** to the references — see
+    /// module docs.
+    Winograd,
 }
 
 /// Env override, read by [`LocalKernel::from_env`]:
@@ -41,10 +51,11 @@ impl LocalKernel {
         match v.trim() {
             "reference" | "ref" | "slow" => Ok(LocalKernel::Reference),
             "fast" | "gemm" => Ok(LocalKernel::Fast),
+            "winograd" | "wino" => Ok(LocalKernel::Winograd),
             other => Err(format!(
                 "unrecognized {LOCAL_KERNEL_ENV} value {other:?}: expected one of \
-                 \"reference\"/\"ref\"/\"slow\" or \"fast\"/\"gemm\" \
-                 (or unset for the default, fast)"
+                 \"reference\"/\"ref\"/\"slow\", \"fast\"/\"gemm\", or \
+                 \"winograd\"/\"wino\" (or unset for the default, fast)"
             )),
         }
     }
@@ -67,6 +78,7 @@ impl LocalKernel {
         match self {
             LocalKernel::Reference => "reference",
             LocalKernel::Fast => "fast",
+            LocalKernel::Winograd => "winograd",
         }
     }
 }
@@ -90,6 +102,10 @@ mod tests {
         for v in ["fast", "gemm"] {
             assert_eq!(LocalKernel::parse(v), Ok(LocalKernel::Fast), "{v:?}");
         }
+        for v in ["winograd", "wino"] {
+            assert_eq!(LocalKernel::parse(v), Ok(LocalKernel::Winograd), "{v:?}");
+        }
+        assert_eq!(LocalKernel::Winograd.name(), "winograd");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod matrix;
 pub mod region;
 pub mod scalar;
 pub mod shape;
+pub mod simd;
 pub mod tensor4;
 
 pub use matrix::Matrix;
