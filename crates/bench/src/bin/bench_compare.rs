@@ -105,6 +105,7 @@ fn validate(path: &str, require: &[String]) -> Result<(), String> {
     } else {
         check_direct_par_guard(path, &rep)?;
     }
+    check_autotune_guard(path, &rep)?;
     println!(
         "{path}: ok — {} records{}, derived: {}",
         rep.cases.len(),
@@ -148,6 +149,27 @@ fn check_direct_par_guard(path: &str, rep: &Report) -> Result<(), String> {
             "{path}: {key} vs {direct_key}: {ratio:.2}x (ok)",
             key = c.key
         );
+    }
+    Ok(())
+}
+
+/// The autotuner acceptance guard: when a file carries the
+/// `speedup_tuned_over_greedy` derived field (BENCH_autotune.json), it
+/// must be ≥ 1.0 — the network DP contains the greedy path, so a value
+/// below 1 means the tuner regressed into actively losing to greedy
+/// planning. Derived fields are deterministic predicted-cost ratios,
+/// so this holds in quick mode too.
+fn check_autotune_guard(path: &str, rep: &Report) -> Result<(), String> {
+    let key = "speedup_tuned_over_greedy";
+    if let Some((_, v)) = rep.derived.iter().find(|(k, _)| k == key) {
+        if *v < 1.0 {
+            return Err(format!(
+                "{path}: derived {key} = {v:.4} < 1.0 — the tuned network \
+                 plan must never cost more than the greedy one (the DP \
+                 includes the greedy path); the planner or DP regressed"
+            ));
+        }
+        println!("{path}: derived {key} = {v:.4} (>= 1.0, ok)");
     }
     Ok(())
 }

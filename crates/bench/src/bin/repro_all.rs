@@ -14,4 +14,5 @@ fn main() {
     println!("{}", distconv_bench::e10_scaling());
     println!("{}", distconv_bench::e11_alpha_beta());
     println!("{}", distconv_bench::e12_network());
+    println!("{}", distconv_bench::e17_autotune());
 }

@@ -1,0 +1,6 @@
+//! Whole-network autotuner sweep: DP over per-layer candidate grids
+//! with exactly-costed redistribution vs greedy per-layer planning,
+//! executed and element-exact at the small scales (E17).
+fn main() {
+    println!("{}", distconv_bench::e17_autotune());
+}

@@ -10,7 +10,7 @@ pub use analytic::{e1_table1, e2_table2, e4_property5, e5_ml_deflation, e8_regim
 pub use chaos::{e16_chaos_sweep, e16_degraded_recovery, E16_CHAOS_SEED};
 pub use faults::{e13_fault_sweep, E13_FAULT_SEED};
 pub use simulated::{
-    e10_scaling, e11_alpha_beta, e12_network, e15_scale_sweep, e3_gvm_exactness, e6_distributed,
-    e7_matmul_analogy, e9_baselines, e9_baselines_analytic,
+    autotune_nets, e10_scaling, e11_alpha_beta, e12_network, e15_scale_sweep, e17_autotune,
+    e3_gvm_exactness, e6_distributed, e7_matmul_analogy, e9_baselines, e9_baselines_analytic,
 };
 pub use trace::{e14_sample_trace, e14_trace_conformance, validate_chrome_trace};

@@ -2,14 +2,15 @@
 //! rotating-broadcast communication schedule, and the high-level
 //! [`DistConv`] driver.
 
-use crate::distribution::{self, distribute, plan_grid, shard_geometry, RankData};
+use crate::distribution::{self, distribute, shard_geometry, RankData};
+use crate::layout::{forward_layer, LayerShards, RankLayout};
 use crate::model::{eq10_aggregate, expected_volumes, ExpectedVolumes};
 use distconv_conv::kernels::{conv2d_direct_par, workload};
 use distconv_cost::planner::GridShape;
 use distconv_cost::{DistPlan, Planner};
 use distconv_par::CommMode;
 use distconv_simnet::{Machine, MachineConfig, Rank, RunError, StatsSnapshot};
-use distconv_tensor::{Scalar, Shape4, Tensor4};
+use distconv_tensor::{Scalar, Tensor4};
 use distconv_trace::{ConformanceReport, ConformanceRow, RunTrace, SpanEvent, SpanKind, Tolerance};
 
 /// Maximum checkpoint/restart attempts for a crash-injected step.
@@ -510,12 +511,9 @@ fn rank_body<T: Scalar>(
     seed: u64,
     comm: CommMode,
 ) -> (RankOut<T>, ()) {
-    let w = plan.w;
-    let grid = plan_grid(plan);
-    let world: Vec<usize> = (0..rank.size()).collect();
     let RankData {
         coords,
-        bhw_pos,
+        bhw_pos: _,
         mut out_slice,
         out_origin,
         in_shard,
@@ -525,50 +523,37 @@ fn rank_body<T: Scalar>(
         ker_origin,
         ker_c_range: _,
     } = distribute::<T>(plan, rank.id(), seed);
-    let [_ib, ik, ic, _ih, _iw] = coords;
     let _shard_lease = rank
         .mem()
         .lease_or_panic((out_slice.len() + in_shard.len() + ker_shard.len()) as u64);
 
-    // Fiber communicators: dims are [b, k, c, h, w].
-    let k_comm = grid.sub_comm(rank, rank.id(), &world, &[1]);
-    let bhw_comm = grid.sub_comm(rank, rank.id(), &world, &[0, 3, 4]);
-    let c_comm = grid.sub_comm(rank, rank.id(), &world, &[2]);
-    debug_assert_eq!(k_comm.me(), ik);
-    debug_assert_eq!(bhw_comm.me(), bhw_pos);
-    debug_assert_eq!(c_comm.me(), ic);
-
-    let ctx = crate::fwd::ForwardCtx {
-        plan,
-        rank,
-        k_comm: &k_comm,
-        bhw_comm: &bhw_comm,
-        ik,
-        ic,
-        bhw_pos,
+    let layout = RankLayout::new(plan, rank);
+    let shards = LayerShards {
         in_shard: &in_shard,
         in_origin,
         ker_shard: &ker_shard,
         ker_origin,
         out_origin,
-        kernel: distconv_par::LocalKernel::from_env(),
-        comm,
     };
-    crate::fwd::forward_tiles(&ctx, &mut out_slice);
-
-    // --- Final reduction of Out partials along the c fiber. ---
-    if plan.grid.pc > 1 {
-        let mut buf =
-            std::mem::replace(&mut out_slice, Tensor4::zeros(Shape4::new(1, 1, 1, 1))).into_vec();
-        c_comm.reduce(0, &mut buf);
-        out_slice = Tensor4::from_vec(Shape4::new(w.wb, w.wk, w.ww, w.wh), buf);
-    }
+    forward_layer(
+        plan,
+        rank,
+        &layout,
+        &shards,
+        distconv_par::LocalKernel::from_env(),
+        comm,
+        &mut out_slice,
+    );
 
     (
         RankOut {
             coords,
             out_origin,
-            slice: if ic == 0 { Some(out_slice) } else { None },
+            slice: if layout.ic() == 0 {
+                Some(out_slice)
+            } else {
+                None
+            },
         },
         (),
     )

@@ -44,13 +44,15 @@ pub use distconv_par::pool;
 pub mod distribution;
 pub mod exec;
 pub(crate) mod fwd;
+pub mod layout;
 pub mod model;
 pub mod network;
 pub mod train;
 
 pub use exec::{CoreError, DegradeInfo, DistConv, DistConvReport, MAX_STEP_RETRIES};
+pub use layout::{consumer_in_window, producer_out_window, RankLayout};
 pub use model::{expected_volumes, ExpectedVolumes};
-pub use network::{run_network, NetworkError, NetworkPlan, NetworkReport};
+pub use network::{redistribution_volume, run_network, NetworkError, NetworkPlan, NetworkReport};
 pub use train::{
     expected_backward_volumes, run_training_step, run_training_step_recovering, BackwardVolumes,
     TrainReport,

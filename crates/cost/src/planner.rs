@@ -394,6 +394,32 @@ impl Planner {
         }
         frontier
     }
+
+    /// The whole-network autotuner's per-layer candidate set: every
+    /// feasible grid (one plan per grid, each with its own best
+    /// tiling), guaranteed to contain the greedy [`Planner::plan`]
+    /// winner.
+    ///
+    /// This is deliberately wider than [`Planner::pareto_frontier`]:
+    /// the frontier dedupes by the `(cost_D, g_D)` *scalars*, so two
+    /// different grids with identical cost and footprint collapse to
+    /// one — but the network DP needs the **grids**, because
+    /// inter-layer redistribution volume depends on how the grid
+    /// shards data, not on what it costs. A same-cost alternate grid
+    /// that happens to align with the neighbouring layer is exactly
+    /// the candidate the tuner exists to find. Errors exactly when
+    /// `plan()` does.
+    pub fn candidates(&self) -> Result<Vec<DistPlan>, PlanError> {
+        let greedy = self.plan()?;
+        let mut cands = self.enumerate();
+        if !cands
+            .iter()
+            .any(|c| c.grid == greedy.grid && c.t == greedy.t)
+        {
+            cands.push(greedy);
+        }
+        Ok(cands)
+    }
 }
 
 fn regime_of_grid(pc: usize, w: &Partition, t: &Tiling) -> Regime {
@@ -557,6 +583,73 @@ mod tests {
         let best = planner.plan().unwrap();
         let cheapest = frontier.last().unwrap();
         assert_eq!(best.predicted.cost_d, cheapest.predicted.cost_d);
+    }
+
+    #[test]
+    fn pareto_frontier_is_dominance_free_and_contains_greedy() {
+        for (procs, mem) in [(8usize, 1usize << 18), (16, 1 << 20), (16, 1 << 22)] {
+            let planner = Planner::new(layer(), MachineSpec::new(procs, mem));
+            let frontier = planner.pareto_frontier();
+            assert!(!frontier.is_empty(), "P={procs} mem={mem}");
+            // Dominance-free: no plan beats another on both axes (ties
+            // included — a weakly dominated plan has no reason to stay).
+            for (i, a) in frontier.iter().enumerate() {
+                for (j, b) in frontier.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    assert!(
+                        !(a.predicted.footprint_gd <= b.predicted.footprint_gd
+                            && a.predicted.cost_d <= b.predicted.cost_d),
+                        "P={procs} mem={mem}: frontier[{i}] dominates frontier[{j}]"
+                    );
+                }
+            }
+            // The greedy plan() result is on the frontier: its cost_D is
+            // the frontier's minimum (last element after the sort).
+            let greedy = planner.plan().unwrap();
+            assert_eq!(
+                greedy.predicted.cost_d,
+                frontier.last().unwrap().predicted.cost_d,
+                "P={procs} mem={mem}"
+            );
+            // And candidates() always carries the greedy *grid* itself.
+            let cands = planner.candidates().unwrap();
+            assert!(cands
+                .iter()
+                .any(|c| c.grid == greedy.grid && c.t == greedy.t));
+            assert!(cands.len() >= frontier.len());
+        }
+    }
+
+    #[test]
+    fn forced_pc_propagates_through_enumeration_and_frontier() {
+        let planner = Planner::new(layer(), MachineSpec::new(16, 1 << 22)).with_forced_pc(2);
+        let all = planner.enumerate();
+        assert!(!all.is_empty());
+        assert!(all.iter().all(|c| c.grid.pc == 2));
+        assert!(all.iter().all(|c| c.regime != Regime::Summa2D));
+        let frontier = planner.pareto_frontier();
+        assert!(!frontier.is_empty());
+        assert!(frontier.iter().all(|c| c.grid.pc == 2));
+        // The forced-pc plan() winner matches the frontier's cheapest.
+        let best = planner.plan().unwrap();
+        assert_eq!(best.grid.pc, 2);
+        assert_eq!(
+            best.predicted.cost_d,
+            frontier.last().unwrap().predicted.cost_d
+        );
+    }
+
+    #[test]
+    fn forced_pc_that_cannot_factor_fails_cleanly() {
+        // pc = 5 divides no extent of this layer's c = 64? 5 ∤ 64, so
+        // the divisor enumeration never visits it: unfactorable.
+        let err = Planner::new(layer(), MachineSpec::new(16, 1 << 22))
+            .with_forced_pc(5)
+            .plan()
+            .unwrap_err();
+        assert_eq!(err, PlanError::Unfactorable { p: 16 });
     }
 
     #[test]

@@ -69,5 +69,5 @@ pub use machine::{
     FailureKind, LinkDelay, Machine, MachineConfig, RankFailure, RunError, RunReport,
 };
 pub use memory::{MemLease, MemoryError, MemoryTracker};
-pub use rank::{Msg, Rank, RankId, RecvHandle, SendHandle, Tag};
-pub use stats::{CostParams, FaultTraffic, Stats, StatsSnapshot, TimingSnapshot};
+pub use rank::{Msg, Rank, RankId, RecvHandle, SendHandle, Tag, TrafficClass};
+pub use stats::{CostParams, FaultTraffic, RedistTraffic, Stats, StatsSnapshot, TimingSnapshot};

@@ -103,6 +103,24 @@ pub(crate) struct Packet<T> {
     pub attempt: u32,
 }
 
+/// Which accounting bucket a rank's subsequent sends belong to.
+///
+/// The paper's volume claims are stated per layer, so multi-layer
+/// executors switch to [`TrafficClass::Redistribution`] around the
+/// inter-layer shard exchange: those sends land in
+/// [`crate::stats::RedistTraffic`] (and record `Redistribute` trace
+/// spans) instead of the algorithmic counters, keeping per-layer
+/// volumes Eq-exact. Transport, clocks, fault injection, and ARQ are
+/// identical for both classes — only accounting and span kind differ.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Per-layer algorithmic traffic (the default).
+    #[default]
+    Algorithmic,
+    /// Inter-layer redistribution traffic.
+    Redistribution,
+}
+
 /// One simulated processor's execution context.
 pub struct Rank<T: Msg> {
     id: RankId,
@@ -145,6 +163,8 @@ pub struct Rank<T: Msg> {
     /// Executors advance it via [`Rank::set_step`] so that blocking and
     /// pipelined schedules stamp the same traffic with the same step.
     step: Cell<u64>,
+    /// Accounting bucket for subsequent sends (see [`TrafficClass`]).
+    traffic_class: Cell<TrafficClass>,
 }
 
 impl<T: Msg> Rank<T> {
@@ -184,6 +204,7 @@ impl<T: Msg> Rank<T> {
             sched,
             compute: cfg.compute,
             step: Cell::new(0),
+            traffic_class: Cell::new(TrafficClass::Algorithmic),
         }
     }
 
@@ -214,6 +235,19 @@ impl<T: Msg> Rank<T> {
     /// The schedule step currently stamped onto recorded spans.
     pub fn current_step(&self) -> u64 {
         self.step.get()
+    }
+
+    /// Set the accounting bucket for subsequent sends. Multi-layer
+    /// executors switch to [`TrafficClass::Redistribution`] around the
+    /// inter-layer exchange and back afterwards; everything else leaves
+    /// the default [`TrafficClass::Algorithmic`] untouched.
+    pub fn set_traffic_class(&self, class: TrafficClass) {
+        self.traffic_class.set(class);
+    }
+
+    /// The accounting bucket currently applied to sends.
+    pub fn traffic_class(&self) -> TrafficClass {
+        self.traffic_class.get()
     }
 
     /// Nanoseconds since the tracer epoch (0 with tracing disabled).
@@ -276,10 +310,19 @@ impl<T: Msg> Rank<T> {
             }
         }
         self.send_count.set(self.send_count.get() + 1);
-        self.stats
-            .record_send(self.id, data.len() as u64, dst == self.id);
+        let span_kind = match self.traffic_class.get() {
+            TrafficClass::Algorithmic => {
+                self.stats
+                    .record_send(self.id, data.len() as u64, dst == self.id);
+                SpanKind::Send
+            }
+            TrafficClass::Redistribution => {
+                self.stats.record_redist(data.len() as u64, dst == self.id);
+                SpanKind::Redistribute
+            }
+        };
         self.trace_span(
-            SpanKind::Send,
+            span_kind,
             Some(dst),
             tag,
             data.len() as u64,

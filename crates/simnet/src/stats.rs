@@ -26,12 +26,25 @@ pub struct Stats {
     /// Separate from the algorithmic counters above so the paper's
     /// volume tables stay clean under fault injection.
     fault: FaultCounters,
+    /// Inter-layer redistribution traffic (see
+    /// [`crate::rank::TrafficClass`]). Separate from the algorithmic
+    /// counters so per-layer volumes stay Eq-exact on multi-layer runs.
+    redist: RedistCounters,
     /// Wall-clock nanoseconds ranks spent blocked in receives (summed
     /// over ranks). Kept out of [`StatsSnapshot`] — see
     /// [`TimingSnapshot`].
     comm_wait_ns: AtomicU64,
     /// Wall-clock nanoseconds ranks spent in timed compute sections.
     compute_ns: AtomicU64,
+}
+
+/// Atomic counters for inter-layer redistribution traffic.
+#[derive(Debug, Default)]
+struct RedistCounters {
+    msgs: AtomicU64,
+    elems: AtomicU64,
+    self_msgs: AtomicU64,
+    self_elems: AtomicU64,
 }
 
 /// Atomic counters for fault-injection and reliable-delivery overhead.
@@ -57,6 +70,7 @@ impl Stats {
             self_msgs: AtomicU64::new(0),
             self_elems: AtomicU64::new(0),
             fault: FaultCounters::default(),
+            redist: RedistCounters::default(),
             comm_wait_ns: AtomicU64::new(0),
             compute_ns: AtomicU64::new(0),
         }
@@ -123,6 +137,20 @@ impl Stats {
         self.fault.reordered_msgs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a redistribution message of `elems` elements (inter-layer
+    /// shard exchange — real network traffic, but accounted apart from
+    /// the per-layer algorithmic volume so that volume stays Eq-exact).
+    /// Self-copies are tracked separately, like [`Stats::record_send`].
+    pub fn record_redist(&self, elems: u64, is_self: bool) {
+        if is_self {
+            self.redist.self_msgs.fetch_add(1, Ordering::Relaxed);
+            self.redist.self_elems.fetch_add(elems, Ordering::Relaxed);
+        } else {
+            self.redist.msgs.fetch_add(1, Ordering::Relaxed);
+            self.redist.elems.fetch_add(elems, Ordering::Relaxed);
+        }
+    }
+
     /// Record a message of `elems` elements sent by `src` to a *different*
     /// rank, or a self-copy when `is_self`.
     pub fn record_send(&self, src: usize, elems: u64, is_self: bool) {
@@ -161,6 +189,46 @@ impl Stats {
                 delayed_msgs: self.fault.delayed_msgs.load(Ordering::Relaxed),
                 reordered_msgs: self.fault.reordered_msgs.load(Ordering::Relaxed),
             },
+            redist: RedistTraffic {
+                msgs: self.redist.msgs.load(Ordering::Relaxed),
+                elems: self.redist.elems.load(Ordering::Relaxed),
+                self_msgs: self.redist.self_msgs.load(Ordering::Relaxed),
+                self_elems: self.redist.self_elems.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// Snapshot of inter-layer redistribution traffic. All-zero on
+/// single-layer runs; on multi-layer runs it carries exactly the
+/// shard-exchange volume between consecutive layers' grids, which the
+/// network conformance checker pins against the analytic
+/// `redistribution_volume` to the element.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RedistTraffic {
+    /// Inter-rank redistribution messages.
+    pub msgs: u64,
+    /// Elements carried by inter-rank redistribution messages.
+    pub elems: u64,
+    /// Redistribution self-copies (local, not network traffic).
+    pub self_msgs: u64,
+    /// Elements in redistribution self-copies.
+    pub self_elems: u64,
+}
+
+impl RedistTraffic {
+    /// True when no redistribution traffic was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == RedistTraffic::default()
+    }
+
+    /// Elementwise difference (`self` after, `earlier` before).
+    fn since(&self, earlier: &RedistTraffic) -> RedistTraffic {
+        RedistTraffic {
+            msgs: self.msgs - earlier.msgs,
+            elems: self.elems - earlier.elems,
+            self_msgs: self.self_msgs - earlier.self_msgs,
+            self_elems: self.self_elems - earlier.self_elems,
         }
     }
 }
@@ -246,6 +314,9 @@ pub struct StatsSnapshot {
     /// Fault-machinery overhead traffic, accounted separately from the
     /// algorithmic volume above.
     pub fault: FaultTraffic,
+    /// Inter-layer redistribution traffic, accounted separately so
+    /// per-layer algorithmic volumes stay Eq-exact.
+    pub redist: RedistTraffic,
 }
 
 impl StatsSnapshot {
@@ -294,6 +365,7 @@ impl StatsSnapshot {
             self_msgs: self.self_msgs - earlier.self_msgs,
             self_elems: self.self_elems - earlier.self_elems,
             fault: self.fault.since(&earlier.fault),
+            redist: self.redist.since(&earlier.redist),
         }
     }
 
@@ -398,6 +470,29 @@ mod tests {
         assert_eq!(d.fault.retrans_msgs, 1);
         assert_eq!(d.fault.retrans_elems, 7);
         assert_eq!(d.fault.ack_msgs, 0);
+    }
+
+    #[test]
+    fn redist_counters_separate_from_algorithmic_volume() {
+        let s = Stats::new(2);
+        s.record_send(0, 100, false);
+        s.record_redist(40, false);
+        s.record_redist(8, true); // local copy
+        let snap = s.snapshot();
+        // The algorithmic counters see only the one logical send.
+        assert_eq!(snap.total_msgs(), 1);
+        assert_eq!(snap.total_elems(), 100);
+        assert!(!snap.redist.is_zero());
+        assert_eq!(snap.redist.msgs, 1);
+        assert_eq!(snap.redist.elems, 40);
+        assert_eq!(snap.redist.self_msgs, 1);
+        assert_eq!(snap.redist.self_elems, 8);
+        // Interval accounting covers the redistribution bucket too.
+        s.record_redist(5, false);
+        let d = s.snapshot().since(&snap);
+        assert_eq!(d.total_elems(), 0);
+        assert_eq!(d.redist.msgs, 1);
+        assert_eq!(d.redist.elems, 5);
     }
 
     #[test]

@@ -14,8 +14,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GOLDEN_DIR=tests/goldens
-BINS=(repro_table1 repro_table2 repro_scale repro_chaos)
-GOLDENS=(table1.txt table2.txt scale.txt chaos.txt)
+BINS=(repro_table1 repro_table2 repro_scale repro_chaos repro_autotune)
+GOLDENS=(table1.txt table2.txt scale.txt chaos.txt autotune.txt)
 
 cargo build --release --offline --workspace -q
 

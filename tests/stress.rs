@@ -64,7 +64,7 @@ fn stress_deep_network() {
     let plan = NetworkPlan::plan(&layers, MachineSpec::new(8, 1 << 24)).unwrap();
     let r = run_network::<f64>(&plan, 3, MachineConfig::default()).expect("verified");
     assert!(r.verified);
-    assert_eq!(r.stats.total_elems() as u128, r.expected_total());
+    assert_eq!(r.measured_total(), r.expected_total());
 }
 
 #[test]
