@@ -9,10 +9,11 @@
 //! Each `--require SUBSTR` demands that some `suite/label` case key
 //! contains `SUBSTR` — CI uses this to pin the presence of the
 //! `fast_simd` and `winograd` records in `BENCH_kernels.json`.
-//! Validation of non-quick files also enforces the `direct_par`
-//! regression guard: in every suite carrying both labels, `direct_par`
-//! must not be slower than `direct` by more than 10% (the serial
-//! fallback below `PAR_MADD_CUTOFF` makes small shapes free).
+//! Validation also enforces the `direct_par` regression guard — in
+//! every suite carrying both labels, `direct_par` must not be slower
+//! than `direct` by more than 10% (the serial fallback below
+//! `PAR_MADD_CUTOFF` makes small shapes free) — uniformly in quick and
+//! full mode, plus the autotune and serving derived-field guards.
 //!
 //! Usually invoked through `scripts/bench_compare.sh`. Files are the
 //! `distconv-bench-v1` schema written by
@@ -100,12 +101,13 @@ fn validate(path: &str, require: &[String]) -> Result<(), String> {
             ));
         }
     }
-    if rep.quick {
-        println!("{path}: quick-mode file — skipping direct_par/direct timing guard");
-    } else {
-        check_direct_par_guard(path, &rep)?;
-    }
+    // The direct_par guard applies uniformly: quick mode shortens the
+    // measurement but the serial-fallback cutoff it polices is just as
+    // visible there, and skipping it let CI quick runs mask a real
+    // regression.
+    check_direct_par_guard(path, &rep)?;
     check_autotune_guard(path, &rep)?;
+    check_serving_guard(path, &rep)?;
     println!(
         "{path}: ok — {} records{}, derived: {}",
         rep.cases.len(),
@@ -171,6 +173,41 @@ fn check_autotune_guard(path: &str, rep: &Report) -> Result<(), String> {
         }
         println!("{path}: derived {key} = {v:.4} (>= 1.0, ok)");
     }
+    Ok(())
+}
+
+/// The serving acceptance guard: when a file carries the serving
+/// latency percentiles (BENCH_serving.json), they must be ordered
+/// (p50 ≤ p95 ≤ p99, all positive) and the saturation throughput must
+/// be positive. Percentile ordering is a property of the estimator,
+/// not the machine, so this holds in quick mode too.
+fn check_serving_guard(path: &str, rep: &Report) -> Result<(), String> {
+    let find = |key: &str| rep.derived.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+    let Some(p50) = find("serving_p50_ms") else {
+        return Ok(());
+    };
+    let p95 = find("serving_p95_ms")
+        .ok_or_else(|| format!("{path}: serving_p50_ms present but serving_p95_ms missing"))?;
+    let p99 = find("serving_p99_ms")
+        .ok_or_else(|| format!("{path}: serving_p50_ms present but serving_p99_ms missing"))?;
+    let rps = find("serving_saturation_rps")
+        .ok_or_else(|| format!("{path}: serving percentiles present but saturation rps missing"))?;
+    if !(p50 > 0.0 && p50 <= p95 && p95 <= p99) {
+        return Err(format!(
+            "{path}: serving percentiles disordered: p50={p50:.3} p95={p95:.3} p99={p99:.3} \
+             (need 0 < p50 <= p95 <= p99)"
+        ));
+    }
+    if rps <= 0.0 {
+        return Err(format!(
+            "{path}: serving_saturation_rps = {rps:.3} must be positive — the saturation \
+             scan found no sustainable offered load"
+        ));
+    }
+    println!(
+        "{path}: serving p50/p95/p99 = {p50:.3}/{p95:.3}/{p99:.3} ms, \
+         saturation {rps:.1} req/s (ok)"
+    );
     Ok(())
 }
 

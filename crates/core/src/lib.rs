@@ -41,6 +41,7 @@
 /// crate is the workspace's front door for algorithm users.
 pub use distconv_par::pool;
 
+pub mod batch;
 pub mod distribution;
 pub mod exec;
 pub(crate) mod fwd;
@@ -49,10 +50,14 @@ pub mod model;
 pub mod network;
 pub mod train;
 
+pub use batch::{batch_seed, dispatch_batch, BatchRun};
 pub use exec::{CoreError, DegradeInfo, DistConv, DistConvReport, MAX_STEP_RETRIES};
 pub use layout::{consumer_in_window, producer_out_window, RankLayout};
 pub use model::{expected_volumes, ExpectedVolumes};
-pub use network::{redistribution_volume, run_network, NetworkError, NetworkPlan, NetworkReport};
+pub use network::{
+    redistribution_volume, run_network, run_network_with_outputs, NetworkError, NetworkOut,
+    NetworkPlan, NetworkReport,
+};
 pub use train::{
     expected_backward_volumes, run_training_step, run_training_step_recovering, BackwardVolumes,
     TrainReport,

@@ -342,6 +342,12 @@ impl NetworkReport {
     }
 }
 
+/// One rank's share of the final layer's output: its grid coordinates,
+/// the global `[b, k, x, y]` origin of its reduced `Out` slice, and the
+/// slice itself. Only ranks on the `i_c = 0` plane produce one; across
+/// those ranks the slices exactly partition the output domain.
+pub type NetworkOut<T> = ([usize; 5], [usize; 4], Tensor4<T>);
+
 /// Run a network forward pass under `plan`, verifying the final layer's
 /// output against the chained sequential reference. Layer `i`'s kernel
 /// uses seed `seed ^ KER_SEED_XOR ^ i`-derived values via the usual
@@ -351,6 +357,19 @@ pub fn run_network<T: Scalar>(
     seed: u64,
     cfg: MachineConfig,
 ) -> Result<NetworkReport, CoreError> {
+    run_network_with_outputs::<T>(plan, seed, cfg).map(|(r, _)| r)
+}
+
+/// [`run_network`], additionally returning every rank's verified final
+/// output slice. The batch-dispatch entry point ([`crate::batch`])
+/// uses the slices to attribute results back to individual batch
+/// samples; everything else should keep calling [`run_network`] and
+/// skip materializing them.
+pub fn run_network_with_outputs<T: Scalar>(
+    plan: &NetworkPlan,
+    seed: u64,
+    cfg: MachineConfig,
+) -> Result<(NetworkReport, Vec<NetworkOut<T>>), CoreError> {
     let procs = plan.layers[0].grid.total();
     let report =
         Machine::try_run::<T, _, _>(procs, cfg, |rank| network_rank_body::<T>(rank, plan, seed))?;
@@ -396,7 +415,7 @@ pub fn run_network<T: Scalar>(
         return Err(CoreError::VerificationFailed { max_rel_err: worst });
     }
 
-    Ok(NetworkReport {
+    let net_report = NetworkReport {
         expected_layers: plan
             .layers
             .iter()
@@ -409,7 +428,9 @@ pub fn run_network<T: Scalar>(
         sim_time: report.sim_time,
         makespan: report.makespan,
         stats: report.stats,
-    })
+    };
+    let outputs = report.results.into_iter().flatten().collect();
+    Ok((net_report, outputs))
 }
 
 fn layer_ker_seed(seed: u64, layer: usize) -> u64 {

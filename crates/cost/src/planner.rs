@@ -370,10 +370,18 @@ impl Planner {
     }
 
     /// The memory/communication **Pareto frontier** over all feasible
-    /// grids: plans sorted by increasing memory footprint `g_D`, each
-    /// strictly cheaper in `cost_D` than every smaller-footprint plan —
+    /// grids: plans sorted by increasing memory footprint `g_D`, none
+    /// strictly costlier in `cost_D` than a smaller-footprint plan —
     /// the CNN incarnation of the matmul family's replication knob,
     /// exposed as a queryable set rather than a single winner.
+    ///
+    /// Deduplication is by the full **grid tuple**, not the
+    /// `(cost_D, g_D)` scalars: two *different* grids with identical
+    /// cost and footprint both stay on the frontier, because how a
+    /// grid shards data (and hence what inter-layer redistribution it
+    /// implies) is not a function of its scalar cost. Only a plan that
+    /// is strictly beaten on cost at no more memory — or that repeats
+    /// a grid already present — is dropped.
     pub fn pareto_frontier(&self) -> Vec<DistPlan> {
         let mut all = self.enumerate();
         all.sort_by(|a, b| {
@@ -385,9 +393,10 @@ impl Planner {
         });
         let mut frontier: Vec<DistPlan> = Vec::new();
         for plan in all {
-            let dominated = frontier
-                .iter()
-                .any(|f| f.predicted.cost_d <= plan.predicted.cost_d);
+            let dominated = frontier.iter().any(|f| {
+                f.predicted.cost_d < plan.predicted.cost_d
+                    || (f.predicted.cost_d == plan.predicted.cost_d && f.grid == plan.grid)
+            });
             if !dominated {
                 frontier.push(plan);
             }
@@ -401,11 +410,12 @@ impl Planner {
     /// winner.
     ///
     /// This is deliberately wider than [`Planner::pareto_frontier`]:
-    /// the frontier dedupes by the `(cost_D, g_D)` *scalars*, so two
-    /// different grids with identical cost and footprint collapse to
-    /// one — but the network DP needs the **grids**, because
+    /// the frontier (which dedupes by the full grid tuple, so
+    /// same-cost alternate grids *are* retained) still drops any grid
+    /// strictly beaten on `cost_D` by a smaller-footprint plan — but
+    /// the network DP needs **every** feasible grid, because
     /// inter-layer redistribution volume depends on how the grid
-    /// shards data, not on what it costs. A same-cost alternate grid
+    /// shards data, not on what it costs. A locally costlier grid
     /// that happens to align with the neighbouring layer is exactly
     /// the candidate the tuner exists to find. Errors exactly when
     /// `plan()` does.
@@ -575,9 +585,17 @@ mod tests {
         for w in frontier.windows(2) {
             assert!(w[0].predicted.footprint_gd <= w[1].predicted.footprint_gd);
             assert!(
-                w[1].predicted.cost_d < w[0].predicted.cost_d,
-                "frontier must strictly improve cost as memory grows"
+                w[1].predicted.cost_d <= w[0].predicted.cost_d,
+                "frontier cost must be non-increasing as memory grows"
             );
+            // Cost ties are only allowed between *distinct* grids —
+            // the frontier dedupes by the full grid tuple.
+            if w[1].predicted.cost_d == w[0].predicted.cost_d {
+                assert_ne!(
+                    w[0].grid, w[1].grid,
+                    "same-cost frontier entries must differ"
+                );
+            }
         }
         // The planner's pick is the frontier's cheapest point.
         let best = planner.plan().unwrap();
@@ -591,8 +609,10 @@ mod tests {
             let planner = Planner::new(layer(), MachineSpec::new(procs, mem));
             let frontier = planner.pareto_frontier();
             assert!(!frontier.is_empty(), "P={procs} mem={mem}");
-            // Dominance-free: no plan beats another on both axes (ties
-            // included — a weakly dominated plan has no reason to stay).
+            // Dominance-free: no plan *strictly* beats another on cost
+            // at no more memory. Same-cost ties are legal — they carry
+            // distinct grids — so only strict cost domination is banned
+            // and every grid appears at most once.
             for (i, a) in frontier.iter().enumerate() {
                 for (j, b) in frontier.iter().enumerate() {
                     if i == j {
@@ -600,8 +620,12 @@ mod tests {
                     }
                     assert!(
                         !(a.predicted.footprint_gd <= b.predicted.footprint_gd
-                            && a.predicted.cost_d <= b.predicted.cost_d),
+                            && a.predicted.cost_d < b.predicted.cost_d),
                         "P={procs} mem={mem}: frontier[{i}] dominates frontier[{j}]"
+                    );
+                    assert_ne!(
+                        a.grid, b.grid,
+                        "P={procs} mem={mem}: duplicate grid on frontier"
                     );
                 }
             }
@@ -620,6 +644,35 @@ mod tests {
                 .any(|c| c.grid == greedy.grid && c.t == greedy.t));
             assert!(cands.len() >= frontier.len());
         }
+    }
+
+    /// Regression: the frontier used to dedupe by the `(cost_D, g_D)`
+    /// scalars, so two *different* grids with identical cost collapsed
+    /// to one (PR 9's network tuner had to bypass the frontier as a
+    /// result). A square layer is symmetric in h/w, so mirrored
+    /// `(ph, pw)` grids cost exactly the same — both must survive.
+    #[test]
+    fn pareto_frontier_retains_same_cost_distinct_grids() {
+        // P = 64 on an 8×8 layer: the {pb:4, pk:4, ph:2, pw:2} and
+        // {pb:2, pk:8, ph:2, pw:2} grids cost exactly the same but
+        // shard `b` and `k` differently — the exact diversity the
+        // network tuner's redistribution term discriminates on.
+        let p = Conv2dProblem::square(8, 64, 64, 8, 3);
+        let planner = Planner::new(p, MachineSpec::new(64, 1 << 22));
+        let frontier = planner.pareto_frontier();
+        let tie = frontier.iter().enumerate().find_map(|(i, a)| {
+            frontier[i + 1..]
+                .iter()
+                .find(|b| b.predicted.cost_d == a.predicted.cost_d && b.grid != a.grid)
+                .map(|b| (a, b))
+        });
+        let (a, b) = tie.expect("frontier must keep a same-cost/different-grid pair");
+        assert_eq!(a.predicted.cost_d, b.predicted.cost_d);
+        assert_ne!(a.grid, b.grid);
+        // The pair differs in its batch/filter split, not just cost
+        // bookkeeping — exactly the alternate sharding the old scalar
+        // dedupe collapsed.
+        assert_ne!((a.grid.pb, a.grid.pk), (b.grid.pb, b.grid.pk));
     }
 
     #[test]

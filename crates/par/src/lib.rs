@@ -38,6 +38,6 @@ pub mod rng;
 
 pub use comm::CommMode;
 pub use kernel::LocalKernel;
-pub use pool::{num_threads, par_chunks_mut, par_iter_indexed, Pool};
+pub use pool::{budgeted_threads, num_threads, par_chunks_mut, par_iter_indexed, Pool};
 pub use proptest_mini::{check, Config, Gen};
 pub use rng::SplitMix64;

@@ -60,7 +60,13 @@ pub fn num_threads() -> usize {
 
 /// Per-pool worker count under the shared budget: `max(1, cores /
 /// active_ranks)`.
-pub(crate) fn budgeted_threads(cores: usize, active_ranks: usize) -> usize {
+///
+/// Public so higher layers can *size* work against the arbiter without
+/// registering ranks — the serving layer uses it to decide how many
+/// simnet clusters the machine can sustain before multi-tenant runs
+/// start time-slicing a single core. Pure arithmetic: the authoritative
+/// runtime path is still [`num_threads`].
+pub fn budgeted_threads(cores: usize, active_ranks: usize) -> usize {
     (cores / active_ranks.max(1)).max(1)
 }
 
@@ -302,6 +308,24 @@ mod tests {
         for threads in [2, 3, 8] {
             assert_eq!(a, run(threads), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn budgeted_threads_is_public_and_monotone() {
+        // The serving layer sizes cluster fan-out with this hook: more
+        // registered ranks must never yield *more* threads per pool,
+        // and the floor is always one worker.
+        for cores in [1usize, 3, 8, 64] {
+            let mut prev = usize::MAX;
+            for active in 1..=2 * cores {
+                let t = budgeted_threads(cores, active);
+                assert!(t >= 1, "cores={cores} active={active}");
+                assert!(t <= prev, "cores={cores} active={active}: not monotone");
+                prev = t;
+            }
+            assert_eq!(budgeted_threads(cores, 1), cores);
+        }
+        assert_eq!(budgeted_threads(8, 0), 8); // zero active clamps to 1
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //! * [`baselines`] — the “simple and restricted schemes” the paper's
 //!   introduction contrasts: data-, spatial- and filter-parallelism plus
 //!   a Horovod-style gradient allreduce.
+//! * [`serve`] — the admission/batching inference front-end: bounded
+//!   queues with typed backpressure, latency-budgeted batch formation,
+//!   multi-tenant cluster dispatch with crash recovery, and per-request
+//!   SLO percentiles.
 //!
 //! ## Quickstart
 //!
@@ -48,5 +52,6 @@ pub use distconv_core as core;
 pub use distconv_cost as cost;
 pub use distconv_distmm as distmm;
 pub use distconv_par as par;
+pub use distconv_serve as serve;
 pub use distconv_simnet as simnet;
 pub use distconv_tensor as tensor;
